@@ -1,0 +1,28 @@
+//! Regenerates the paper's Figure 7 (normalized execution time).
+
+use prism_core::MachineConfig;
+use prism_workloads::Scale;
+
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+    let run = prism_bench::run_suite(Scale::Paper, &MachineConfig::default());
+    if csv {
+        println!("{}", prism_core::SweepResult::csv_header());
+        for (_, sweep) in &run.results {
+            for row in sweep.csv_rows() {
+                println!("{row}");
+            }
+        }
+        return;
+    }
+    print!("{}", prism_bench::tables::render_figure7(&run));
+    let violations = prism_bench::tables::check_shapes(&run);
+    if violations.is_empty() {
+        println!("\nAll qualitative claims of the paper hold.");
+    } else {
+        println!("\nShape violations:");
+        for v in violations {
+            println!("  - {v}");
+        }
+    }
+}

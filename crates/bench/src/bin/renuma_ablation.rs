@@ -1,0 +1,45 @@
+//! Evaluates the two-directional adaptive policy (Dyn-Both) — the
+//! paper's §4.3 future work, combining Dyn-LRU with Reactive-NUMA's
+//! refetch-count reconversion — against the paper's one-way policies on
+//! the applications where one-way conversion misfires (reuse pages get
+//! stuck in LA-NUMA mode and are refetched remotely forever).
+
+use prism_core::{derive_scoma70_capacity, MachineConfig, PolicyKind, Simulation};
+use prism_workloads::{suite, Scale};
+
+fn main() {
+    println!("Two-directional adaptation (Dyn-Both) vs the paper's one-way policies");
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>11} {:>11}",
+        "Application", "Dyn-Util", "Dyn-LRU", "Dyn-Both", "→LA-NUMA", "→S-COMA"
+    );
+    for (id, w) in suite(Scale::Paper) {
+        let base = MachineConfig::default();
+        let trace = w.generate(base.total_procs());
+        let scoma = Simulation::new(base.clone(), PolicyKind::Scoma)
+            .run_trace(&trace)
+            .expect("baseline");
+        let cap = derive_scoma70_capacity(&scoma, 0.70);
+        let norm = |p: PolicyKind| {
+            Simulation::new(base.clone(), p)
+                .with_page_cache_capacity(cap)
+                .run_trace(&trace)
+                .expect("run")
+        };
+        let util = norm(PolicyKind::DynUtil);
+        let lru = norm(PolicyKind::DynLru);
+        let both = norm(PolicyKind::DynBoth);
+        let nt = |r: &prism_core::RunReport| {
+            r.exec_cycles.as_u64() as f64 / scoma.exec_cycles.as_u64() as f64
+        };
+        println!(
+            "{:<12} {:>9.2} {:>9.2} {:>9.2} {:>11} {:>11}",
+            id.to_string(),
+            nt(&util),
+            nt(&lru),
+            nt(&both),
+            both.conversions_to_lanuma,
+            both.conversions_to_scoma
+        );
+    }
+}

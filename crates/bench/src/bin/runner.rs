@@ -1,0 +1,19 @@
+//! Command-line driver for ad-hoc PRISM experiments and trace tooling.
+//!
+//! ```text
+//! runner list
+//! runner run --app Ocean --policy Dyn-LRU --scale paper [--check] [--migration]
+//! runner tracegen --app LU --out lu.prtr
+//! runner run --trace-in lu.prtr --policy SCOMA-70
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match prism_bench::cli::parse(&args).and_then(prism_bench::cli::execute) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("runner: {e}");
+            std::process::exit(2);
+        }
+    }
+}

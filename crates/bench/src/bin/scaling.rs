@@ -1,0 +1,43 @@
+//! Scalability sweep: the same workload on machines of 1–16 nodes.
+//! PRISM's design goal is scalability through localized memory
+//! management; this regenerates the speedup curve for one application
+//! under S-COMA and LA-NUMA page modes.
+
+use prism_core::{MachineConfig, PolicyKind, Simulation};
+use prism_workloads::{app, AppId, Scale};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "FFT".to_string());
+    let id = AppId::ALL
+        .into_iter()
+        .find(|a| a.to_string().eq_ignore_ascii_case(&which))
+        .unwrap_or(AppId::Fft);
+    let workload = app(id, Scale::Paper);
+    println!("scaling {} across machine sizes (4 processors per node)", id);
+    println!(
+        "{:>6} {:>6} {:>16} {:>16} {:>9} {:>9}",
+        "nodes", "procs", "SCOMA cycles", "LANUMA cycles", "SCOMA ×", "LANUMA ×"
+    );
+    let mut base: Option<(u64, u64)> = None;
+    for nodes in [1usize, 2, 4, 8, 16] {
+        let cfg = MachineConfig::builder().nodes(nodes).procs_per_node(4).build();
+        let trace = workload.generate(cfg.total_procs());
+        let scoma = Simulation::new(cfg.clone(), PolicyKind::Scoma)
+            .run_trace(&trace)
+            .expect("scoma run");
+        let lanuma = Simulation::new(cfg, PolicyKind::Lanuma)
+            .run_trace(&trace)
+            .expect("lanuma run");
+        let (s, l) = (scoma.exec_cycles.as_u64(), lanuma.exec_cycles.as_u64());
+        let (s0, l0) = *base.get_or_insert((s, l));
+        println!(
+            "{:>6} {:>6} {:>16} {:>16} {:>9.2} {:>9.2}",
+            nodes,
+            nodes * 4,
+            s,
+            l,
+            s0 as f64 / s as f64,
+            l0 as f64 / l as f64
+        );
+    }
+}

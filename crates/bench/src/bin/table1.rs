@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table 1 (memory-latency microbenchmark).
+
+fn main() {
+    let rows = prism_bench::run_table1(None);
+    print!("{}", prism_bench::tables::render_table1(&rows));
+}

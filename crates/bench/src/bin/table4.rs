@@ -1,0 +1,9 @@
+//! Regenerates the paper's Table 4 (remote misses, static configs).
+
+use prism_core::MachineConfig;
+use prism_workloads::Scale;
+
+fn main() {
+    let run = prism_bench::run_suite(Scale::Paper, &MachineConfig::default());
+    print!("{}", prism_bench::tables::render_table4(&run));
+}

@@ -1,0 +1,66 @@
+//! Runs the application suite across all six configurations and caches
+//! the results for the table/figure binaries.
+
+use prism_core::{sweep_trace, MachineConfig, PolicyKind, SweepResult};
+use prism_workloads::{suite, AppId, Scale};
+
+/// The full evaluation: one [`SweepResult`] per application.
+#[derive(Debug)]
+pub struct SuiteRun {
+    /// Per-application results in the paper's order.
+    pub results: Vec<(AppId, SweepResult)>,
+}
+
+/// Runs the whole suite at a scale (prints progress to stderr).
+pub fn run_suite(scale: Scale, config: &MachineConfig) -> SuiteRun {
+    let mut results = Vec::new();
+    for (id, workload) in suite(scale) {
+        eprintln!("[prism-bench] running {id} ({})…", workload.description());
+        let trace = workload.generate(config.total_procs());
+        let started = std::time::Instant::now();
+        let result = sweep_trace(config, &trace, &PolicyKind::ALL)
+            .unwrap_or_else(|e| panic!("{id} sweep failed: {e}"));
+        eprintln!(
+            "[prism-bench]   {} refs, {:.1}s",
+            trace.total_refs(),
+            started.elapsed().as_secs_f64()
+        );
+        results.push((id, result));
+    }
+    SuiteRun { results }
+}
+
+impl SuiteRun {
+    /// The sweep for one application.
+    pub fn get(&self, id: AppId) -> &SweepResult {
+        &self
+            .results
+            .iter()
+            .find(|(a, _)| *a == id)
+            .expect("application was run")
+            .1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_suite_runs_end_to_end() {
+        let cfg = MachineConfig::builder()
+            .nodes(4)
+            .procs_per_node(2)
+            .l1_bytes(1024)
+            .l2_bytes(4096)
+            .build();
+        let run = run_suite(Scale::Small, &cfg);
+        assert_eq!(run.results.len(), 8);
+        for (id, sweep) in &run.results {
+            assert_eq!(sweep.reports.len(), 6, "{id}");
+            assert!((sweep.normalized_time(PolicyKind::Scoma) - 1.0).abs() < 1e-12);
+        }
+        // Accessor round-trips.
+        assert_eq!(run.get(AppId::Lu).reports.len(), 6);
+    }
+}

@@ -1,0 +1,177 @@
+//! Derived metrics over a [`RunReport`]: miss-rate decomposition, fill
+//! sources, communication intensity, paging overhead, and per-node load
+//! balance — the quantities the paper's analysis sections reason with.
+
+use std::fmt;
+
+use prism_machine::report::RunReport;
+
+/// A digest of the ratios that characterize a run.
+#[derive(Clone, Copy, Debug)]
+pub struct Analysis {
+    /// L1 hit rate over all references.
+    pub l1_hit_rate: f64,
+    /// L2 hit rate over L1 misses.
+    pub l2_hit_rate: f64,
+    /// Share of L2 misses filled from local memory / page cache.
+    pub local_fill_share: f64,
+    /// Share of L2 misses filled by a same-node processor cache.
+    pub sibling_fill_share: f64,
+    /// Share of L2 misses filled from a remote node.
+    pub remote_fill_share: f64,
+    /// Network messages per memory reference.
+    pub messages_per_ref: f64,
+    /// Cycles per reference (machine-wide mean).
+    pub cycles_per_ref: f64,
+    /// Fraction of references that page-faulted.
+    pub fault_rate: f64,
+    /// Max/min per-node ratio of client faults (page-level load balance;
+    /// 1.0 = perfectly balanced).
+    pub fault_imbalance: f64,
+}
+
+impl Analysis {
+    /// Computes the digest from a report.
+    pub fn of(report: &RunReport) -> Analysis {
+        let refs = report.total_refs.max(1) as f64;
+        let l1_total = (report.l1_hits + report.l1_misses).max(1) as f64;
+        let l2_total = (report.l2_hits + report.l2_misses).max(1) as f64;
+        let fills = (report.local_fills + report.sibling_fills + report.remote_misses).max(1) as f64;
+        let (fmax, fmin) = report
+            .per_node
+            .iter()
+            .map(|n| n.kernel.faults_client)
+            .fold((0u64, u64::MAX), |(mx, mn), f| (mx.max(f), mn.min(f)));
+        Analysis {
+            l1_hit_rate: report.l1_hits as f64 / l1_total,
+            l2_hit_rate: report.l2_hits as f64 / l2_total,
+            local_fill_share: report.local_fills as f64 / fills,
+            sibling_fill_share: report.sibling_fills as f64 / fills,
+            remote_fill_share: report.remote_misses as f64 / fills,
+            messages_per_ref: report.ledger.total() as f64 / refs,
+            cycles_per_ref: report.exec_cycles.as_u64() as f64 / refs,
+            fault_rate: report.total_faults() as f64 / refs,
+            fault_imbalance: if fmin == 0 || fmin == u64::MAX {
+                fmax.max(1) as f64
+            } else {
+                fmax as f64 / fmin as f64
+            },
+        }
+    }
+}
+
+impl fmt::Display for Analysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "  hit rates: L1 {:.1}%  L2 {:.1}% (of L1 misses)",
+            self.l1_hit_rate * 100.0,
+            self.l2_hit_rate * 100.0
+        )?;
+        writeln!(
+            f,
+            "  fill sources: local {:.1}%  sibling {:.1}%  remote {:.1}%",
+            self.local_fill_share * 100.0,
+            self.sibling_fill_share * 100.0,
+            self.remote_fill_share * 100.0
+        )?;
+        writeln!(
+            f,
+            "  intensity: {:.2} cycles/ref, {:.3} messages/ref, {:.4}% fault rate",
+            self.cycles_per_ref,
+            self.messages_per_ref,
+            self.fault_rate * 100.0
+        )?;
+        write!(f, "  client-fault imbalance across nodes: {:.2}x", self.fault_imbalance)
+    }
+}
+
+/// Renders a per-node balance table (faults, page-outs, PIT hint rate,
+/// directory-cache hit rate, bus/NI pressure).
+pub fn render_node_balance(report: &RunReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>5} {:>9} {:>9} {:>10} {:>10} {:>12} {:>12}\n",
+        "node", "faults", "pageouts", "pit-hint%", "dir-hit%", "bus-busy", "ni-busy"
+    ));
+    for (i, n) in report.per_node.iter().enumerate() {
+        let pit_total = (n.pit_guess_hits + n.pit_hash_lookups).max(1) as f64;
+        let dir_total = (n.dir_cache_hits + n.dir_cache_misses).max(1) as f64;
+        out.push_str(&format!(
+            "{:>5} {:>9} {:>9} {:>9.1}% {:>9.1}% {:>12} {:>12}\n",
+            i,
+            n.kernel.faults_private + n.kernel.faults_home + n.kernel.faults_client,
+            n.kernel.page_outs,
+            n.pit_guess_hits as f64 / pit_total * 100.0,
+            n.dir_cache_hits as f64 / dir_total * 100.0,
+            n.bus_busy,
+            n.ni_busy
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MachineConfig, PolicyKind, Simulation};
+    use prism_workloads::Synthetic;
+
+    fn sample_report() -> RunReport {
+        let cfg = MachineConfig::builder()
+            .nodes(4)
+            .procs_per_node(2)
+            .l1_bytes(1024)
+            .l2_bytes(4096)
+            .build();
+        Simulation::new(cfg, PolicyKind::Scoma)
+            .run(&Synthetic::uniform(8, 64 * 1024, 2_000))
+            .expect("runs")
+    }
+
+    #[test]
+    fn shares_are_probabilities_that_sum_to_one() {
+        let a = Analysis::of(&sample_report());
+        for v in [
+            a.l1_hit_rate,
+            a.l2_hit_rate,
+            a.local_fill_share,
+            a.sibling_fill_share,
+            a.remote_fill_share,
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{a:?}");
+        }
+        let sum = a.local_fill_share + a.sibling_fill_share + a.remote_fill_share;
+        assert!((sum - 1.0).abs() < 1e-9, "fill shares sum to 1: {sum}");
+        assert!(a.cycles_per_ref >= 1.0);
+        assert!(a.fault_rate > 0.0, "cold faults happened");
+    }
+
+    #[test]
+    fn display_is_complete() {
+        let a = Analysis::of(&sample_report());
+        let text = a.to_string();
+        assert!(text.contains("hit rates"));
+        assert!(text.contains("fill sources"));
+        assert!(text.contains("messages/ref"));
+    }
+
+    #[test]
+    fn node_balance_has_a_row_per_node() {
+        let r = sample_report();
+        let table = render_node_balance(&r);
+        assert_eq!(table.lines().count(), 1 + r.per_node.len());
+        assert!(table.contains("pit-hint%"));
+    }
+
+    #[test]
+    fn empty_report_does_not_divide_by_zero() {
+        let cfg = MachineConfig::builder().nodes(2).procs_per_node(1).build();
+        let r = Simulation::new(cfg, PolicyKind::Scoma)
+            .run(&Synthetic::private_only(2, 4096, 0))
+            .unwrap();
+        let a = Analysis::of(&r);
+        assert!(a.cycles_per_ref.is_finite());
+        assert!(a.messages_per_ref.is_finite());
+    }
+}

@@ -1,0 +1,185 @@
+//! The paper's experiment harness: run an application under all six
+//! page-mode configurations, deriving the SCOMA-70 page-cache capacity
+//! from the SCOMA baseline (paper §4.2).
+
+use std::collections::BTreeMap;
+
+use prism_machine::config::MachineConfig;
+use prism_machine::report::RunReport;
+use prism_mem::trace::Trace;
+use prism_workloads::Workload;
+
+use crate::policy::PolicyKind;
+use crate::simulation::{SimError, Simulation};
+
+/// The paper's capacity rule: 70% of the maximum number of client
+/// S-COMA frames any node allocated in the SCOMA configuration.
+pub const SCOMA70_FRACTION: f64 = 0.70;
+
+/// Derives the SCOMA-70 page-cache capacity (frames per node) from a
+/// SCOMA baseline report.
+pub fn derive_scoma70_capacity(scoma: &RunReport, fraction: f64) -> usize {
+    let max_client = scoma
+        .per_node
+        .iter()
+        .map(|n| n.pool.scoma_client)
+        .max()
+        .unwrap_or(0);
+    ((max_client as f64 * fraction).ceil() as usize).max(1)
+}
+
+/// Results of one application swept across every configuration.
+#[derive(Clone, Debug)]
+pub struct SweepResult {
+    /// Application name.
+    pub app: String,
+    /// The derived SCOMA-70 capacity (frames per node).
+    pub capacity: usize,
+    /// One report per configuration.
+    pub reports: BTreeMap<PolicyKind, RunReport>,
+}
+
+impl SweepResult {
+    /// Execution time normalized to the SCOMA baseline (Figure 7's
+    /// y-axis).
+    pub fn normalized_time(&self, policy: PolicyKind) -> f64 {
+        let base = self.reports[&PolicyKind::Scoma].exec_cycles.as_u64() as f64;
+        self.reports[&policy].exec_cycles.as_u64() as f64 / base
+    }
+
+    /// The CSV header matching [`SweepResult::csv_rows`].
+    pub fn csv_header() -> &'static str {
+        "app,policy,normalized_time,exec_cycles,remote_misses,remote_upgrades,page_outs,conversions_to_lanuma,frames_allocated,avg_utilization,faults_client,messages"
+    }
+
+    /// One CSV row per configuration, for external plotting tools.
+    pub fn csv_rows(&self) -> Vec<String> {
+        self.reports
+            .iter()
+            .map(|(policy, r)| {
+                format!(
+                    "{},{},{:.4},{},{},{},{},{},{},{:.4},{},{}",
+                    self.app,
+                    policy,
+                    self.normalized_time(*policy),
+                    r.exec_cycles.as_u64(),
+                    r.remote_misses,
+                    r.remote_upgrades,
+                    r.page_outs,
+                    r.conversions_to_lanuma,
+                    r.frames_allocated,
+                    r.avg_utilization,
+                    r.faults.2,
+                    r.ledger.total()
+                )
+            })
+            .collect()
+    }
+}
+
+/// Runs one workload under the requested configurations (all six by
+/// default), generating the trace once and reusing it.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from any run.
+pub fn sweep(
+    config: &MachineConfig,
+    workload: &dyn Workload,
+    policies: &[PolicyKind],
+) -> Result<SweepResult, SimError> {
+    let trace = workload.generate(config.total_procs());
+    sweep_trace(config, &trace, policies)
+}
+
+/// Like [`sweep`], over a pre-generated trace.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from any run.
+pub fn sweep_trace(
+    config: &MachineConfig,
+    trace: &Trace,
+    policies: &[PolicyKind],
+) -> Result<SweepResult, SimError> {
+    // The SCOMA baseline always runs first: it defines both the
+    // normalization and the SCOMA-70 capacity.
+    let scoma = Simulation::new(config.clone(), PolicyKind::Scoma).run_trace(trace)?;
+    let capacity = derive_scoma70_capacity(&scoma, SCOMA70_FRACTION);
+    let mut reports = BTreeMap::new();
+    for &policy in policies {
+        if policy == PolicyKind::Scoma {
+            continue;
+        }
+        let report = Simulation::new(config.clone(), policy)
+            .with_page_cache_capacity(capacity)
+            .run_trace(trace)?;
+        reports.insert(policy, report);
+    }
+    reports.insert(PolicyKind::Scoma, scoma);
+    Ok(SweepResult {
+        app: trace.name.clone(),
+        capacity,
+        reports,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_workloads::Synthetic;
+
+    fn config() -> MachineConfig {
+        MachineConfig::builder()
+            .nodes(4)
+            .procs_per_node(1)
+            .l1_bytes(1024)
+            .l2_bytes(4096)
+            .build()
+    }
+
+    #[test]
+    fn sweep_runs_all_policies_and_normalizes() {
+        let w = Synthetic::uniform(4, 96 * 1024, 2_000);
+        let result = sweep(&config(), &w, &PolicyKind::ALL).expect("sweep runs");
+        assert_eq!(result.reports.len(), 6);
+        assert!((result.normalized_time(PolicyKind::Scoma) - 1.0).abs() < 1e-12);
+        // LA-NUMA must be slower than the infinite-page-cache baseline
+        // under a capacity-stressing uniform pattern.
+        assert!(result.normalized_time(PolicyKind::Lanuma) > 1.0);
+        assert!(result.capacity >= 1);
+    }
+
+    #[test]
+    fn capacity_derivation_uses_max_node() {
+        let w = Synthetic::uniform(4, 64 * 1024, 1_000);
+        let scoma = Simulation::new(config(), PolicyKind::Scoma).run(&w).unwrap();
+        let cap = derive_scoma70_capacity(&scoma, 0.70);
+        let max_client = scoma.per_node.iter().map(|n| n.pool.scoma_client).max().unwrap();
+        assert_eq!(cap, ((max_client as f64 * 0.7).ceil() as usize).max(1));
+    }
+
+    #[test]
+    fn csv_rows_cover_every_policy() {
+        let w = Synthetic::uniform(4, 64 * 1024, 500);
+        let result = sweep(&config(), &w, &PolicyKind::ALL).unwrap();
+        let rows = result.csv_rows();
+        assert_eq!(rows.len(), 6);
+        for row in &rows {
+            assert_eq!(row.split(',').count(), SweepResult::csv_header().split(',').count());
+        }
+    }
+
+    #[test]
+    fn scoma70_pages_out_when_capacity_binds() {
+        let w = Synthetic::uniform(4, 256 * 1024, 4_000);
+        let result = sweep(
+            &config(),
+            &w,
+            &[PolicyKind::Scoma, PolicyKind::Scoma70],
+        )
+        .unwrap();
+        assert_eq!(result.reports[&PolicyKind::Scoma].page_outs, 0);
+        assert!(result.reports[&PolicyKind::Scoma70].page_outs > 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! The six page-mode configurations of the paper's evaluation (§4.2).
+
+use std::fmt;
+
+use prism_kernel::policy::PagePolicy;
+
+/// A named machine configuration from the paper's evaluation.
+///
+/// The first three are *static* configurations; the `Dyn-*` trio are the
+/// adaptive run-time policies. All capacity-limited configurations use a
+/// page cache sized at 70% of the client frames the pure-SCOMA run
+/// allocates (derived by [`crate::experiment::derive_scoma70_capacity`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PolicyKind {
+    /// All shared pages S-COMA with an unbounded page cache — the
+    /// paper's optimal baseline (no capacity misses to remote nodes).
+    Scoma,
+    /// All shared client pages LA-NUMA: CC-NUMA behaviour plus the PIT
+    /// translation.
+    Lanuma,
+    /// S-COMA with the page cache capped at 70% of SCOMA's client
+    /// frames; overflow is paged out (LRU).
+    Scoma70,
+    /// S-COMA until the page cache fills, LA-NUMA afterwards; purely OS
+    /// implemented, never pages out.
+    DynFcfs,
+    /// When full, converts the resident page whose frame has the most
+    /// Invalid fine-grain tags to LA-NUMA mode and reuses its frame.
+    DynUtil,
+    /// When full, pages out the LRU client page *and* converts it to
+    /// LA-NUMA mode.
+    DynLru,
+    /// **Extension** (the paper's §4.3 future work): two-directional
+    /// adaptation — Dyn-LRU's overflow behaviour plus Reactive-NUMA-style
+    /// reconversion of heavily refetched LA-NUMA pages back to S-COMA.
+    /// Not part of [`PolicyKind::ALL`] (the paper's six configurations).
+    DynBoth,
+}
+
+impl PolicyKind {
+    /// All six configurations in the paper's presentation order
+    /// (Figure 7's legend).
+    pub const ALL: [PolicyKind; 6] = [
+        PolicyKind::Scoma,
+        PolicyKind::Lanuma,
+        PolicyKind::Scoma70,
+        PolicyKind::DynFcfs,
+        PolicyKind::DynUtil,
+        PolicyKind::DynLru,
+    ];
+
+    /// The kernel-level policy implementing this configuration.
+    pub fn page_policy(&self) -> PagePolicy {
+        match self {
+            PolicyKind::Scoma | PolicyKind::Scoma70 => PagePolicy::Scoma,
+            PolicyKind::Lanuma => PagePolicy::Lanuma,
+            PolicyKind::DynFcfs => PagePolicy::DynFcfs,
+            PolicyKind::DynUtil => PagePolicy::DynUtil,
+            PolicyKind::DynLru => PagePolicy::DynLru,
+            PolicyKind::DynBoth => PagePolicy::DynBoth,
+        }
+    }
+
+    /// Whether the configuration limits the client page cache (to the
+    /// SCOMA-70 capacity).
+    pub fn is_capacity_limited(&self) -> bool {
+        !matches!(self, PolicyKind::Scoma | PolicyKind::Lanuma)
+    }
+
+    /// Whether this is one of the adaptive run-time policies.
+    pub fn is_adaptive(&self) -> bool {
+        matches!(
+            self,
+            PolicyKind::DynFcfs | PolicyKind::DynUtil | PolicyKind::DynLru | PolicyKind::DynBoth
+        )
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PolicyKind::Scoma => "SCOMA",
+            PolicyKind::Lanuma => "LANUMA",
+            PolicyKind::Scoma70 => "SCOMA-70",
+            PolicyKind::DynFcfs => "Dyn-FCFS",
+            PolicyKind::DynUtil => "Dyn-Util",
+            PolicyKind::DynLru => "Dyn-LRU",
+            PolicyKind::DynBoth => "Dyn-Both",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper_figure7() {
+        let names: Vec<String> = PolicyKind::ALL.iter().map(|p| p.to_string()).collect();
+        assert_eq!(
+            names,
+            vec!["SCOMA", "LANUMA", "SCOMA-70", "Dyn-FCFS", "Dyn-Util", "Dyn-LRU"]
+        );
+    }
+
+    #[test]
+    fn capacity_and_adaptivity_classification() {
+        assert!(!PolicyKind::Scoma.is_capacity_limited());
+        assert!(!PolicyKind::Lanuma.is_capacity_limited());
+        assert!(PolicyKind::Scoma70.is_capacity_limited());
+        assert!(PolicyKind::DynFcfs.is_capacity_limited());
+        assert!(!PolicyKind::Scoma70.is_adaptive());
+        assert!(PolicyKind::DynUtil.is_adaptive());
+    }
+
+    #[test]
+    fn kernel_policy_mapping() {
+        assert_eq!(PolicyKind::Scoma.page_policy(), PagePolicy::Scoma);
+        assert_eq!(PolicyKind::Scoma70.page_policy(), PagePolicy::Scoma);
+        assert_eq!(PolicyKind::Lanuma.page_policy(), PagePolicy::Lanuma);
+        assert_eq!(PolicyKind::DynLru.page_policy(), PagePolicy::DynLru);
+    }
+}

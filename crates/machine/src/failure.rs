@@ -1,0 +1,100 @@
+//! Failure injection and fault containment.
+//!
+//! PRISM's multiple-local-physical-address-space structure gives each
+//! node a natural fault containment boundary: physical addresses never
+//! address remote memory directly, every inbound access crosses the PIT
+//! (where a capability list rejects wild writes), and a node failure
+//! terminates only the applications using that node's resources
+//! (paper §1, §3.2).
+
+use prism_mem::addr::{GlobalPage, NodeId};
+use prism_mem::pit::Caps;
+use prism_protocol::firewall::{self, FirewallViolation};
+
+use crate::machine::Machine;
+use crate::node::ProcState;
+
+impl Machine {
+    /// Fails a node: its processors stop, and any *future* access that
+    /// needs this node (as a page's home or line owner) kills the
+    /// accessing processor — modeling the termination of applications
+    /// that used the failed node's resources, while everything else
+    /// keeps running.
+    pub fn fail_node(&mut self, node: NodeId) {
+        let n = node.0 as usize;
+        self.nodes[n].failed = true;
+        for pi in 0..self.ppn() {
+            self.kill_proc(n, pi);
+        }
+    }
+
+    /// Whether a node has been failed.
+    pub fn node_failed(&self, node: NodeId) -> bool {
+        self.nodes[node.0 as usize].failed
+    }
+
+    /// Restricts remote access to a page's frame at `node` to the given
+    /// capability set (the PIT firewall extension of paper §3.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node has no PIT binding for the page.
+    pub fn restrict_page(&mut self, node: NodeId, gpage: GlobalPage, caps: Caps) {
+        let n = node.0 as usize;
+        let frame = self.nodes[n]
+            .controller
+            .pit
+            .frame_of(gpage)
+            .unwrap_or_else(|| panic!("{node} has no PIT binding for {gpage}"));
+        self.nodes[n]
+            .controller
+            .pit
+            .translate_mut(frame)
+            .expect("bound")
+            .caps = caps;
+    }
+
+    /// Injects a *wild write*: a rogue access from `from` targeting the
+    /// copy of `gpage` held at `victim`, as a faulty node's coherence
+    /// controller might emit. Returns whether the victim's PIT firewall
+    /// rejected it.
+    ///
+    /// On CC-NUMA machines with global physical addresses such a write
+    /// would corrupt memory silently; in PRISM every inbound access is
+    /// checked against the victim's PIT entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`FirewallViolation`] when the firewall rejects the
+    /// access (the intended outcome for contained faults).
+    pub fn inject_wild_write(
+        &mut self,
+        from: NodeId,
+        victim: NodeId,
+        gpage: GlobalPage,
+    ) -> Result<(), FirewallViolation> {
+        let v = victim.0 as usize;
+        let Some(frame) = self.nodes[v].controller.pit.frame_of(gpage) else {
+            // No binding: the physical address names nothing at the
+            // victim; the access cannot touch memory at all.
+            return Err(FirewallViolation { from, frame: prism_mem::addr::FrameNo(0), write: true });
+        };
+        let entry = *self.nodes[v].controller.pit.translate(frame).expect("bound");
+        match firewall::check(&entry, frame, from, true) {
+            Ok(()) => Ok(()),
+            Err(violation) => {
+                self.stats.firewall_rejections += 1;
+                Err(violation)
+            }
+        }
+    }
+
+    /// Number of processors still able to execute.
+    pub fn live_procs(&self) -> usize {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.procs.iter())
+            .filter(|p| p.state != ProcState::Dead)
+            .count()
+    }
+}

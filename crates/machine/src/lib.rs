@@ -1,0 +1,68 @@
+//! # prism-machine — the simulated PRISM machine
+//!
+//! Assembles the full system the paper evaluates (§4.1): SMP nodes of
+//! processors with L1/L2 caches and TLBs on a split-transaction bus, a
+//! per-node coherence controller (PIT, fine-grain tags, directory +
+//! directory cache), a latency/occupancy network model, per-node kernels,
+//! and a deterministic run loop that drives workload traces through the
+//! whole stack.
+//!
+//! The crate is organized by concern:
+//!
+//! * [`config`] — [`config::MachineConfig`] and its builder.
+//! * [`machine`] — [`machine::Machine`]: setup, the run loop, barriers
+//!   and locks, and report finalization.
+//! * `access` — the per-reference path: TLB → page table → L1 → L2 →
+//!   mode-dispatched node-level action (paper Figure 4).
+//! * `remote` — the inter-node directory protocol execution with
+//!   timing, invalidation fan-out, firewall checks, and lazy-migration
+//!   request forwarding.
+//! * `paging` — page faults, page-ins, client page-outs (paper §3.3).
+//! * `migrate` — dynamic-home migration (paper §3.5).
+//! * [`shadow`] — optional read-sees-latest-write verification.
+//! * `failure` — node-failure injection and wild-write containment.
+//! * [`report`] — [`report::RunReport`].
+//!
+//! # Example
+//!
+//! ```
+//! use prism_machine::config::MachineConfig;
+//! use prism_machine::machine::Machine;
+//! use prism_mem::trace::{Op, SegmentSpec, Trace, SHARED_BASE};
+//! use prism_mem::addr::VirtAddr;
+//!
+//! let cfg = MachineConfig::builder()
+//!     .nodes(2)
+//!     .procs_per_node(1)
+//!     .check_coherence(true)
+//!     .build();
+//! let trace = Trace {
+//!     name: "ping-pong".into(),
+//!     segments: vec![SegmentSpec { name: "d".into(), va_base: SHARED_BASE, bytes: 4096 }],
+//!     lanes: vec![
+//!         vec![Op::Write(VirtAddr(SHARED_BASE)), Op::Barrier(0)],
+//!         vec![Op::Barrier(0), Op::Read(VirtAddr(SHARED_BASE))],
+//!     ],
+//! };
+//! let report = Machine::new(cfg).run(&trace);
+//! assert_eq!(report.remote_misses, 1); // the read fetched node 0's write
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod access;
+pub mod config;
+mod controller;
+mod failure;
+pub mod machine;
+mod migrate;
+pub mod node;
+mod paging;
+mod remote;
+pub mod report;
+pub mod shadow;
+
+pub use config::MachineConfig;
+pub use machine::Machine;
+pub use report::{NodeReport, RunReport};

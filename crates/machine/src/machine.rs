@@ -1,0 +1,654 @@
+//! The machine: node assembly, deterministic run loop, and
+//! synchronization handling.
+
+use std::collections::HashMap;
+
+use prism_kernel::ipc::{GlobalIpc, HomeMap};
+use prism_kernel::kernel::{Kernel, KernelConfig};
+use prism_mem::addr::{FrameNo, GlobalPage, LineIdx, NodeId};
+use prism_mem::trace::{Op, Trace};
+use prism_protocol::msg::{MsgKind, TrafficLedger};
+use prism_sim::stats::Histogram;
+use prism_sim::sync::{BarrierOutcome, BarrierSet, LockOutcome, LockSet};
+use prism_sim::Cycle;
+
+use crate::config::MachineConfig;
+use crate::node::{Node, ProcState};
+use crate::report::{NodeReport, RunReport};
+use crate::shadow::Shadow;
+
+/// Internal counters accumulated during a run.
+#[derive(Clone, Debug)]
+pub(crate) struct MachineStats {
+    pub total_refs: u64,
+    pub remote_misses: u64,
+    pub remote_upgrades: u64,
+    pub local_fills: u64,
+    pub sibling_fills: u64,
+    pub page_out_lines: u64,
+    pub home_page_outs: u64,
+    pub invalidations: u64,
+    pub remote_writebacks: u64,
+    pub migrations: u64,
+    pub forwards: u64,
+    pub firewall_rejections: u64,
+    pub dead_procs: u64,
+    pub local_fill_latency: Histogram,
+    pub remote_fetch_latency: Histogram,
+    pub fault_latency: Histogram,
+}
+
+impl Default for MachineStats {
+    fn default() -> MachineStats {
+        MachineStats {
+            total_refs: 0,
+            remote_misses: 0,
+            remote_upgrades: 0,
+            local_fills: 0,
+            sibling_fills: 0,
+            page_out_lines: 0,
+            home_page_outs: 0,
+            invalidations: 0,
+            remote_writebacks: 0,
+            migrations: 0,
+            forwards: 0,
+            firewall_rejections: 0,
+            dead_procs: 0,
+            local_fill_latency: Histogram::new("local-fill"),
+            remote_fetch_latency: Histogram::new("remote-fetch"),
+            fault_latency: Histogram::new("page-fault"),
+        }
+    }
+}
+
+/// A simulated PRISM machine.
+///
+/// Build one from a [`MachineConfig`], then [`Machine::run`] a workload
+/// trace. The machine advances processors in a conservative deterministic
+/// interleaving: the runnable processor with the earliest clock executes
+/// next, so identical configurations produce identical results.
+///
+/// # Example
+///
+/// ```
+/// use prism_machine::config::MachineConfig;
+/// use prism_machine::machine::Machine;
+/// use prism_mem::trace::{Op, SegmentSpec, Trace, SHARED_BASE};
+/// use prism_mem::addr::VirtAddr;
+///
+/// let cfg = MachineConfig::builder().nodes(2).procs_per_node(1).build();
+/// let trace = Trace {
+///     name: "demo".into(),
+///     segments: vec![SegmentSpec { name: "d".into(), va_base: SHARED_BASE, bytes: 4096 }],
+///     lanes: vec![
+///         vec![Op::Write(VirtAddr(SHARED_BASE)), Op::Barrier(0)],
+///         vec![Op::Barrier(0), Op::Read(VirtAddr(SHARED_BASE))],
+///     ],
+/// };
+/// let report = Machine::new(cfg).run(&trace);
+/// assert!(report.exec_cycles.as_u64() > 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Machine {
+    pub(crate) cfg: MachineConfig,
+    pub(crate) nodes: Vec<Node>,
+    /// Barrier scopes: one `(lane range, barrier set)` per job. A single
+    /// machine-wide group unless [`Machine::run_jobs`] installed several.
+    pub(crate) barrier_groups: Vec<(std::ops::Range<usize>, BarrierSet)>,
+    pub(crate) locks: LockSet,
+    pub(crate) dyn_homes: HashMap<GlobalPage, NodeId>,
+    pub(crate) ipc: GlobalIpc,
+    pub(crate) homes: HomeMap,
+    pub(crate) ledger: TrafficLedger,
+    pub(crate) stats: MachineStats,
+    pub(crate) shadow: Option<Shadow>,
+    workload_name: String,
+}
+
+impl Machine {
+    /// Assembles an idle machine.
+    pub fn new(cfg: MachineConfig) -> Machine {
+        cfg.validate();
+        let homes = HomeMap::new(cfg.nodes as u16);
+        let nodes = (0..cfg.nodes)
+            .map(|n| {
+                let kcfg = KernelConfig {
+                    real_frames: cfg.frames_per_node,
+                    page_cache_capacity: cfg.page_cache_capacity,
+                    policy: cfg.policy,
+                    home_status_flag: cfg.home_status_flag,
+                    renuma_threshold: cfg.renuma_threshold,
+                };
+                let kernel = Kernel::new(NodeId(n as u16), kcfg, homes.clone(), cfg.geometry);
+                Node::new(NodeId(n as u16), &cfg, kernel)
+            })
+            .collect();
+        let total = cfg.total_procs();
+        let shadow = cfg.check_coherence.then(Shadow::new);
+        Machine {
+            cfg,
+            nodes,
+            barrier_groups: vec![(0..total, BarrierSet::new(total))],
+            locks: LockSet::new(),
+            dyn_homes: HashMap::new(),
+            ipc: GlobalIpc::new(),
+            homes,
+            ledger: TrafficLedger::new(),
+            stats: MachineStats::default(),
+            shadow,
+            workload_name: String::new(),
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    pub(crate) fn ppn(&self) -> usize {
+        self.cfg.procs_per_node
+    }
+
+    pub(crate) fn split_flat(&self, flat: usize) -> (usize, usize) {
+        (flat / self.ppn(), flat % self.ppn())
+    }
+
+    pub(crate) fn flat(&self, node: usize, proc: usize) -> usize {
+        node * self.ppn() + proc
+    }
+
+    /// Processor id range of a node, for shadow freshness queries.
+    pub(crate) fn node_proc_range(&self, node: usize) -> std::ops::Range<u16> {
+        let base = (node * self.ppn()) as u16;
+        base..base + self.ppn() as u16
+    }
+
+    /// Kills a processor (fault containment): it stops executing, its
+    /// application is considered terminated, and its synchronization
+    /// footprint is cleaned up so survivors are not deadlocked — it is
+    /// withdrawn from all barriers (releasing any now-complete episode)
+    /// and its held locks pass to the next waiters.
+    pub(crate) fn kill_proc(&mut self, n: usize, pi: usize) {
+        if self.nodes[n].procs[pi].state == ProcState::Dead {
+            return;
+        }
+        self.nodes[n].procs[pi].state = ProcState::Dead;
+        self.stats.dead_procs += 1;
+        let flat = self.flat(n, pi);
+        let now = self.nodes[n].procs[pi].clock;
+        let group = self.barrier_group_of(flat);
+        if self.barrier_groups[group].1.participants() > 1 {
+            for outcome in self.barrier_groups[group].1.remove_participant(flat) {
+                if let BarrierOutcome::Release { waiters, release_at } = outcome {
+                    for w in waiters {
+                        let (wn, wpi) = self.split_flat(w);
+                        let wp = &mut self.nodes[wn].procs[wpi];
+                        if wp.state == ProcState::Blocked {
+                            wp.clock = release_at;
+                            wp.state = ProcState::Ready;
+                        }
+                    }
+                }
+            }
+        }
+        for (_lock, next, grant) in self.locks.release_all_held_by(flat, now) {
+            let (wn, wpi) = self.split_flat(next);
+            let wp = &mut self.nodes[wn].procs[wpi];
+            if wp.state == ProcState::Blocked {
+                wp.clock = grant + Cycle(self.cfg.latency.sync_op);
+                wp.state = ProcState::Ready;
+            }
+        }
+    }
+
+    /// Processors in `range` that can still execute.
+    fn live_in_range(&self, range: std::ops::Range<usize>) -> usize {
+        range
+            .filter(|&flat| {
+                let (n, pi) = self.split_flat(flat);
+                self.nodes[n].procs[pi].state != ProcState::Dead
+            })
+            .count()
+    }
+
+    /// The user-level page-mode suggestion system call (paper §3.3: "The
+    /// OS also provides a system call for the user to suggest the desired
+    /// mode"): future faults on `gpage` at `node` allocate the suggested
+    /// mode. Takes effect at the next fault; an existing mapping is not
+    /// disturbed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mode is not a shared client mode (S-COMA or
+    /// LA-NUMA).
+    pub fn suggest_page_mode(
+        &mut self,
+        node: prism_mem::addr::NodeId,
+        gpage: GlobalPage,
+        mode: prism_mem::mode::FrameMode,
+    ) {
+        assert!(
+            mode.is_shared(),
+            "only S-COMA or LA-NUMA can be suggested for shared pages"
+        );
+        self.nodes[node.0 as usize].kernel.set_mode_pref(gpage, mode);
+    }
+
+    /// Suggests a mode for every page of a virtual address range on
+    /// every node (the common "this region is streaming" use).
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`Machine::suggest_page_mode`] does, or if the range is
+    /// not bound to a global segment.
+    pub fn suggest_region_mode(
+        &mut self,
+        va_base: u64,
+        bytes: u64,
+        mode: prism_mem::mode::FrameMode,
+    ) {
+        let geom = self.cfg.geometry;
+        let pages = geom.pages_for(bytes);
+        for p in 0..pages {
+            let va = prism_mem::addr::VirtAddr(va_base + p * geom.page_bytes());
+            let gp = self.nodes[0]
+                .kernel
+                .resolve(va)
+                .unwrap_or_else(|| panic!("{va} is not bound to a global segment"));
+            for n in 0..self.cfg.nodes {
+                self.nodes[n].kernel.set_mode_pref(gp, mode);
+            }
+        }
+    }
+
+    /// Restricts a segment's pages to a node range (OS page placement;
+    /// also applied automatically per job by [`Machine::run_jobs`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or exceeds the machine.
+    pub fn place_segment(&mut self, gsid: u32, first_node: u16, node_count: u16) {
+        self.homes.place_segment(gsid, first_node, node_count);
+        for node in &mut self.nodes {
+            node.kernel.place_segment(gsid, first_node, node_count);
+        }
+    }
+
+    /// The index of the barrier group containing processor `flat`.
+    pub(crate) fn barrier_group_of(&self, flat: usize) -> usize {
+        self.barrier_groups
+            .iter()
+            .position(|(range, _)| range.contains(&flat))
+            .expect("every processor belongs to a barrier group")
+    }
+
+    /// Resolves a page's current dynamic home (defaults to the static
+    /// home).
+    pub(crate) fn resolve_dyn_home(&self, gpage: GlobalPage) -> NodeId {
+        self.dyn_homes
+            .get(&gpage)
+            .copied()
+            .unwrap_or_else(|| self.homes.static_home(gpage))
+    }
+
+    /// Sends a message: NI occupancy at both ends plus wire latency.
+    /// Returns the delivery time. `from == to` is a node-local step and
+    /// costs nothing.
+    pub(crate) fn send(&mut self, from: usize, to: usize, kind: MsgKind, t: Cycle) -> Cycle {
+        if from == to {
+            return t;
+        }
+        let lat = self.cfg.latency;
+        // NIs are pipelined: occupancy limits throughput, the full NI
+        // latency is charged additively.
+        let t1 = self.nodes[from].ni.acquire(t, Cycle(lat.ni_occupancy)) + Cycle(lat.ni);
+        let t2 = t1 + Cycle(lat.net);
+        let t3 = self.nodes[to].ni.acquire(t2, Cycle(lat.ni_occupancy)) + Cycle(lat.ni);
+        self.ledger.record(kind, NodeId(from as u16), NodeId(to as u16));
+        t3
+    }
+
+    /// Posts a message whose completion nobody waits on (overlapped
+    /// invalidations, posted writebacks): reserves NI occupancy and
+    /// records it, without returning a delivery time.
+    pub(crate) fn post_send(&mut self, from: usize, to: usize, kind: MsgKind, t: Cycle) {
+        if from == to {
+            return;
+        }
+        let lat = self.cfg.latency;
+        let arrive =
+            self.nodes[from].ni.acquire(t, Cycle(lat.ni_occupancy)) + Cycle(lat.ni + lat.net);
+        self.nodes[to].ni.acquire(arrive, Cycle(lat.ni_occupancy));
+        self.ledger.record(kind, NodeId(from as u16), NodeId(to as u16));
+    }
+
+    /// Line-addressing helper: the node-local cache key of a line.
+    pub(crate) fn line_key(&self, frame: FrameNo, line: LineIdx) -> u64 {
+        frame.0 as u64 * self.cfg.geometry.lines_per_page() as u64 + line.0 as u64
+    }
+
+    /// Loads a trace: registers segments with the IPC server and attaches
+    /// them on every kernel (identical virtual addresses on every node).
+    fn load(&mut self, trace: &Trace) {
+        assert_eq!(
+            trace.lanes.len(),
+            self.cfg.total_procs(),
+            "trace was generated for {} processors, machine has {}",
+            trace.lanes.len(),
+            self.cfg.total_procs()
+        );
+        self.workload_name = trace.name.clone();
+        let live = self.live_in_range(0..self.cfg.total_procs());
+        self.barrier_groups = vec![(0..self.cfg.total_procs(), BarrierSet::new(live.max(1)))];
+        // Re-running on a warm machine (e.g. after a home page-out):
+        // lane positions restart; caches, kernels, clocks, and statistics
+        // carry over. Dead processors stay dead.
+        for node in &mut self.nodes {
+            for p in &mut node.procs {
+                p.pc = 0;
+                if p.state != ProcState::Dead {
+                    p.state = ProcState::Ready;
+                }
+            }
+        }
+        for (i, seg) in trace.segments.iter().enumerate() {
+            let pages = self.cfg.geometry.pages_for(seg.bytes) as u32;
+            let gsid = self.ipc.shmget(i as u64, pages);
+            for _ in 0..self.cfg.total_procs() {
+                self.ipc.shmat(gsid);
+            }
+        }
+        for node in &mut self.nodes {
+            node.kernel.attach_segments(&trace.segments);
+        }
+    }
+
+    /// Runs a trace to completion and reports results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace's lane count mismatches the machine, or if the
+    /// trace deadlocks (blocked processors that can never be released).
+    pub fn run(&mut self, trace: &Trace) -> RunReport {
+        self.load(trace);
+        self.run_loop(trace);
+        self.finalize_report()
+    }
+
+    fn run_loop(&mut self, trace: &Trace) {
+        loop {
+            // Earliest runnable processor (deterministic tie-break on id).
+            let mut best: Option<(Cycle, usize)> = None;
+            let mut bound = Cycle::NEVER;
+            for flat in 0..self.cfg.total_procs() {
+                let (n, pi) = self.split_flat(flat);
+                let p = &self.nodes[n].procs[pi];
+                if p.state == ProcState::Ready {
+                    match best {
+                        None => best = Some((p.clock, flat)),
+                        Some((c, _)) if p.clock < c => {
+                            bound = bound.min(c);
+                            best = Some((p.clock, flat));
+                        }
+                        Some(_) => bound = bound.min(p.clock),
+                    }
+                }
+            }
+            let Some((_, flat)) = best else {
+                break;
+            };
+            // Execute a batch of operations while this processor remains
+            // the earliest runnable one.
+            for _ in 0..256 {
+                let (n, pi) = self.split_flat(flat);
+                if self.nodes[n].procs[pi].state != ProcState::Ready {
+                    break;
+                }
+                let pc = self.nodes[n].procs[pi].pc;
+                let Some(&op) = trace.lanes[flat].get(pc) else {
+                    self.nodes[n].procs[pi].state = ProcState::Finished;
+                    break;
+                };
+                let is_sync = matches!(op, Op::Barrier(_) | Op::Lock(_) | Op::Unlock(_));
+                self.exec_op(flat, op);
+                if is_sync || self.nodes[n].procs[pi].clock > bound {
+                    break;
+                }
+            }
+        }
+        // Everyone must be Finished or Dead; anything Blocked means the
+        // trace deadlocked.
+        for flat in 0..self.cfg.total_procs() {
+            let (n, pi) = self.split_flat(flat);
+            let st = self.nodes[n].procs[pi].state;
+            assert!(
+                st == ProcState::Finished || st == ProcState::Dead,
+                "processor {flat} ended in state {st:?}: trace deadlock"
+            );
+        }
+    }
+
+    /// Runs several independent jobs side by side on this machine
+    /// (space sharing): each job's lanes occupy a contiguous block of
+    /// processors, its segments are relocated to a private range of the
+    /// global address space, and its barriers are scoped to its own
+    /// lanes. Fault containment means a failure taking down one job's
+    /// resources leaves the others running.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined lane count mismatches the machine or a job
+    /// is malformed.
+    pub fn run_jobs(&mut self, jobs: &[prism_mem::trace::Trace]) -> RunReport {
+        let (combined, groups) = prism_mem::trace::compose_jobs(jobs, &self.cfg.geometry);
+        // Which combined-segment indices (= gsids) belong to each job.
+        let mut segment_groups: Vec<Vec<u32>> = Vec::new();
+        let mut next_gsid = 0u32;
+        for job in jobs {
+            let ids: Vec<u32> = (next_gsid..next_gsid + job.segments.len() as u32).collect();
+            next_gsid += job.segments.len() as u32;
+            segment_groups.push(ids);
+        }
+        assert_eq!(
+            combined.lanes.len(),
+            self.cfg.total_procs(),
+            "jobs declare {} lanes but the machine has {} processors",
+            combined.lanes.len(),
+            self.cfg.total_procs()
+        );
+        self.load(&combined);
+        // OS page placement: each job's segments are homed on the job's
+        // own nodes, so jobs are independent failure units (paper §1).
+        let ppn = self.ppn();
+        for (gsids, lanes) in segment_groups.iter().zip(groups.iter()) {
+            let first_node = (lanes.start / ppn) as u16;
+            let node_count = (lanes.end.div_ceil(ppn) - lanes.start / ppn) as u16;
+            for &gsid in gsids {
+                self.place_segment(gsid, first_node, node_count);
+            }
+        }
+        self.barrier_groups = groups
+            .into_iter()
+            .map(|range| {
+                let participants = self.live_in_range(range.clone()).max(1);
+                (range, BarrierSet::new(participants))
+            })
+            .collect();
+        self.run_loop(&combined);
+        self.finalize_report()
+    }
+
+    fn exec_op(&mut self, flat: usize, op: Op) {
+        let (n, pi) = self.split_flat(flat);
+        match op {
+            Op::Compute(c) => {
+                self.nodes[n].procs[pi].clock += Cycle(c as u64);
+                self.nodes[n].procs[pi].pc += 1;
+            }
+            Op::Read(va) => {
+                self.access(n, pi, va, false);
+                self.nodes[n].procs[pi].pc += 1;
+            }
+            Op::Write(va) => {
+                self.access(n, pi, va, true);
+                self.nodes[n].procs[pi].pc += 1;
+            }
+            Op::Barrier(id) => {
+                let t = self.nodes[n].procs[pi].clock + Cycle(self.cfg.latency.sync_op);
+                self.nodes[n].procs[pi].pc += 1;
+                let group = self.barrier_group_of(flat);
+                match self.barrier_groups[group].1.arrive(id, flat, t) {
+                    BarrierOutcome::Wait => {
+                        self.nodes[n].procs[pi].state = ProcState::Blocked;
+                    }
+                    BarrierOutcome::Release { waiters, release_at } => {
+                        self.nodes[n].procs[pi].clock = release_at;
+                        for w in waiters {
+                            let (wn, wpi) = self.split_flat(w);
+                            let wp = &mut self.nodes[wn].procs[wpi];
+                            // Dead processors stay dead even if a barrier
+                            // would have released them.
+                            if wp.state == ProcState::Blocked {
+                                wp.clock = release_at;
+                                wp.state = ProcState::Ready;
+                            }
+                        }
+                    }
+                }
+            }
+            Op::Lock(id) => {
+                // Locks live on synchronization pages (Sync frame mode,
+                // paper §3.1): each lock is homed round-robin and the
+                // controller there runs the queueing protocol.
+                let lat = self.cfg.latency;
+                let lock_home = id as usize % self.cfg.nodes;
+                let t = self.nodes[n].procs[pi].clock + Cycle(lat.sync_op);
+                self.nodes[n].procs[pi].pc += 1;
+                let t_req = if lock_home == n {
+                    t
+                } else {
+                    self.send(n, lock_home, MsgKind::LockReq, t) + Cycle(lat.dispatch)
+                };
+                match self.locks.acquire(id, flat, t_req) {
+                    LockOutcome::Acquired { at } => {
+                        let granted = self.send(lock_home, n, MsgKind::LockGrant, at);
+                        self.nodes[n].procs[pi].clock = granted;
+                    }
+                    LockOutcome::Queued => {
+                        self.nodes[n].procs[pi].state = ProcState::Blocked;
+                    }
+                }
+            }
+            Op::Unlock(id) => {
+                let lat = self.cfg.latency;
+                let lock_home = id as usize % self.cfg.nodes;
+                let t = self.nodes[n].procs[pi].clock + Cycle(lat.sync_op);
+                // The releaser does not wait for the home to process the
+                // release; the hand-off timing does.
+                self.nodes[n].procs[pi].clock = t;
+                self.nodes[n].procs[pi].pc += 1;
+                let t_rel = if lock_home == n {
+                    t
+                } else {
+                    self.send(n, lock_home, MsgKind::LockRelease, t) + Cycle(lat.dispatch)
+                };
+                if let Some((next, grant)) = self.locks.release(id, flat, t_rel) {
+                    let (wn, wpi) = self.split_flat(next);
+                    let granted = self.send(lock_home, wn, MsgKind::LockGrant, grant);
+                    let wp = &mut self.nodes[wn].procs[wpi];
+                    if wp.state == ProcState::Blocked {
+                        wp.clock = granted + Cycle(lat.sync_op);
+                        wp.state = ProcState::Ready;
+                    }
+                }
+            }
+        }
+    }
+
+    fn finalize_report(&mut self) -> RunReport {
+        let mut exec = Cycle::ZERO;
+        let (mut l1h, mut l1m, mut l2h, mut l2m) = (0, 0, 0, 0);
+        for node in &self.nodes {
+            for p in &node.procs {
+                if !p.clock.is_never() {
+                    exec = exec.max(p.clock);
+                }
+                let s1 = p.l1.stats();
+                let s2 = p.l2.stats();
+                l1h += s1.hits;
+                l1m += s1.misses;
+                l2h += s2.hits;
+                l2m += s2.misses;
+            }
+        }
+        let mut per_node = Vec::with_capacity(self.nodes.len());
+        let (mut frames, mut util_num) = (0u64, 0.0f64);
+        let (mut f_priv, mut f_home, mut f_client, mut f_contact) = (0, 0, 0, 0);
+        let (mut pouts, mut convs, mut reconvs) = (0, 0, 0);
+        for node in &mut self.nodes {
+            let (instances, utilization) = node.kernel.finalize_usage();
+            let ks = node.kernel.stats();
+            f_priv += ks.faults_private;
+            f_home += ks.faults_home;
+            f_client += ks.faults_client;
+            f_contact += ks.faults_contacting_home;
+            pouts += ks.page_outs;
+            convs += ks.conversions_to_lanuma;
+            reconvs += ks.conversions_to_scoma;
+            frames += instances;
+            util_num += utilization * instances as f64;
+            per_node.push(NodeReport {
+                pool: node.kernel.pool_stats(),
+                kernel: ks,
+                frame_instances: instances,
+                utilization,
+                pit_guess_hits: node.controller.pit.guess_hits(),
+                pit_hash_lookups: node.controller.pit.hash_lookups(),
+                dir_cache_hits: node.controller.dir_cache.hits(),
+                dir_cache_misses: node.controller.dir_cache.misses(),
+                bus_busy: node.bus.busy_cycles(),
+                ni_busy: node.ni.busy_cycles(),
+                bus_wait: node.bus.wait_cycles(),
+                ni_wait: node.ni.wait_cycles(),
+                engine_wait: node.engine.wait_cycles(),
+                memory_wait: node.memory.wait_cycles(),
+            });
+        }
+        RunReport {
+            workload: self.workload_name.clone(),
+            exec_cycles: exec,
+            total_refs: self.stats.total_refs,
+            l1_hits: l1h,
+            l1_misses: l1m,
+            l2_hits: l2h,
+            l2_misses: l2m,
+            remote_misses: self.stats.remote_misses,
+            remote_upgrades: self.stats.remote_upgrades,
+            local_fills: self.stats.local_fills,
+            sibling_fills: self.stats.sibling_fills,
+            page_outs: pouts,
+            page_out_lines: self.stats.page_out_lines,
+            home_page_outs: self.stats.home_page_outs,
+            conversions_to_lanuma: convs,
+            conversions_to_scoma: reconvs,
+            faults: (f_priv, f_home, f_client),
+            faults_contacting_home: f_contact,
+            invalidations: self.stats.invalidations,
+            remote_writebacks: self.stats.remote_writebacks,
+            migrations: self.stats.migrations,
+            forwards: self.stats.forwards,
+            firewall_rejections: self.stats.firewall_rejections,
+            dead_procs: self.stats.dead_procs,
+            barrier_episodes: self.barrier_groups.iter().map(|(_, b)| b.episodes()).sum(),
+            lock_acquisitions: (self.locks.acquisitions(), self.locks.contended()),
+            frames_allocated: frames,
+            avg_utilization: if frames == 0 { 0.0 } else { util_num / frames as f64 },
+            ledger: self.ledger.clone(),
+            local_fill_latency: self.stats.local_fill_latency.clone(),
+            remote_fetch_latency: self.stats.remote_fetch_latency.clone(),
+            fault_latency: self.stats.fault_latency.clone(),
+            per_node,
+            reads_checked: self.shadow.as_ref().map(|s| s.reads_checked).unwrap_or(0),
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Lazy dynamic-home migration (paper §3.5).
+//!
+//! Migration involves only the static home and the old and new dynamic
+//! homes; clients are *not* notified. Their PIT entries keep pointing at
+//! the old home until their next request is forwarded (via the static
+//! home) and the reply teaches them the new location.
+
+use prism_mem::addr::{GlobalPage, LineIdx, NodeId};
+use prism_mem::directory::LineDir;
+use prism_mem::mode::FrameMode;
+use prism_mem::pit::PitEntry;
+use prism_mem::tags::LineTag;
+use prism_protocol::msg::MsgKind;
+use prism_sim::Cycle;
+
+use crate::machine::Machine;
+
+impl Machine {
+    /// Moves the dynamic home of `gpage` from node `old` to node `new`.
+    ///
+    /// The transfer is modeled as control messages among the static home
+    /// and the two dynamic homes plus one bulk page-data message; no
+    /// client is contacted and no TLB outside the two homes is touched.
+    pub(crate) fn migrate_page(&mut self, gpage: GlobalPage, old: usize, new: usize, t: Cycle) {
+        if old == new || self.nodes[new].failed {
+            return;
+        }
+        let static_home = self.homes.static_home(gpage).0 as usize;
+        let lpp = self.cfg.geometry.lines_per_page();
+
+        // Control: static home coordinates the ownership transfer.
+        self.post_send(old, static_home, MsgKind::MigrateCtl, t);
+        self.post_send(static_home, new, MsgKind::MigrateCtl, t);
+
+        // If the new home currently holds the page as a *client*, retire
+        // that client mapping first (its data is flushed home by the
+        // page-out, so the bulk transfer below carries fresh data).
+        if let Some(cp) = self.nodes[new].kernel.client_page(gpage) {
+            let evict = prism_kernel::kernel::EvictOrder {
+                gpage,
+                frame: cp.frame,
+                vpage: cp.vpage,
+                convert_to_lanuma: false,
+            };
+            self.page_out_client(new, evict, t);
+        } else {
+            // An LA-NUMA mapping at the new home: drop it (caches, node
+            // state, PIT, page table, TLB).
+            let lanuma_frame = self.nodes[new]
+                .controller
+                .pit
+                .frame_of(gpage)
+                .filter(|f| f.is_imaginary());
+            if let Some(frame) = lanuma_frame {
+                self.drop_lanuma_mapping(new, gpage, frame);
+            }
+        }
+
+        // Move the directory state and the page data.
+        let mut pd = self.nodes[old]
+            .controller
+            .dir
+            .page_out(gpage)
+            .expect("migrating page is resident at the old home");
+        self.post_send(old, new, MsgKind::PageData, t);
+
+        // The old home gives up residency: drop its own cached copies,
+        // its PIT entry, tags, and any virtual mapping it had.
+        let old_frame = pd.home_frame;
+        let base_key = self.line_key(old_frame, LineIdx(0));
+        for spi in 0..self.ppn() {
+            let flat = self.flat(old, spi) as u16;
+            for (key, dirty) in self.nodes[old].procs[spi].l2.invalidate_range(base_key, lpp as u64) {
+                let l1_dirty = self.nodes[old].procs[spi].l1.invalidate(key).unwrap_or(false);
+                if dirty || l1_dirty {
+                    // Fold the processor's dirty copy into the old home's
+                    // memory so the bulk transfer carries current data.
+                    if let Some(sh) = self.shadow.as_mut() {
+                        if let Some(lid) = sh.lid_for(old as u16, key) {
+                            sh.writeback(flat, old as u16, lid);
+                        }
+                    }
+                }
+                if let Some(sh) = self.shadow.as_mut() {
+                    if let Some(lid) = sh.lid_for(old as u16, key) {
+                        sh.drop_proc(flat, lid);
+                    }
+                }
+            }
+            for (key, dirty) in self.nodes[old].procs[spi].l1.invalidate_range(base_key, lpp as u64) {
+                if let Some(sh) = self.shadow.as_mut() {
+                    if let Some(lid) = sh.lid_for(old as u16, key) {
+                        if dirty {
+                            sh.writeback(flat, old as u16, lid);
+                        }
+                        sh.drop_proc(flat, lid);
+                    }
+                }
+            }
+        }
+        self.nodes[old].controller.pit.remove(old_frame);
+        self.nodes[old].controller.tags.deallocate(old_frame);
+        // Unmap the old home's own virtual mapping, if its processors
+        // were using the page (they will refault as clients).
+        let vpage = self.vpage_of_shared(old, gpage);
+        if let Some(vp) = vpage {
+            self.nodes[old].kernel.unmap_shared_vpage(vp);
+            for spi in 0..self.ppn() {
+                self.nodes[old].procs[spi].tlb.invalidate(vp);
+            }
+        }
+        self.nodes[old].kernel.release_home_residency(gpage);
+
+        // The new home adopts: fresh frame, PIT entry, tags derived from
+        // the directory, directory installed.
+        let (new_frame, newly) = self.nodes[new].kernel.ensure_home_resident(gpage);
+        assert!(newly, "new home cannot already be home-resident");
+        pd.home_frame = new_frame;
+        let entry = PitEntry {
+            gpage,
+            mode: FrameMode::Scoma,
+            static_home: NodeId(static_home as u16),
+            dyn_home: NodeId(new as u16),
+            home_frame_hint: Some(new_frame),
+            caps: prism_mem::pit::Caps::AllNodes,
+        };
+        self.nodes[new].controller.pit.insert(new_frame, entry);
+        self.nodes[new].controller.tags.allocate(new_frame, LineTag::Shared);
+        for l in 0..lpp {
+            let li = LineIdx(l as u16);
+            let tag = match pd.line(li) {
+                LineDir::Owned(_) => LineTag::Invalid,
+                LineDir::Shared(_) => LineTag::Shared,
+                LineDir::Uncached => LineTag::Exclusive,
+            };
+            self.nodes[new].controller.tags.set(new_frame, li, tag);
+        }
+        self.nodes[new].controller.dir.adopt(gpage, pd);
+
+        // Shadow: the page data moved old → new.
+        if self.shadow.is_some() {
+            if let Some(vp) = self.shared_vpage_value(gpage) {
+                let lid_base = vp << (self.cfg.geometry.page_log2() - self.cfg.geometry.line_log2());
+                for l in 0..lpp as u64 {
+                    if let Some(sh) = self.shadow.as_mut() {
+                        sh.copy_node_to_node(old as u16, new as u16, lid_base + l);
+                        sh.drop_node(old as u16, lid_base + l);
+                    }
+                }
+            }
+        }
+
+        // Publish the new dynamic home at the static home.
+        self.dyn_homes.insert(gpage, NodeId(new as u16));
+        self.stats.migrations += 1;
+    }
+
+    /// Drops an LA-NUMA client mapping at a node (used when the node
+    /// becomes the page's home).
+    pub(crate) fn drop_lanuma_mapping(&mut self, n: usize, gpage: GlobalPage, frame: prism_mem::addr::FrameNo) {
+        let lpp = self.cfg.geometry.lines_per_page() as u64;
+        let base_key = self.line_key(frame, LineIdx(0));
+        // Dirty LA-NUMA lines must reach the (old) home before the frame
+        // disappears.
+        for spi in 0..self.ppn() {
+            let flat = self.flat(n, spi) as u16;
+            let removed = self.nodes[n].procs[spi].l2.invalidate_range(base_key, lpp);
+            for (key, dirty) in removed {
+                self.nodes[n].procs[spi].l1.invalidate(key);
+                if dirty {
+                    let lid = self
+                        .shadow
+                        .as_ref()
+                        .and_then(|sh| sh.lid_for(n as u16, key))
+                        .unwrap_or(0);
+                    let t = self.nodes[n].procs[spi].clock;
+                    self.lanuma_posted_writeback(n, key, lid, flat, t);
+                }
+                if let Some(sh) = self.shadow.as_mut() {
+                    if let Some(lid) = sh.lid_for(n as u16, key) {
+                        sh.drop_proc(flat, lid);
+                    }
+                }
+            }
+            self.nodes[n].procs[spi].l1.invalidate_range(base_key, lpp);
+        }
+        self.nodes[n].controller.clear_lanuma_frame(frame);
+        self.nodes[n].controller.pit.remove(frame);
+        if let Some(vp) = self.vpage_of_shared(n, gpage) {
+            self.nodes[n].kernel.unmap_lanuma(vp);
+            for spi in 0..self.ppn() {
+                self.nodes[n].procs[spi].tlb.invalidate(vp);
+            }
+        }
+    }
+
+    /// The virtual page a node maps `gpage` at, if it has a mapping.
+    /// (Shared segments attach at identical addresses, so this is a
+    /// machine-wide property; we consult the node's page table through
+    /// the global attach layout.)
+    pub(crate) fn vpage_of_shared(&self, n: usize, gpage: GlobalPage) -> Option<u64> {
+        let vp = self.shared_vpage_value(gpage)?;
+        self.nodes[n].kernel.lookup(vp).map(|_| vp)
+    }
+
+    /// The (machine-wide) virtual page number of a global page, derived
+    /// from the segment attachments.
+    pub(crate) fn shared_vpage_value(&self, gpage: GlobalPage) -> Option<u64> {
+        // All nodes attach identically; consult node 0's segment table.
+        let kernel = &self.nodes[0].kernel;
+        // Find the attachment for this gsid via the kernel's resolver:
+        // scan attachments through the public iterator on the trace
+        // layout is not available here, so reconstruct from the segment
+        // table by probing. The segment table is small.
+        kernel.shared_vpage(gpage, &self.cfg.geometry)
+    }
+}

@@ -1,0 +1,176 @@
+//! Simulation results.
+
+use std::fmt;
+
+use prism_kernel::kernel::KernelStats;
+use prism_mem::frames::PoolStats;
+use prism_protocol::msg::TrafficLedger;
+use prism_sim::stats::Histogram;
+use prism_sim::Cycle;
+
+/// Per-node results.
+#[derive(Clone, Debug)]
+pub struct NodeReport {
+    /// Cumulative frame-pool allocation statistics.
+    pub pool: PoolStats,
+    /// Kernel event counters.
+    pub kernel: KernelStats,
+    /// Real frame instances allocated (utilization denominators).
+    pub frame_instances: u64,
+    /// Average fraction of lines touched per allocated frame.
+    pub utilization: f64,
+    /// PIT reverse translations satisfied by message hints.
+    pub pit_guess_hits: u64,
+    /// PIT reverse translations that searched the hash structure.
+    pub pit_hash_lookups: u64,
+    /// Directory-cache hits.
+    pub dir_cache_hits: u64,
+    /// Directory-cache misses.
+    pub dir_cache_misses: u64,
+    /// Bus busy cycles.
+    pub bus_busy: u64,
+    /// Network-interface busy cycles.
+    pub ni_busy: u64,
+    /// Cycles requests waited on the bus.
+    pub bus_wait: u64,
+    /// Cycles messages waited at the network interface.
+    pub ni_wait: u64,
+    /// Cycles requests waited for the coherence engine.
+    pub engine_wait: u64,
+    /// Cycles requests waited for memory banks.
+    pub memory_wait: u64,
+}
+
+/// Machine-wide results of one simulation run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Workload name.
+    pub workload: String,
+    /// Execution time: the latest processor finish time.
+    pub exec_cycles: Cycle,
+    /// Total memory references executed.
+    pub total_refs: u64,
+    /// L1 hits / misses summed over processors.
+    pub l1_hits: u64,
+    /// L1 misses summed over processors.
+    pub l1_misses: u64,
+    /// L2 hits summed over processors.
+    pub l2_hits: u64,
+    /// L2 misses summed over processors.
+    pub l2_misses: u64,
+    /// Misses that fetched data from a *remote* node (the paper's
+    /// "remote misses", Tables 4 and 5).
+    pub remote_misses: u64,
+    /// Ownership upgrades that crossed the network without data.
+    pub remote_upgrades: u64,
+    /// Misses satisfied by local memory or the local page cache.
+    pub local_fills: u64,
+    /// Misses satisfied by another processor on the same node.
+    pub sibling_fills: u64,
+    /// Client page-outs (paper Tables 4 and 5).
+    pub page_outs: u64,
+    /// Dirty lines flushed by page-outs.
+    pub page_out_lines: u64,
+    /// Pages paged out at their home node (with client notification and
+    /// flag resets, paper §3.3).
+    pub home_page_outs: u64,
+    /// Pages converted to LA-NUMA mode by adaptive policies.
+    pub conversions_to_lanuma: u64,
+    /// LA-NUMA pages converted back to S-COMA by the two-directional
+    /// policy (Reactive-NUMA reuse detection).
+    pub conversions_to_scoma: u64,
+    /// Page faults (private, home, client).
+    pub faults: (u64, u64, u64),
+    /// Client faults that messaged the home.
+    pub faults_contacting_home: u64,
+    /// Invalidation messages sent.
+    pub invalidations: u64,
+    /// LA-NUMA dirty writebacks to remote homes.
+    pub remote_writebacks: u64,
+    /// Dynamic-home migrations performed.
+    pub migrations: u64,
+    /// Requests forwarded because a client's dynamic-home hint was stale.
+    pub forwards: u64,
+    /// Remote accesses rejected by the PIT firewall.
+    pub firewall_rejections: u64,
+    /// Processors killed by fault containment.
+    pub dead_procs: u64,
+    /// Barrier episodes completed.
+    pub barrier_episodes: u64,
+    /// Lock acquisitions (and how many found the lock held).
+    pub lock_acquisitions: (u64, u64),
+    /// All real frames allocated (instances), machine-wide.
+    pub frames_allocated: u64,
+    /// Average frame utilization, machine-wide.
+    pub avg_utilization: f64,
+    /// Message counts by kind.
+    pub ledger: TrafficLedger,
+    /// Latency distribution of misses filled locally.
+    pub local_fill_latency: Histogram,
+    /// Latency distribution of remote fetches.
+    pub remote_fetch_latency: Histogram,
+    /// Latency distribution of page faults.
+    pub fault_latency: Histogram,
+    /// Per-node details.
+    pub per_node: Vec<NodeReport>,
+    /// Reads verified by the coherence checker (0 when disabled).
+    pub reads_checked: u64,
+}
+
+impl RunReport {
+    /// Remote misses plus upgrades: all accesses that crossed the network.
+    pub fn network_accesses(&self) -> u64 {
+        self.remote_misses + self.remote_upgrades
+    }
+
+    /// Total faults of all classes.
+    pub fn total_faults(&self) -> u64 {
+        self.faults.0 + self.faults.1 + self.faults.2
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "── {} ──", self.workload)?;
+        writeln!(f, "  exec cycles        {}", self.exec_cycles.as_u64())?;
+        writeln!(f, "  memory refs        {}", self.total_refs)?;
+        writeln!(
+            f,
+            "  L1 {}/{}  L2 {}/{} (hits/misses)",
+            self.l1_hits, self.l1_misses, self.l2_hits, self.l2_misses
+        )?;
+        writeln!(
+            f,
+            "  fills: local {}  sibling {}  remote {} (+{} upgrades)",
+            self.local_fills, self.sibling_fills, self.remote_misses, self.remote_upgrades
+        )?;
+        writeln!(
+            f,
+            "  faults: {} private, {} home, {} client ({} contacted home)",
+            self.faults.0, self.faults.1, self.faults.2, self.faults_contacting_home
+        )?;
+        writeln!(
+            f,
+            "  page-outs {}  ({} dirty lines)  conversions {} (→LA-NUMA) / {} (→S-COMA)",
+            self.page_outs, self.page_out_lines, self.conversions_to_lanuma, self.conversions_to_scoma
+        )?;
+        writeln!(
+            f,
+            "  frames {}  utilization {:.3}",
+            self.frames_allocated, self.avg_utilization
+        )?;
+        writeln!(
+            f,
+            "  invals {}  remote wb {}  migrations {}  forwards {}",
+            self.invalidations, self.remote_writebacks, self.migrations, self.forwards
+        )?;
+        writeln!(f, "  messages {}", self.ledger.total())?;
+        write!(
+            f,
+            "  mean latencies: local {:.0}cy, remote {:.0}cy, fault {:.0}cy",
+            self.local_fill_latency.mean(),
+            self.remote_fetch_latency.mean(),
+            self.fault_latency.mean()
+        )
+    }
+}

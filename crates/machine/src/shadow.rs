@@ -1,0 +1,301 @@
+//! Optional data-version tracking: asserts that every simulated read
+//! observes the most recent write to its line.
+//!
+//! The simulator is timing/metadata only — no data moves — so protocol
+//! bugs (a missing invalidation, a stale tag) would otherwise be
+//! invisible. With checking enabled, every line carries a version number
+//! that is bumped on writes and propagated along every data movement the
+//! protocol performs (fills, interventions, writebacks, page-outs). A
+//! read that observes anything other than the latest version panics with
+//! a diagnostic.
+//!
+//! Lines are identified by their *virtual* line address (`va >> line_log2`),
+//! which is a stable global identity: shared segments attach at identical
+//! virtual addresses on every processor (paper §3.3) and private regions
+//! are disjoint per processor.
+
+use std::collections::HashMap;
+
+/// The version-tracking state (enabled by
+/// [`crate::config::MachineConfig::check_coherence`]).
+#[derive(Clone, Debug, Default)]
+pub struct Shadow {
+    /// Latest version written, per line id. Missing = 0 (initial data).
+    latest: HashMap<u64, u64>,
+    /// Version held in a processor's cache hierarchy (L1/L2 together).
+    proc_copy: HashMap<(u16, u64), u64>,
+    /// Version held in a node's memory (home memory, page cache, or
+    /// private memory). Missing means *no copy* for client page caches,
+    /// and *version 0* for authoritative memory (home / private), so the
+    /// fill helpers take the authority into account.
+    node_copy: HashMap<(u16, u64), u64>,
+    /// Physical (node, cache line key) → line id, recorded at fill time
+    /// so evictions can find the identity of the displaced line.
+    lid_of: HashMap<(u16, u64), u64>,
+    /// Reads checked.
+    pub reads_checked: u64,
+}
+
+impl Shadow {
+    /// Creates an empty tracker.
+    pub fn new() -> Shadow {
+        Shadow::default()
+    }
+
+    /// Debug aid: set `PRISM_TRACE_LID=<hex line id>` to print every
+    /// shadow event for one line.
+    fn trace(&self, lid: u64, what: &str) {
+        static TARGET: std::sync::OnceLock<Option<u64>> = std::sync::OnceLock::new();
+        let target = TARGET.get_or_init(|| {
+            std::env::var("PRISM_TRACE_LID")
+                .ok()
+                .and_then(|v| u64::from_str_radix(v.trim_start_matches("0x"), 16).ok())
+        });
+        if *target == Some(lid) {
+            eprintln!("LID {lid:#x}: {what}");
+        }
+    }
+
+    /// Latest version of a line (0 if never written).
+    pub fn latest(&self, lid: u64) -> u64 {
+        self.latest.get(&lid).copied().unwrap_or(0)
+    }
+
+    /// Associates a physical cache key with a line id (called on every
+    /// access; cheap insert).
+    pub fn note_lid(&mut self, node: u16, key: u64, lid: u64) {
+        self.lid_of.insert((node, key), lid);
+    }
+
+    /// The line id a physical key was last associated with.
+    pub fn lid_for(&self, node: u16, key: u64) -> Option<u64> {
+        self.lid_of.get(&(node, key)).copied()
+    }
+
+    /// A processor writes the line (after the protocol granted
+    /// exclusivity): bumps the global version.
+    pub fn write(&mut self, proc: u16, lid: u64) {
+        self.trace(lid, &format!("write by proc {proc} -> v{}", self.latest(lid)+1));
+        let v = self.latest(lid) + 1;
+        self.latest.insert(lid, v);
+        self.proc_copy.insert((proc, lid), v);
+    }
+
+    /// A processor reads a line it already holds in cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the held copy is stale.
+    pub fn observe_hit(&mut self, proc: u16, lid: u64) {
+        self.trace(lid, &format!("observe_hit proc {proc} holds v{}", self.proc_version(proc, lid)));
+        self.reads_checked += 1;
+        let held = self.proc_copy.get(&(proc, lid)).copied().unwrap_or(0);
+        let latest = self.latest(lid);
+        assert_eq!(
+            held, latest,
+            "coherence violation: proc {proc} read v{held} of line {lid:#x}, latest is v{latest}"
+        );
+    }
+
+    /// A processor fills a line from its node's memory (local memory,
+    /// page cache, or home memory). `authoritative` is true when missing
+    /// node state means "initial data, version 0" (home or private
+    /// memory) rather than "no copy".
+    ///
+    /// # Panics
+    ///
+    /// Panics if the memory copy is stale or absent where one is required.
+    pub fn fill_from_node_memory(&mut self, proc: u16, node: u16, lid: u64, authoritative: bool) {
+        let v = match self.node_copy.get(&(node, lid)) {
+            Some(&v) => v,
+            None => {
+                assert!(
+                    authoritative,
+                    "coherence violation: node {node} page cache has no copy of line {lid:#x}"
+                );
+                0
+            }
+        };
+        let latest = self.latest(lid);
+        assert_eq!(
+            v, latest,
+            "coherence violation: node {node} memory holds v{v} of line {lid:#x}, latest is v{latest}"
+        );
+        self.trace(lid, &format!("fill_from_node_memory proc {proc} node {node} v{v}"));
+        self.proc_copy.insert((proc, lid), v);
+        self.reads_checked += 1;
+    }
+
+    /// A processor fills a line from a sibling processor's cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sibling copy is stale.
+    pub fn fill_from_proc(&mut self, proc: u16, src: u16, lid: u64) {
+        let v = self.proc_copy.get(&(src, lid)).copied().unwrap_or(0);
+        let latest = self.latest(lid);
+        assert_eq!(
+            v, latest,
+            "coherence violation: proc {src} supplied v{v} of line {lid:#x}, latest is v{latest}"
+        );
+        self.trace(lid, &format!("fill_from_proc {src} -> {proc} v{v}"));
+        self.proc_copy.insert((proc, lid), v);
+        self.reads_checked += 1;
+    }
+
+    /// The freshest version present anywhere on a node (its processors'
+    /// caches and its memory). Used when a remote node supplies a line.
+    pub fn freshest_at_node(&self, node: u16, procs: std::ops::Range<u16>, lid: u64) -> u64 {
+        let mem = self.node_copy.get(&(node, lid)).copied().unwrap_or(0);
+        procs
+            .map(|p| self.proc_copy.get(&(p, lid)).copied().unwrap_or(0))
+            .fold(mem, u64::max)
+    }
+
+    /// Installs a version fetched remotely into the requesting
+    /// processor's cache (and optionally the node's page cache).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the supplied version is stale.
+    pub fn fill_remote(&mut self, proc: u16, node: u16, lid: u64, version: u64, into_page_cache: bool) {
+        let latest = self.latest(lid);
+        assert_eq!(
+            version, latest,
+            "coherence violation: remote fetch got v{version} of line {lid:#x}, latest is v{latest}"
+        );
+        self.trace(lid, &format!("fill_remote proc {proc} node {node} v{version} pc={into_page_cache}"));
+        self.proc_copy.insert((proc, lid), version);
+        if into_page_cache {
+            self.node_copy.insert((node, lid), version);
+        }
+        self.reads_checked += 1;
+    }
+
+    /// A dirty line leaves a processor for its node's memory (local
+    /// writeback) or another node's memory (LA-NUMA writeback).
+    pub fn writeback(&mut self, proc: u16, dst_node: u16, lid: u64) {
+        self.trace(lid, &format!("writeback proc {proc} -> node {dst_node} v{}", self.proc_version(proc, lid)));
+        if let Some(&v) = self.proc_copy.get(&(proc, lid)) {
+            self.node_copy.insert((dst_node, lid), v);
+        }
+    }
+
+    /// Copies a node's memory version to another node's memory (3-party
+    /// read refreshing home memory, page-out flush, migration transfer).
+    pub fn copy_node_to_node(&mut self, src: u16, dst: u16, lid: u64) {
+        if let Some(&v) = self.node_copy.get(&(src, lid)) {
+            self.node_copy.insert((dst, lid), v);
+        }
+    }
+
+    /// Sets a node's memory copy to an explicit version.
+    pub fn set_node_copy(&mut self, node: u16, lid: u64, version: u64) {
+        self.node_copy.insert((node, lid), version);
+    }
+
+    /// A processor's last copy of the line is gone.
+    pub fn drop_proc(&mut self, proc: u16, lid: u64) {
+        self.trace(lid, &format!("drop_proc {proc}"));
+        self.proc_copy.remove(&(proc, lid));
+    }
+
+    /// A node's memory copy of the line is invalidated.
+    pub fn drop_node(&mut self, node: u16, lid: u64) {
+        self.trace(lid, &format!("drop_node {node}"));
+        self.node_copy.remove(&(node, lid));
+    }
+
+    /// The version a processor currently holds (0 if none).
+    pub fn proc_version(&self, proc: u16, lid: u64) -> u64 {
+        self.proc_copy.get(&(proc, lid)).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_hit_is_consistent() {
+        let mut s = Shadow::new();
+        s.write(0, 100);
+        s.observe_hit(0, 100);
+        assert_eq!(s.latest(100), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "coherence violation")]
+    fn stale_hit_detected() {
+        let mut s = Shadow::new();
+        s.write(0, 100); // v1 at proc 0
+        s.write(1, 100); // v2 at proc 1 — proc 0's copy should be gone
+        s.observe_hit(0, 100); // proc 0 still claims a copy: stale
+    }
+
+    #[test]
+    fn fills_propagate_versions() {
+        let mut s = Shadow::new();
+        // proc 0 writes v1, writes back to node 0 memory.
+        s.write(0, 7);
+        s.writeback(0, 0, 7);
+        s.drop_proc(0, 7);
+        // proc 1 (same node) fills from node memory.
+        s.fill_from_node_memory(1, 0, 7, false);
+        s.observe_hit(1, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory holds v0")]
+    fn missing_invalidation_detected_via_memory() {
+        let mut s = Shadow::new();
+        s.write(0, 7); // v1 only in proc 0's cache
+        // Node memory was never updated; a fill from it must fail.
+        s.set_node_copy(0, 7, 0);
+        s.fill_from_node_memory(1, 0, 7, false);
+    }
+
+    #[test]
+    fn freshest_considers_caches_and_memory() {
+        let mut s = Shadow::new();
+        s.set_node_copy(2, 9, 1);
+        assert_eq!(s.freshest_at_node(2, 8..12, 9), 1);
+        // A processor cache on the node with a newer copy dominates.
+        s.write(10, 9); // v1 in proc 10
+        s.write(10, 9); // v2 in proc 10
+        assert_eq!(s.freshest_at_node(2, 8..12, 9), 2);
+        // Processors outside the node's range are not consulted.
+        assert_eq!(s.freshest_at_node(2, 0..4, 9), 1);
+    }
+
+    #[test]
+    fn remote_fill_into_page_cache() {
+        let mut s = Shadow::new();
+        s.write(0, 5);
+        let v = s.freshest_at_node(0, 0..4, 5);
+        s.fill_remote(9, 3, 5, v, true);
+        s.fill_from_node_memory(10, 3, 5, false); // page cache now valid
+    }
+
+    #[test]
+    fn lid_mapping_round_trips() {
+        let mut s = Shadow::new();
+        s.note_lid(1, 0xABC, 0x999);
+        assert_eq!(s.lid_for(1, 0xABC), Some(0x999));
+        assert_eq!(s.lid_for(2, 0xABC), None);
+    }
+
+    #[test]
+    fn authoritative_memory_defaults_to_version_zero() {
+        let mut s = Shadow::new();
+        s.fill_from_node_memory(0, 0, 42, true); // never written: v0 ok
+        s.observe_hit(0, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "no copy")]
+    fn non_authoritative_missing_copy_detected() {
+        let mut s = Shadow::new();
+        s.fill_from_node_memory(0, 0, 42, false);
+    }
+}

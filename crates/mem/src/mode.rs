@@ -1,0 +1,89 @@
+//! Page frame modes (paper §3.2).
+
+use std::fmt;
+
+/// The behaviour the coherence controller applies to a page frame.
+///
+/// A mode is associated with every page frame; the controller dispatches
+/// protocol handlers based on it as soon as a physical address appears on
+/// the memory bus (paper Figure 4).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FrameMode {
+    /// Node-private memory; the controller takes no action and the local
+    /// bus protocol prevails.
+    #[default]
+    Local,
+    /// The frame is part of the local page cache for a globally shared
+    /// page; the controller keeps 2-bit fine-grain tags per line.
+    Scoma,
+    /// An *imaginary* frame: no local memory, the controller services
+    /// misses by communicating with the page's home node. Provides
+    /// CC-NUMA-like behaviour with node-local physical addresses.
+    LaNuma,
+    /// Memory-mapped command interface between the kernel and controller.
+    Command,
+    /// A synchronization page: accesses invoke a locking protocol
+    /// (paper §3.1 extension).
+    Sync,
+}
+
+impl FrameMode {
+    /// True for modes that name globally shared data (S-COMA / LA-NUMA).
+    pub fn is_shared(&self) -> bool {
+        matches!(self, FrameMode::Scoma | FrameMode::LaNuma)
+    }
+
+    /// True for modes that require a real, memory-backed frame.
+    pub fn needs_real_frame(&self) -> bool {
+        !matches!(self, FrameMode::LaNuma)
+    }
+
+    /// True for modes whose frames carry fine-grain tags.
+    pub fn has_fine_grain_tags(&self) -> bool {
+        matches!(self, FrameMode::Scoma)
+    }
+}
+
+impl fmt::Display for FrameMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FrameMode::Local => "local",
+            FrameMode::Scoma => "s-coma",
+            FrameMode::LaNuma => "la-numa",
+            FrameMode::Command => "command",
+            FrameMode::Sync => "sync",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_predicates() {
+        assert!(FrameMode::Scoma.is_shared());
+        assert!(FrameMode::LaNuma.is_shared());
+        assert!(!FrameMode::Local.is_shared());
+        assert!(!FrameMode::Command.is_shared());
+
+        assert!(FrameMode::Scoma.needs_real_frame());
+        assert!(!FrameMode::LaNuma.needs_real_frame());
+        assert!(FrameMode::Local.needs_real_frame());
+
+        assert!(FrameMode::Scoma.has_fine_grain_tags());
+        assert!(!FrameMode::LaNuma.has_fine_grain_tags());
+    }
+
+    #[test]
+    fn default_is_local() {
+        assert_eq!(FrameMode::default(), FrameMode::Local);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(FrameMode::Scoma.to_string(), "s-coma");
+        assert_eq!(FrameMode::LaNuma.to_string(), "la-numa");
+    }
+}

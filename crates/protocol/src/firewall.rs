@@ -1,0 +1,131 @@
+//! The PIT memory firewall (paper §3.2).
+//!
+//! Every inbound remote access to an S-COMA or LA-NUMA frame is checked
+//! against the frame's PIT entry. Extending the entry with a capability
+//! list filters out *wild writes* from faulty remote nodes — a key fault
+//! containment property of multiple-local-physical-address-space designs.
+
+use std::fmt;
+
+use prism_mem::addr::{FrameNo, NodeId};
+use prism_mem::pit::{Caps, PitEntry};
+
+/// A rejected remote access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FirewallViolation {
+    /// The node whose access was rejected.
+    pub from: NodeId,
+    /// The frame it tried to touch.
+    pub frame: FrameNo,
+    /// Whether the rejected access was a write.
+    pub write: bool,
+}
+
+impl fmt::Display for FirewallViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "firewall: rejected remote {} from {} to {}",
+            if self.write { "write" } else { "read" },
+            self.from,
+            self.frame
+        )
+    }
+}
+
+impl std::error::Error for FirewallViolation {}
+
+/// Checks an inbound remote access against a frame's PIT entry.
+///
+/// # Errors
+///
+/// Returns a [`FirewallViolation`] when the entry's capability list does
+/// not grant `from` access.
+///
+/// # Example
+///
+/// ```
+/// use prism_protocol::firewall::check;
+/// use prism_mem::pit::{Caps, PitEntry};
+/// use prism_mem::addr::{FrameNo, GlobalPage, Gsid, NodeId, NodeSet};
+/// use prism_mem::mode::FrameMode;
+///
+/// let mut entry = PitEntry::shared(GlobalPage::new(Gsid(0), 0), FrameMode::Scoma, NodeId(0));
+/// entry.caps = Caps::Only(NodeSet::single(NodeId(1)));
+/// assert!(check(&entry, FrameNo(4), NodeId(1), true).is_ok());
+/// assert!(check(&entry, FrameNo(4), NodeId(2), true).is_err());
+/// ```
+pub fn check(
+    entry: &PitEntry,
+    frame: FrameNo,
+    from: NodeId,
+    write: bool,
+) -> Result<(), FirewallViolation> {
+    if entry.caps.allows(from) {
+        Ok(())
+    } else {
+        Err(FirewallViolation { from, frame, write })
+    }
+}
+
+/// Convenience: checks only writes (reads pass), modeling a policy that
+/// firewalls mutation but allows replication.
+///
+/// # Errors
+///
+/// Returns a [`FirewallViolation`] for disallowed writes.
+pub fn check_write_only(
+    entry: &PitEntry,
+    frame: FrameNo,
+    from: NodeId,
+    write: bool,
+) -> Result<(), FirewallViolation> {
+    if !write {
+        return Ok(());
+    }
+    check(entry, frame, from, write)
+}
+
+/// Returns the capability set granting access to exactly the given nodes.
+pub fn caps_for<I: IntoIterator<Item = NodeId>>(nodes: I) -> Caps {
+    Caps::Only(nodes.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_mem::addr::{GlobalPage, Gsid, NodeSet};
+    use prism_mem::mode::FrameMode;
+
+    fn entry(caps: Caps) -> PitEntry {
+        let mut e = PitEntry::shared(GlobalPage::new(Gsid(0), 0), FrameMode::Scoma, NodeId(0));
+        e.caps = caps;
+        e
+    }
+
+    #[test]
+    fn default_caps_allow_everyone() {
+        let e = entry(Caps::AllNodes);
+        for n in 0..8 {
+            assert!(check(&e, FrameNo(0), NodeId(n), true).is_ok());
+            assert!(check(&e, FrameNo(0), NodeId(n), false).is_ok());
+        }
+    }
+
+    #[test]
+    fn capability_list_filters() {
+        let e = entry(caps_for([NodeId(1), NodeId(3)]));
+        assert!(check(&e, FrameNo(0), NodeId(1), true).is_ok());
+        assert!(check(&e, FrameNo(0), NodeId(3), false).is_ok());
+        let v = check(&e, FrameNo(9), NodeId(2), true).unwrap_err();
+        assert_eq!(v, FirewallViolation { from: NodeId(2), frame: FrameNo(9), write: true });
+        assert!(v.to_string().contains("rejected remote write"));
+    }
+
+    #[test]
+    fn write_only_policy_lets_reads_pass() {
+        let e = entry(Caps::Only(NodeSet::EMPTY));
+        assert!(check_write_only(&e, FrameNo(0), NodeId(5), false).is_ok());
+        assert!(check_write_only(&e, FrameNo(0), NodeId(5), true).is_err());
+    }
+}

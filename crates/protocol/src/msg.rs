@@ -1,0 +1,202 @@
+//! Coherence and paging message taxonomy.
+//!
+//! The simulator executes protocol actions atomically, but it accounts
+//! every message that would cross the network, both for statistics and
+//! for resource-occupancy modeling. This module names the message kinds
+//! and provides a per-kind traffic ledger.
+
+use std::fmt;
+
+use prism_mem::addr::NodeId;
+
+/// Kinds of inter-node messages in the PRISM protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MsgKind {
+    /// Request a shared copy of a line from its home.
+    ReadReq,
+    /// Request an exclusive copy (or ownership upgrade) of a line.
+    WriteReq,
+    /// A data reply carrying one cache line.
+    DataReply,
+    /// Grant of ownership without data (upgrade reply).
+    AckReply,
+    /// Home-initiated invalidation of a sharer's copy.
+    Invalidate,
+    /// Sharer's acknowledgment of an invalidation.
+    InvalAck,
+    /// Home-initiated request that an owner supply / write back a line.
+    Intervention,
+    /// A dirty line written back to its home.
+    Writeback,
+    /// Forward of a misdirected request toward the current dynamic home
+    /// (lazy page migration, paper §3.5).
+    Forward,
+    /// Client kernel asks the home kernel to page a page in.
+    PageInReq,
+    /// Home kernel's reply to a page-in request (carries home frame #).
+    PageInReply,
+    /// Home kernel asks clients to page out their copies.
+    PageOutReq,
+    /// Client acknowledgment of a page-out request.
+    PageOutAck,
+    /// Static home coordinates a dynamic-home migration.
+    MigrateCtl,
+    /// Bulk page-data transfer during migration or page-out.
+    PageData,
+    /// Acquire request to a synchronization page's home (Sync frame
+    /// mode, paper §3.1 extension).
+    LockReq,
+    /// Lock grant from the synchronization home to the new holder.
+    LockGrant,
+    /// Lock release notification to the synchronization home.
+    LockRelease,
+}
+
+impl MsgKind {
+    /// All message kinds, for iteration in reports.
+    pub const ALL: [MsgKind; 18] = [
+        MsgKind::ReadReq,
+        MsgKind::WriteReq,
+        MsgKind::DataReply,
+        MsgKind::AckReply,
+        MsgKind::Invalidate,
+        MsgKind::InvalAck,
+        MsgKind::Intervention,
+        MsgKind::Writeback,
+        MsgKind::Forward,
+        MsgKind::PageInReq,
+        MsgKind::PageInReply,
+        MsgKind::PageOutReq,
+        MsgKind::PageOutAck,
+        MsgKind::MigrateCtl,
+        MsgKind::PageData,
+        MsgKind::LockReq,
+        MsgKind::LockGrant,
+        MsgKind::LockRelease,
+    ];
+
+    fn index(self) -> usize {
+        Self::ALL.iter().position(|&k| k == self).expect("kind listed in ALL")
+    }
+
+    /// True for messages that carry a full cache line or page of data.
+    pub fn carries_data(&self) -> bool {
+        matches!(
+            self,
+            MsgKind::DataReply | MsgKind::Writeback | MsgKind::PageData | MsgKind::PageInReply
+        )
+    }
+}
+
+impl fmt::Display for MsgKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Per-kind message counters for one node or the whole machine.
+///
+/// # Example
+///
+/// ```
+/// use prism_protocol::msg::{MsgKind, TrafficLedger};
+/// use prism_mem::addr::NodeId;
+///
+/// let mut ledger = TrafficLedger::default();
+/// ledger.record(MsgKind::ReadReq, NodeId(0), NodeId(1));
+/// assert_eq!(ledger.count(MsgKind::ReadReq), 1);
+/// assert_eq!(ledger.total(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TrafficLedger {
+    counts: [u64; 18],
+    total: u64,
+    self_messages: u64,
+}
+
+impl TrafficLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> TrafficLedger {
+        TrafficLedger::default()
+    }
+
+    /// Records one message of `kind` from `src` to `dst`.
+    pub fn record(&mut self, kind: MsgKind, src: NodeId, dst: NodeId) {
+        debug_assert_ne!(src, dst, "{kind} message from a node to itself");
+        if src == dst {
+            self.self_messages += 1;
+        }
+        self.counts[kind.index()] += 1;
+        self.total += 1;
+    }
+
+    /// Messages recorded of a given kind.
+    pub fn count(&self, kind: MsgKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// All messages recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Merges another ledger into this one.
+    pub fn merge(&mut self, other: &TrafficLedger) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.self_messages += other.self_messages;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_have_unique_indices() {
+        let mut idx: Vec<usize> = MsgKind::ALL.iter().map(|k| k.index()).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        assert_eq!(idx.len(), MsgKind::ALL.len());
+    }
+
+    #[test]
+    fn ledger_counts_by_kind() {
+        let mut l = TrafficLedger::new();
+        l.record(MsgKind::ReadReq, NodeId(0), NodeId(1));
+        l.record(MsgKind::ReadReq, NodeId(2), NodeId(1));
+        l.record(MsgKind::DataReply, NodeId(1), NodeId(0));
+        assert_eq!(l.count(MsgKind::ReadReq), 2);
+        assert_eq!(l.count(MsgKind::DataReply), 1);
+        assert_eq!(l.count(MsgKind::Invalidate), 0);
+        assert_eq!(l.total(), 3);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = TrafficLedger::new();
+        let mut b = TrafficLedger::new();
+        a.record(MsgKind::Writeback, NodeId(0), NodeId(1));
+        b.record(MsgKind::Writeback, NodeId(2), NodeId(3));
+        b.record(MsgKind::Forward, NodeId(2), NodeId(3));
+        a.merge(&b);
+        assert_eq!(a.count(MsgKind::Writeback), 2);
+        assert_eq!(a.count(MsgKind::Forward), 1);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn data_carrying_kinds() {
+        assert!(MsgKind::DataReply.carries_data());
+        assert!(MsgKind::PageData.carries_data());
+        assert!(!MsgKind::ReadReq.carries_data());
+        assert!(!MsgKind::InvalAck.carries_data());
+    }
+
+    #[test]
+    fn display_is_debug_name() {
+        assert_eq!(MsgKind::PageInReq.to_string(), "PageInReq");
+    }
+}

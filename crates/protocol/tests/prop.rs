@@ -1,0 +1,171 @@
+//! Property tests over the pure directory-protocol transitions: a model
+//! of one line's global state is driven through random request/writeback
+//! sequences and the protocol invariants are checked after every step.
+
+use proptest::prelude::*;
+
+use prism_mem::addr::{NodeId, NodeSet};
+use prism_mem::directory::LineDir;
+use prism_mem::tags::LineTag;
+use prism_protocol::dirproto::{
+    apply_replacement_hint, apply_writeback, tag_action, transition, DataSource, ReqKind,
+    TagAction,
+};
+
+const HOME: NodeId = NodeId(0);
+
+/// One event in a line's life, from the home's perspective.
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    Read(u16),
+    Write(u16),
+    /// The owner writes its dirty line back (eviction).
+    Writeback(u16),
+    /// A clean holder drops its copy.
+    Hint(u16),
+}
+
+fn event() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (1u16..5).prop_map(Event::Read),
+        (1u16..5).prop_map(Event::Write),
+        (1u16..5).prop_map(Event::Writeback),
+        (1u16..5).prop_map(Event::Hint),
+    ]
+}
+
+/// The invariants of DESIGN.md / prism-protocol:
+/// * `Owned(o)` ⇒ home tag is Invalid.
+/// * `Shared`/`Uncached` ⇒ home tag valid (S or E).
+/// * the home never appears in its own sharer set.
+fn check_invariants(dir: LineDir, tag: LineTag) {
+    match dir {
+        LineDir::Owned(o) => {
+            assert_ne!(o, HOME, "home cannot own via the remote protocol");
+            assert_eq!(tag, LineTag::Invalid, "{dir:?} with tag {tag:?}");
+        }
+        LineDir::Shared(s) => {
+            assert!(!s.contains(HOME), "home in sharer set");
+            assert!(!s.is_empty(), "Shared with no sharers");
+            assert!(
+                tag == LineTag::Shared || tag == LineTag::Exclusive,
+                "{dir:?} with tag {tag:?}"
+            );
+        }
+        LineDir::Uncached => {
+            assert!(
+                tag == LineTag::Shared || tag == LineTag::Exclusive,
+                "{dir:?} with tag {tag:?}"
+            );
+        }
+    }
+}
+
+proptest! {
+    /// Random event sequences keep directory and home-tag state mutually
+    /// consistent, and every request leaves the requester a holder.
+    #[test]
+    fn random_histories_preserve_invariants(events in prop::collection::vec(event(), 1..200)) {
+        let mut dir = LineDir::Uncached;
+        let mut tag = LineTag::Exclusive;
+        for ev in events {
+            match ev {
+                Event::Read(node) | Event::Write(node) => {
+                    let requester = NodeId(node);
+                    let kind = if matches!(ev, Event::Read(_)) { ReqKind::Read } else { ReqKind::Write };
+                    // Skip impossible combinations (a holder re-requesting
+                    // what it has is satisfied locally in the machine).
+                    let skip = match (dir, kind) {
+                        (LineDir::Owned(o), _) if o == requester => true,
+                        (LineDir::Shared(s), ReqKind::Read) if s.contains(requester) => false,
+                        _ => false,
+                    };
+                    if skip {
+                        continue;
+                    }
+                    let has_data = matches!(dir, LineDir::Shared(s) if s.contains(requester))
+                        && kind == ReqKind::Write;
+                    let out = transition(dir, tag, false, requester, kind, has_data);
+                    // The requester ends up a holder.
+                    prop_assert!(out.new_state.held_by(requester));
+                    // Upgrades carry no data; fetches carry data.
+                    if has_data {
+                        prop_assert_eq!(out.source, DataSource::None);
+                    }
+                    // Invalidation targets never include the requester.
+                    prop_assert!(!out.invalidate.contains(requester));
+                    dir = out.new_state;
+                    if let Some(t) = out.home_tag_to {
+                        tag = t;
+                    }
+                    check_invariants(dir, tag);
+                }
+                Event::Writeback(node) => {
+                    let from = NodeId(node);
+                    if matches!(dir, LineDir::Owned(o) if o == from) {
+                        dir = apply_writeback(dir, from);
+                        // Home memory refreshed by the writeback.
+                        tag = LineTag::Shared;
+                        check_invariants(dir, tag);
+                    }
+                }
+                Event::Hint(node) => {
+                    let from = NodeId(node);
+                    let before_holders = match dir {
+                        LineDir::Shared(s) => s,
+                        LineDir::Owned(o) => NodeSet::single(o),
+                        LineDir::Uncached => NodeSet::EMPTY,
+                    };
+                    // Only clean holders send hints; an owner's hint means
+                    // its copy was clean-exclusive, so home memory is valid.
+                    if before_holders.contains(from) {
+                        let was_owner = matches!(dir, LineDir::Owned(o) if o == from);
+                        dir = apply_replacement_hint(dir, from);
+                        if was_owner {
+                            tag = LineTag::Shared;
+                        }
+                        check_invariants(dir, tag);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A write always ends exclusively owned by the requester with every
+    /// other holder listed for invalidation.
+    #[test]
+    fn writes_invalidate_every_other_holder(
+        sharers in prop::collection::vec(1u16..8, 0..6),
+        requester in 1u16..8,
+    ) {
+        let set: NodeSet = sharers.iter().map(|&s| NodeId(s)).collect();
+        let dir = if set.is_empty() { LineDir::Uncached } else { LineDir::Shared(set) };
+        let tag = LineTag::Shared;
+        let req = NodeId(requester);
+        let out = transition(dir, tag, false, req, ReqKind::Write, set.contains(req));
+        prop_assert_eq!(out.new_state, LineDir::Owned(req));
+        // Everyone except the requester is invalidated.
+        let expected = set.without(req);
+        prop_assert_eq!(out.invalidate, expected);
+        prop_assert_eq!(out.home_tag_to, Some(LineTag::Invalid));
+    }
+
+    /// tag_action is total and consistent: E always proceeds, I always
+    /// fetches, S depends on the access kind.
+    #[test]
+    fn tag_actions_are_consistent(write in any::<bool>()) {
+        prop_assert_eq!(tag_action(LineTag::Exclusive, write), TagAction::Proceed);
+        let i = tag_action(LineTag::Invalid, write);
+        if write {
+            prop_assert_eq!(i, TagAction::FetchExclusive);
+        } else {
+            prop_assert_eq!(i, TagAction::FetchShared);
+        }
+        let s = tag_action(LineTag::Shared, write);
+        if write {
+            prop_assert_eq!(s, TagAction::Upgrade);
+        } else {
+            prop_assert_eq!(s, TagAction::Proceed);
+        }
+    }
+}

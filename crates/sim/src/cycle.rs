@@ -1,0 +1,177 @@
+//! Processor-cycle timestamps and durations.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// A point in simulated time or a duration, measured in processor cycles.
+///
+/// `Cycle` is used for both instants and durations; the arithmetic
+/// operations below behave the way physics notation would suggest
+/// (instant + duration = instant, instant − instant = duration).
+///
+/// # Example
+///
+/// ```
+/// use prism_sim::Cycle;
+///
+/// let start = Cycle(1_000);
+/// let latency = Cycle(573);
+/// assert_eq!(start + latency, Cycle(1_573));
+/// assert_eq!((start + latency) - start, latency);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// The zero instant / empty duration.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// A sentinel that compares greater than every reachable simulation
+    /// time. Used for processors that are blocked (barrier, lock, finished).
+    pub const NEVER: Cycle = Cycle(u64::MAX);
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the later of two instants.
+    #[inline]
+    pub fn max(self, other: Cycle) -> Cycle {
+        Cycle(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of two instants.
+    #[inline]
+    pub fn min(self, other: Cycle) -> Cycle {
+        Cycle(self.0.min(other.0))
+    }
+
+    /// Saturating subtraction: `self - other`, or zero if `other` is later.
+    #[inline]
+    pub fn saturating_sub(self, other: Cycle) -> Cycle {
+        Cycle(self.0.saturating_sub(other.0))
+    }
+
+    /// True when this is the [`Cycle::NEVER`] sentinel.
+    #[inline]
+    pub fn is_never(self) -> bool {
+        self.0 == u64::MAX
+    }
+}
+
+impl Add for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycle) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycle {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycle) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn mul(self, rhs: u64) -> Cycle {
+        Cycle(self.0 * rhs)
+    }
+}
+
+impl Sum for Cycle {
+    fn sum<I: Iterator<Item = Cycle>>(iter: I) -> Cycle {
+        Cycle(iter.map(|c| c.0).sum())
+    }
+}
+
+impl From<u64> for Cycle {
+    #[inline]
+    fn from(v: u64) -> Cycle {
+        Cycle(v)
+    }
+}
+
+impl From<Cycle> for u64 {
+    #[inline]
+    fn from(v: Cycle) -> u64 {
+        v.0
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_never() {
+            write!(f, "∞")
+        } else {
+            write!(f, "{}cy", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_behaves_like_integers() {
+        assert_eq!(Cycle(3) + Cycle(4), Cycle(7));
+        assert_eq!(Cycle(10) - Cycle(4), Cycle(6));
+        assert_eq!(Cycle(3) * 4, Cycle(12));
+        let mut c = Cycle(1);
+        c += Cycle(2);
+        assert_eq!(c, Cycle(3));
+        c -= Cycle(1);
+        assert_eq!(c, Cycle(2));
+    }
+
+    #[test]
+    fn saturating_sub_clamps_at_zero() {
+        assert_eq!(Cycle(3).saturating_sub(Cycle(10)), Cycle::ZERO);
+        assert_eq!(Cycle(10).saturating_sub(Cycle(3)), Cycle(7));
+    }
+
+    #[test]
+    fn min_max_order_instants() {
+        assert_eq!(Cycle(3).max(Cycle(9)), Cycle(9));
+        assert_eq!(Cycle(3).min(Cycle(9)), Cycle(3));
+        assert!(Cycle::NEVER > Cycle(u64::MAX - 1));
+        assert!(Cycle::NEVER.is_never());
+    }
+
+    #[test]
+    fn sums_and_conversions() {
+        let total: Cycle = [Cycle(1), Cycle(2), Cycle(3)].into_iter().sum();
+        assert_eq!(total, Cycle(6));
+        assert_eq!(u64::from(Cycle(5)), 5);
+        assert_eq!(Cycle::from(5u64), Cycle(5));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Cycle(12).to_string(), "12cy");
+        assert_eq!(Cycle::NEVER.to_string(), "∞");
+        assert_eq!(format!("{:?}", Cycle::ZERO), "Cycle(0)");
+    }
+}

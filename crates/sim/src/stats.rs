@@ -1,0 +1,265 @@
+//! Counters and latency histograms for simulation reports.
+
+use std::fmt;
+
+use crate::Cycle;
+
+/// A monotonically increasing event counter.
+///
+/// # Example
+///
+/// ```
+/// use prism_sim::stats::Counter;
+///
+/// let mut remote_misses = Counter::default();
+/// remote_misses.incr();
+/// remote_misses.add(3);
+/// assert_eq!(remote_misses.get(), 4);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Counter {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n` events.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+
+    /// Resets to zero.
+    pub fn reset(&mut self) {
+        self.0 = 0;
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A log₂-bucketed histogram of cycle latencies.
+///
+/// Bucket `i` covers latencies in `[2^i, 2^(i+1))` (bucket 0 covers 0 and 1).
+/// Cheap enough to keep per access class, precise enough to characterize
+/// latency distributions in reports.
+///
+/// # Example
+///
+/// ```
+/// use prism_sim::{Cycle, stats::Histogram};
+///
+/// let mut h = Histogram::new("remote-read");
+/// h.record(Cycle(573));
+/// h.record(Cycle(608));
+/// assert_eq!(h.count(), 2);
+/// assert_eq!(h.mean(), 590.5);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    name: &'static str,
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with a diagnostic name.
+    pub fn new(name: &'static str) -> Histogram {
+        Histogram {
+            name,
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Cycle) {
+        let v = latency.as_u64();
+        let bucket = (64 - v.max(1).leading_zeros() as usize).saturating_sub(1);
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// The histogram's diagnostic name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples, in cycles.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Arithmetic mean of the samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Number of samples in bucket `i` (`[2^i, 2^(i+1))`).
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// An approximate quantile (`q` in `[0,1]`) from the bucket boundaries.
+    /// Returns `None` when empty.
+    pub fn approx_quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target.max(1) {
+                return Some(1u64 << i);
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: n={} mean={:.1} min={} max={}",
+            self.name,
+            self.count,
+            self.mean(),
+            self.min().unwrap_or(0),
+            self.max().unwrap_or(0)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        c.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(Counter::default().get(), 0);
+    }
+
+    #[test]
+    fn histogram_tracks_moments() {
+        let mut h = Histogram::new("t");
+        for v in [1u64, 2, 4, 8] {
+            h.record(Cycle(v));
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 15);
+        assert_eq!(h.mean(), 3.75);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(8));
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut h = Histogram::new("t");
+        h.record(Cycle(0));
+        h.record(Cycle(1));
+        h.record(Cycle(2));
+        h.record(Cycle(3));
+        h.record(Cycle(1024));
+        assert_eq!(h.bucket(0), 2); // 0 and 1
+        assert_eq!(h.bucket(1), 2); // 2 and 3
+        assert_eq!(h.bucket(10), 1); // 1024
+    }
+
+    #[test]
+    fn empty_histogram_is_well_behaved() {
+        let h = Histogram::new("empty");
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.approx_quantile(0.5), None);
+        assert!(!h.to_string().is_empty());
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let mut h = Histogram::new("q");
+        for v in 1..=1000u64 {
+            h.record(Cycle(v));
+        }
+        let q50 = h.approx_quantile(0.5).unwrap();
+        let q99 = h.approx_quantile(0.99).unwrap();
+        assert!(q50 <= q99);
+        assert!(q99 <= 1024);
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = Histogram::new("a");
+        let mut b = Histogram::new("b");
+        a.record(Cycle(10));
+        b.record(Cycle(1000));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(10));
+        assert_eq!(a.max(), Some(1000));
+    }
+}

@@ -1,0 +1,448 @@
+//! Barnes: hierarchical Barnes–Hut N-body simulation (paper Table 2:
+//! "Hierarchical N-body, 8K particles, 4 iters").
+//!
+//! A real Barnes–Hut octree is built over pseudo-random particle
+//! positions each iteration, and the force phase performs the actual
+//! θ-criterion traversal per body — so the tree-walk reference stream
+//! (the irregular, reuse-heavy pattern that dominates Barnes' cache
+//! behaviour) is genuine, not synthetic.
+
+use prism_mem::trace::Trace;
+use prism_sim::SimRng;
+
+use crate::common::{finish_trace, partition, BarrierIds, Lane, Layout, Workload};
+
+const THETA: f64 = 0.7;
+const DT: f64 = 0.025;
+
+/// The Barnes–Hut workload.
+#[derive(Clone, Debug)]
+pub struct Barnes {
+    /// Number of bodies.
+    pub bodies: u64,
+    /// Simulation steps.
+    pub iterations: u32,
+    /// RNG seed for positions.
+    pub seed: u64,
+}
+
+impl Barnes {
+    /// A Barnes–Hut run over `bodies` particles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bodies` is zero.
+    pub fn new(bodies: u64, iterations: u32, seed: u64) -> Barnes {
+        assert!(bodies > 0, "need at least one body");
+        Barnes { bodies, iterations, seed }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Body {
+    pos: [f64; 3],
+    vel: [f64; 3],
+    acc: [f64; 3],
+}
+
+#[derive(Clone)]
+struct Cell {
+    children: [i32; 8], // >=0: cell index, -1: empty, < -1: body(-(i+2))
+    com: [f64; 3],
+    mass: f64,
+    half: f64,
+}
+
+impl Cell {
+    fn new(half: f64) -> Cell {
+        Cell {
+            children: [-1; 8],
+            com: [0.0; 3],
+            mass: 0.0,
+            half,
+        }
+    }
+}
+
+struct Tree {
+    cells: Vec<Cell>,
+    center: [f64; 3],
+}
+
+impl Tree {
+    fn build(bodies: &[Body], half: f64) -> (Tree, Vec<Vec<usize>>) {
+        let mut tree = Tree {
+            cells: vec![Cell::new(half)],
+            center: [0.0; 3],
+        };
+        // Track which cells each insertion touches, so the generator can
+        // emit the corresponding shared references.
+        let mut touched = Vec::with_capacity(bodies.len());
+        for (bi, b) in bodies.iter().enumerate() {
+            let mut path = Vec::new();
+            tree.insert(0, tree.center, half, bi, b.pos, bodies, &mut path, 0);
+            touched.push(path);
+        }
+        tree.compute_com(0, bodies);
+        (tree, touched)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn insert(
+        &mut self,
+        cell: usize,
+        center: [f64; 3],
+        half: f64,
+        body: usize,
+        pos: [f64; 3],
+        bodies: &[Body],
+        path: &mut Vec<usize>,
+        depth: u32,
+    ) {
+        path.push(cell);
+        let oct = octant(center, pos);
+        let child_center = offset(center, half / 2.0, oct);
+        match self.cells[cell].children[oct] {
+            -1 => {
+                self.cells[cell].children[oct] = -(body as i32) - 2;
+            }
+            c if c < -1 => {
+                // Subdivide: push the resident body down.
+                let other = (-(c + 2)) as usize;
+                if depth > 64 {
+                    // Coincident points: keep both in this slot's cell by
+                    // chaining into a new cell's first two slots.
+                    let nc = self.cells.len();
+                    self.cells.push(Cell::new(half / 2.0));
+                    self.cells[nc].children[0] = -(other as i32) - 2;
+                    self.cells[nc].children[1] = -(body as i32) - 2;
+                    self.cells[cell].children[oct] = nc as i32;
+                    path.push(nc);
+                    return;
+                }
+                let nc = self.cells.len();
+                self.cells.push(Cell::new(half / 2.0));
+                self.cells[cell].children[oct] = nc as i32;
+                let mut sub = Vec::new();
+                self.insert(nc, child_center, half / 2.0, other, bodies[other].pos, bodies, &mut sub, depth + 1);
+                self.insert(nc, child_center, half / 2.0, body, pos, bodies, path, depth + 1);
+            }
+            c => {
+                self.insert(c as usize, child_center, half / 2.0, body, pos, bodies, path, depth + 1);
+            }
+        }
+    }
+
+    fn compute_com(&mut self, cell: usize, bodies: &[Body]) -> (f64, [f64; 3]) {
+        let mut mass = 0.0;
+        let mut com = [0.0; 3];
+        for k in 0..8 {
+            match self.cells[cell].children[k] {
+                -1 => {}
+                c if c < -1 => {
+                    let b = &bodies[(-(c + 2)) as usize];
+                    mass += 1.0;
+                    for (c, p) in com.iter_mut().zip(b.pos.iter()) {
+                        *c += p;
+                    }
+                }
+                c => {
+                    let (m, sub) = self.compute_com(c as usize, bodies);
+                    mass += m;
+                    for d in 0..3 {
+                        com[d] += sub[d] * m;
+                    }
+                }
+            }
+        }
+        if mass > 0.0 {
+            for c in com.iter_mut() {
+                *c /= mass;
+            }
+        }
+        self.cells[cell].mass = mass;
+        self.cells[cell].com = com;
+        (mass, com)
+    }
+
+    /// Walks the tree for one body with the θ criterion; returns the
+    /// acceleration and records every visited cell and directly-touched
+    /// body index.
+    fn force(
+        &self,
+        cell: usize,
+        body: usize,
+        bodies: &[Body],
+        visited: &mut Vec<usize>,
+        body_reads: &mut Vec<usize>,
+    ) -> [f64; 3] {
+        visited.push(cell);
+        let c = &self.cells[cell];
+        let pos = bodies[body].pos;
+        let d = dist(c.com, pos).max(1e-9);
+        if c.mass > 0.0 && (c.half * 2.0) / d < THETA {
+            return accel(c.com, pos, c.mass);
+        }
+        let mut a = [0.0; 3];
+        for k in 0..8 {
+            match c.children[k] {
+                -1 => {}
+                ch if ch < -1 => {
+                    let ob = (-(ch + 2)) as usize;
+                    if ob != body {
+                        body_reads.push(ob);
+                        let f = accel(bodies[ob].pos, pos, 1.0);
+                        for dd in 0..3 {
+                            a[dd] += f[dd];
+                        }
+                    }
+                }
+                ch => {
+                    let f = self.force(ch as usize, body, bodies, visited, body_reads);
+                    for dd in 0..3 {
+                        a[dd] += f[dd];
+                    }
+                }
+            }
+        }
+        a
+    }
+}
+
+/// Interleaves the quantized coordinates into a Morton (Z-order) key.
+fn morton_key(pos: [f64; 3]) -> u64 {
+    let mut key = 0u64;
+    let q: [u64; 3] = [
+        ((pos[0] + 2.0) * 256.0) as u64 & 0x3FF,
+        ((pos[1] + 2.0) * 256.0) as u64 & 0x3FF,
+        ((pos[2] + 2.0) * 256.0) as u64 & 0x3FF,
+    ];
+    for bit in 0..10 {
+        for (d, &c) in q.iter().enumerate() {
+            key |= ((c >> bit) & 1) << (3 * bit + d);
+        }
+    }
+    key
+}
+
+fn octant(center: [f64; 3], pos: [f64; 3]) -> usize {
+    (usize::from(pos[0] >= center[0]))
+        | (usize::from(pos[1] >= center[1]) << 1)
+        | (usize::from(pos[2] >= center[2]) << 2)
+}
+
+fn offset(center: [f64; 3], half: f64, oct: usize) -> [f64; 3] {
+    [
+        center[0] + if oct & 1 != 0 { half } else { -half },
+        center[1] + if oct & 2 != 0 { half } else { -half },
+        center[2] + if oct & 4 != 0 { half } else { -half },
+    ]
+}
+
+fn dist(a: [f64; 3], b: [f64; 3]) -> f64 {
+    let mut s = 0.0;
+    for d in 0..3 {
+        s += (a[d] - b[d]) * (a[d] - b[d]);
+    }
+    s.sqrt()
+}
+
+fn accel(src: [f64; 3], at: [f64; 3], mass: f64) -> [f64; 3] {
+    let d = dist(src, at).max(0.05); // softening
+    let f = mass / (d * d * d);
+    [
+        (src[0] - at[0]) * f,
+        (src[1] - at[1]) * f,
+        (src[2] - at[2]) * f,
+    ]
+}
+
+impl Workload for Barnes {
+    fn name(&self) -> String {
+        "Barnes".into()
+    }
+
+    fn description(&self) -> String {
+        format!(
+            "Hierarchical N-body, {}K particles, {} iters",
+            self.bodies / 1024,
+            self.iterations
+        )
+    }
+
+    fn generate(&self, procs: usize) -> Trace {
+        let n = self.bodies;
+        let mut rng = SimRng::new(self.seed);
+        let mut bodies: Vec<Body> = (0..n)
+            .map(|_| Body {
+                pos: [rng.next_f64() - 0.5, rng.next_f64() - 0.5, rng.next_f64() - 0.5],
+                vel: [0.0; 3],
+                acc: [0.0; 3],
+            })
+            .collect();
+
+        let mut layout = Layout::new();
+        const BODY_BYTES: u64 = 64;
+        const CELL_BYTES: u64 = 64;
+        let body_arr = layout.array("barnes-bodies", n, BODY_BYTES);
+        // Generous upper bound on cell count.
+        let cell_arr = layout.array("barnes-cells", 4 * n + 64, CELL_BYTES);
+        let mut lanes: Vec<Lane> = (0..procs).map(Lane::new).collect();
+        let mut barriers = BarrierIds::new();
+
+        for _iter in 0..self.iterations {
+            // 1. Tree build (processor 0, as a serial phase): reading each
+            //    body and touching the insertion path's cells.
+            let (tree, touched) = Tree::build(&bodies, 2.0);
+            {
+                let lane = &mut lanes[0];
+                for (bi, path) in touched.iter().enumerate() {
+                    lane.read(body_arr.at(bi as u64));
+                    for &c in path {
+                        lane.update(cell_arr.at(c as u64));
+                        lane.compute(2);
+                    }
+                }
+                // Center-of-mass pass touches every cell once.
+                for c in 0..tree.cells.len() {
+                    lane.update(cell_arr.at(c as u64));
+                    lane.compute(4);
+                }
+            }
+            let b = barriers.fresh();
+            for lane in &mut lanes {
+                lane.barrier(b);
+            }
+
+            // 2. Force computation: every processor walks the real tree
+            //    for its bodies. Bodies are processed in Morton (Z-curve)
+            //    order so consecutive bodies share most of their tree
+            //    path — SPLASH's spatial partitioning, and the locality
+            //    that makes the page-cache LRU effective.
+            let mut order: Vec<u64> = (0..n).collect();
+            order.sort_by_key(|&i| morton_key(bodies[i as usize].pos));
+            let mut new_acc = vec![[0.0f64; 3]; n as usize];
+            for (p, lane) in lanes.iter_mut().enumerate() {
+                for oi in partition(n, procs, p) {
+                    let bi = order[oi as usize];
+                    let mut visited = Vec::new();
+                    let mut body_reads = Vec::new();
+                    let a = tree.force(0, bi as usize, &bodies, &mut visited, &mut body_reads);
+                    new_acc[bi as usize] = a;
+                    lane.read(body_arr.at(bi));
+                    for c in visited {
+                        lane.read(cell_arr.at(c as u64));
+                        lane.compute(8);
+                    }
+                    for ob in body_reads {
+                        lane.read(body_arr.at(ob as u64));
+                        lane.compute(8);
+                    }
+                    lane.write(body_arr.at(bi));
+                }
+            }
+            let b = barriers.fresh();
+            for lane in &mut lanes {
+                lane.barrier(b);
+            }
+
+            // 3. Position update: leapfrog integration of own bodies.
+            for (p, lane) in lanes.iter_mut().enumerate() {
+                for bi in partition(n, procs, p) {
+                    lane.update(body_arr.at(bi)).compute(12);
+                    let body = &mut bodies[bi as usize];
+                    body.acc = new_acc[bi as usize];
+                    for d in 0..3 {
+                        body.vel[d] += body.acc[d] * DT;
+                        body.pos[d] = (body.pos[d] + body.vel[d] * DT).clamp(-1.999, 1.999);
+                    }
+                }
+            }
+            let b = barriers.fresh();
+            for lane in &mut lanes {
+                lane.barrier(b);
+            }
+        }
+        finish_trace("Barnes", layout, lanes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_validates() {
+        let t = Barnes::new(128, 1, 1).generate(4);
+        assert_eq!(t.lanes.len(), 4);
+        assert!(t.total_refs() > 0);
+    }
+
+    #[test]
+    fn tree_holds_every_body_exactly_once() {
+        let mut rng = SimRng::new(5);
+        let bodies: Vec<Body> = (0..200)
+            .map(|_| Body {
+                pos: [rng.next_f64() - 0.5, rng.next_f64() - 0.5, rng.next_f64() - 0.5],
+                vel: [0.0; 3],
+                acc: [0.0; 3],
+            })
+            .collect();
+        let (tree, _) = Tree::build(&bodies, 2.0);
+        let mut seen = vec![0u32; 200];
+        let mut stack = vec![0usize];
+        while let Some(c) = stack.pop() {
+            for k in 0..8 {
+                match tree.cells[c].children[k] {
+                    -1 => {}
+                    ch if ch < -1 => seen[(-(ch + 2)) as usize] += 1,
+                    ch => stack.push(ch as usize),
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s == 1));
+        assert!((tree.cells[0].mass - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn force_walk_visits_fewer_cells_than_n_squared() {
+        let mut rng = SimRng::new(6);
+        let bodies: Vec<Body> = (0..256)
+            .map(|_| Body {
+                pos: [rng.next_f64() - 0.5, rng.next_f64() - 0.5, rng.next_f64() - 0.5],
+                vel: [0.0; 3],
+                acc: [0.0; 3],
+            })
+            .collect();
+        let (tree, _) = Tree::build(&bodies, 2.0);
+        let mut visited = Vec::new();
+        let mut body_reads = Vec::new();
+        tree.force(0, 0, &bodies, &mut visited, &mut body_reads);
+        let work = visited.len() + body_reads.len();
+        assert!(work < 256, "theta criterion prunes: {work} interactions");
+        assert!(work > 8, "but it is not trivial");
+    }
+
+    #[test]
+    fn com_is_inside_bounding_box() {
+        let mut rng = SimRng::new(7);
+        let bodies: Vec<Body> = (0..64)
+            .map(|_| Body {
+                pos: [rng.next_f64() - 0.5, rng.next_f64() - 0.5, rng.next_f64() - 0.5],
+                vel: [0.0; 3],
+                acc: [0.0; 3],
+            })
+            .collect();
+        let (tree, _) = Tree::build(&bodies, 2.0);
+        for d in 0..3 {
+            assert!(tree.cells[0].com[d].abs() <= 0.5);
+        }
+    }
+
+    #[test]
+    fn iterations_scale_work() {
+        let one = Barnes::new(64, 1, 2).generate(2).total_refs();
+        let two = Barnes::new(64, 2, 2).generate(2).total_refs();
+        assert!(two > one + one / 2);
+    }
+}

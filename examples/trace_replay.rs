@@ -1,0 +1,41 @@
+//! Trace tooling: generate a workload trace once, save it as a PRTR
+//! file, and replay it under different configurations — the trace-driven
+//! methodology classic DSM studies use (and the `runner` CLI wraps).
+//!
+//! ```text
+//! cargo run --release --example trace_replay
+//! ```
+
+use prism::mem::trace_io::{load_trace, save_trace};
+use prism::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = MachineConfig::builder().nodes(4).procs_per_node(2).build();
+
+    // Generate once (the Barnes–Hut octree build is the expensive part).
+    let workload = app(AppId::Barnes, Scale::Small);
+    let trace = workload.generate(config.total_procs());
+    let path = std::env::temp_dir().join("prism-barnes-small.prtr");
+    save_trace(&trace, &path)?;
+    let bytes = std::fs::metadata(&path)?.len();
+    println!(
+        "saved {} ({} refs) to {} ({} KiB)",
+        trace.name,
+        trace.total_refs(),
+        path.display(),
+        bytes / 1024
+    );
+
+    // Replay under two policies without regenerating.
+    let replay = load_trace(&path)?;
+    for policy in [PolicyKind::Scoma, PolicyKind::Lanuma] {
+        let report = Simulation::new(config.clone(), policy).run_trace(&replay)?;
+        println!(
+            "{policy:<8} exec {:>9} cycles, {:>6} remote misses",
+            report.exec_cycles.as_u64(),
+            report.remote_misses
+        );
+    }
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! # prism — reproduction of *PRISM: An Integrated Architecture for
+//! Scalable Shared Memory* (HPCA 1998)
+//!
+//! This is the facade crate for the PRISM reproduction workspace. It
+//! re-exports the public API of [`prism_core`] (machine configuration,
+//! simulation driver, experiment harness) and [`prism_workloads`] (the
+//! SPLASH-like workload generators), so that examples and downstream users
+//! need a single dependency.
+//!
+//! See the repository `README.md` for a tour and `DESIGN.md` for the system
+//! inventory; `EXPERIMENTS.md` records paper-vs-measured results for every
+//! table and figure in the paper's evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use prism::prelude::*;
+//!
+//! // A small 2-node machine running a uniform-random shared workload
+//! // with all shared pages in S-COMA mode.
+//! let config = MachineConfig::builder()
+//!     .nodes(2)
+//!     .procs_per_node(2)
+//!     .build();
+//! let workload = workloads::Synthetic::uniform(4, 64 * 1024, 20_000);
+//! let report = Simulation::new(config, PolicyKind::Scoma)
+//!     .run(&workload)
+//!     .expect("simulation runs");
+//! assert!(report.exec_cycles.as_u64() > 0);
+//! ```
+
+pub use prism_core::*;
+
+/// The SPLASH-like workload generators and synthetic patterns.
+pub use prism_workloads as workloads;
+
+/// Everything needed to configure and run a PRISM simulation.
+pub mod prelude {
+    pub use crate::workloads;
+    pub use prism_core::prelude::*;
+}

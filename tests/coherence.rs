@@ -1,0 +1,100 @@
+//! Full-machine coherence verification: with version checking enabled,
+//! every simulated read must observe the most recent write to its line,
+//! across every page-mode policy and every SPLASH-like application at
+//! test scale.
+
+use prism::machine::machine::Machine;
+use prism::prelude::*;
+
+fn checked_config(policy: PolicyKind, capacity: Option<usize>) -> MachineConfig {
+    let mut cfg = MachineConfig::builder()
+        .nodes(4)
+        .procs_per_node(2)
+        .l1_bytes(1024)
+        .l1_assoc(2)
+        .l2_bytes(4096)
+        .l2_assoc(2)
+        .tlb_entries(16)
+        .check_coherence(true)
+        .build();
+    cfg.policy = policy.page_policy();
+    cfg.page_cache_capacity = if policy.is_capacity_limited() { capacity } else { None };
+    cfg
+}
+
+/// Every application stays coherent under every policy, with tiny caches
+/// and a tight page cache forcing evictions, upgrades, page-outs, and
+/// conversions.
+#[test]
+fn splash_suite_is_coherent_under_all_policies() {
+    for (id, workload) in suite(Scale::Small) {
+        let trace = workload.generate(8);
+        for policy in PolicyKind::ALL {
+            let cfg = checked_config(policy, Some(24));
+            let report = Machine::new(cfg).run(&trace);
+            assert!(
+                report.reads_checked > 0,
+                "{id}/{policy}: checker did not run"
+            );
+            assert_eq!(
+                report.total_refs,
+                trace.total_refs() as u64,
+                "{id}/{policy}: all references executed"
+            );
+        }
+    }
+}
+
+/// The synthetic patterns (uniform, migratory, producer-consumer) are
+/// coherent too, including with lazy migration enabled.
+#[test]
+fn synthetics_are_coherent_with_migration() {
+    use prism::kernel::migration::MigrationPolicy;
+    for workload in [
+        workloads::Synthetic::uniform(8, 64 * 1024, 4_000),
+        workloads::Synthetic::migratory(8, 64 * 1024, 4_000),
+        workloads::Synthetic::producer_consumer(8, 64 * 1024, 2_000),
+    ] {
+        let mut cfg = checked_config(PolicyKind::Scoma, None);
+        cfg.migration = Some(MigrationPolicy {
+            check_interval: 16,
+            min_traffic: 32,
+            dominance: 0.5,
+        });
+        let report = Machine::new(cfg).run(&workload.generate(8));
+        assert!(report.reads_checked > 0, "{}", workload.name());
+    }
+}
+
+/// Identical configuration + trace ⇒ bit-identical results, for every
+/// policy (the simulator is fully deterministic).
+#[test]
+fn simulation_is_deterministic() {
+    let trace = app(AppId::Mp3d, Scale::Small).generate(8);
+    for policy in PolicyKind::ALL {
+        let a = Machine::new(checked_config(policy, Some(16))).run(&trace);
+        let b = Machine::new(checked_config(policy, Some(16))).run(&trace);
+        assert_eq!(a.exec_cycles, b.exec_cycles, "{policy}");
+        assert_eq!(a.remote_misses, b.remote_misses, "{policy}");
+        assert_eq!(a.page_outs, b.page_outs, "{policy}");
+        assert_eq!(a.ledger.total(), b.ledger.total(), "{policy}");
+        assert_eq!(a.l1_hits, b.l1_hits, "{policy}");
+        assert_eq!(a.invalidations, b.invalidations, "{policy}");
+    }
+}
+
+/// The client-frame-hints-in-directory option (paper §3.2) must not
+/// change results, only reverse-translation timing.
+#[test]
+fn directory_frame_hints_preserve_semantics() {
+    let trace = app(AppId::Ocean, Scale::Small).generate(8);
+    let mut with_hints = checked_config(PolicyKind::Lanuma, None);
+    with_hints.client_frame_hints_in_directory = true;
+    let base = Machine::new(checked_config(PolicyKind::Lanuma, None)).run(&trace);
+    let hinted = Machine::new(with_hints).run(&trace);
+    assert_eq!(base.remote_misses, hinted.remote_misses);
+    assert!(
+        hinted.exec_cycles <= base.exec_cycles,
+        "hints can only speed up invalidation service"
+    );
+}

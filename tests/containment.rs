@@ -1,0 +1,117 @@
+//! Fault containment end-to-end: PIT firewalling of wild writes and
+//! node-failure isolation (paper §1, §3.2).
+
+use prism::machine::machine::Machine;
+use prism::mem::addr::{GlobalPage, Gsid, NodeId, NodeSet, VirtAddr};
+use prism::mem::pit::Caps;
+use prism::mem::trace::{private_va, Op, SegmentSpec, Trace, SHARED_BASE};
+use prism::prelude::*;
+
+fn config() -> MachineConfig {
+    MachineConfig::builder().nodes(4).procs_per_node(2).build()
+}
+
+fn shared_trace() -> Trace {
+    let mut lanes: Vec<Vec<Op>> = vec![Vec::new(); 8];
+    // proc 2 (node 1) maps and writes page 0 (homed at node 0).
+    lanes[2].push(Op::Write(VirtAddr(SHARED_BASE)));
+    Trace {
+        name: "map-one-page".into(),
+        segments: vec![SegmentSpec { name: "s".into(), va_base: SHARED_BASE, bytes: 4096 }],
+        lanes,
+    }
+}
+
+#[test]
+fn wild_writes_are_rejected_by_capability_lists() {
+    let mut m = Machine::new(config());
+    m.run(&shared_trace());
+    let gp = GlobalPage::new(Gsid(0), 0);
+    // Default capabilities allow everyone.
+    assert!(m.inject_wild_write(NodeId(3), NodeId(1), gp).is_ok());
+    // Restrict to node 0 only.
+    m.restrict_page(NodeId(1), gp, Caps::Only(NodeSet::single(NodeId(0))));
+    assert!(m.inject_wild_write(NodeId(0), NodeId(1), gp).is_ok());
+    let violation = m.inject_wild_write(NodeId(3), NodeId(1), gp).unwrap_err();
+    assert_eq!(violation.from, NodeId(3));
+    assert!(violation.write);
+}
+
+#[test]
+fn unmapped_pages_cannot_be_hit_at_all() {
+    let mut m = Machine::new(config());
+    m.run(&shared_trace());
+    // Node 2 never mapped the page: a wild write aimed at it has no
+    // physical address to land on.
+    let gp = GlobalPage::new(Gsid(0), 0);
+    assert!(m.inject_wild_write(NodeId(3), NodeId(2), gp).is_err());
+}
+
+#[test]
+fn failed_node_kills_only_its_own_processors() {
+    let mut lanes: Vec<Vec<Op>> = Vec::new();
+    for p in 0..8 {
+        let mut lane = Vec::new();
+        for i in 0..500u64 {
+            lane.push(Op::Read(private_va(p, (i * 64) % 16384)));
+        }
+        lanes.push(lane);
+    }
+    let trace = Trace { name: "private".into(), segments: vec![], lanes };
+    let mut m = Machine::new(config());
+    m.fail_node(NodeId(2));
+    assert!(m.node_failed(NodeId(2)));
+    assert_eq!(m.live_procs(), 6);
+    let report = m.run(&trace);
+    assert_eq!(report.dead_procs, 2);
+    // Six processors × 500 refs completed.
+    assert_eq!(report.total_refs, 6 * 500);
+}
+
+#[test]
+fn touching_a_failed_home_kills_the_toucher_but_not_others() {
+    // proc 2 (node 1) uses a page homed on node 0; proc 4 (node 2) only
+    // uses private data. Node 0 fails: proc 2's application dies at its
+    // next fault, proc 4 finishes untouched.
+    let mut lanes: Vec<Vec<Op>> = vec![Vec::new(); 8];
+    lanes[2].push(Op::Write(VirtAddr(SHARED_BASE))); // page 0 → home node 0
+    for i in 0..200u64 {
+        lanes[4].push(Op::Read(private_va(4, i * 64)));
+    }
+    let trace = Trace {
+        name: "mixed".into(),
+        segments: vec![SegmentSpec { name: "s".into(), va_base: SHARED_BASE, bytes: 4096 }],
+        lanes,
+    };
+    let mut m = Machine::new(config());
+    m.fail_node(NodeId(0));
+    let report = m.run(&trace);
+    // Node 0's two processors plus the toucher died.
+    assert_eq!(report.dead_procs, 3);
+    assert_eq!(report.total_refs, 200 + 1, "private work completed");
+}
+
+#[test]
+fn barriers_release_survivors_when_a_participant_dies() {
+    // proc 2 needs node 0 (fails at its fault); everyone else reaches
+    // the barrier. A dead processor is dropped from the barrier: the
+    // machine must not deadlock. (The barrier releases when the last
+    // live participant arrives; the dead one is force-arrived by the
+    // machine's kill path.)
+    let mut lanes: Vec<Vec<Op>> = vec![Vec::new(); 8];
+    lanes[2].push(Op::Write(VirtAddr(SHARED_BASE)));
+    for lane in lanes.iter_mut() {
+        lane.push(Op::Barrier(0));
+        lane.push(Op::Compute(10));
+    }
+    let trace = Trace {
+        name: "barrier-after-death".into(),
+        segments: vec![SegmentSpec { name: "s".into(), va_base: SHARED_BASE, bytes: 4096 }],
+        lanes,
+    };
+    let mut m = Machine::new(config());
+    m.fail_node(NodeId(0));
+    let report = m.run(&trace);
+    assert!(report.dead_procs >= 3);
+    assert_eq!(report.barrier_episodes, 1, "survivors completed the barrier");
+}

@@ -1,0 +1,47 @@
+//! The reproduction's calibration contract: the microbenchmark measures
+//! every Table-1 latency class within tolerance of the paper's numbers
+//! on the default (paper) machine configuration.
+
+use prism_bench::run_table1;
+
+#[test]
+fn table1_rows_match_paper_within_tolerance() {
+    let rows = run_table1(None);
+    assert_eq!(rows.len(), 11, "all Table-1 access classes measured");
+    for row in rows {
+        let ratio = row.ratio();
+        assert!(
+            (0.85..=1.12).contains(&ratio),
+            "{}: measured {:.1} vs paper {} (ratio {ratio:.3})",
+            row.name,
+            row.measured,
+            row.paper
+        );
+    }
+}
+
+#[test]
+fn exact_rows_are_exact() {
+    // The cache-hierarchy rows have no queueing and must be exact.
+    let rows = run_table1(None);
+    let exact = |name: &str| rows.iter().find(|r| r.name == name).unwrap().measured;
+    assert_eq!(exact("L1 hit"), 1.0);
+    assert_eq!(exact("L1 miss, L2 hit"), 12.0);
+    assert_eq!(exact("Uncached, line in local memory"), 36.0);
+}
+
+#[test]
+fn dram_pit_increases_remote_latencies() {
+    use prism_core::MachineConfig;
+    let mut dram_cfg = MachineConfig::default();
+    dram_cfg.latency = dram_cfg.latency.with_dram_pit();
+    let sram = run_table1(None);
+    let dram = run_table1(Some(dram_cfg));
+    let remote = "Uncached, line in remote memory";
+    let s = sram.iter().find(|r| r.name == remote).unwrap().measured;
+    let d = dram.iter().find(|r| r.name == remote).unwrap().measured;
+    assert!(
+        d >= s + 14.0,
+        "DRAM PIT must add ≥2×8 cycles to remote fetches: {s} -> {d}"
+    );
+}

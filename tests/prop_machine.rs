@@ -1,0 +1,120 @@
+//! Property-based tests over the full machine: random multiprocessor
+//! access patterns must stay coherent under every policy, and the
+//! simulation must be a deterministic function of its inputs.
+
+use proptest::prelude::*;
+
+use prism::machine::machine::Machine;
+use prism::mem::addr::VirtAddr;
+use prism::mem::trace::{private_va, Op, SegmentSpec, Trace, SHARED_BASE};
+use prism::prelude::*;
+
+/// A compact encodable op for proptest generation.
+#[derive(Clone, Copy, Debug)]
+enum GenOp {
+    Shared { off: u16, write: bool },
+    Private { off: u16 },
+    Compute(u8),
+}
+
+fn gen_op() -> impl Strategy<Value = GenOp> {
+    prop_oneof![
+        4 => (any::<u16>(), any::<bool>()).prop_map(|(off, write)| GenOp::Shared { off, write }),
+        1 => any::<u16>().prop_map(|off| GenOp::Private { off }),
+        1 => any::<u8>().prop_map(GenOp::Compute),
+    ]
+}
+
+fn build_trace(per_proc: &[Vec<GenOp>], shared_pages: u64) -> Trace {
+    let bytes = shared_pages * 4096;
+    let lanes = per_proc
+        .iter()
+        .enumerate()
+        .map(|(p, ops)| {
+            let mut lane: Vec<Op> = ops
+                .iter()
+                .map(|op| match *op {
+                    GenOp::Shared { off, write } => {
+                        let va = VirtAddr(SHARED_BASE + off as u64 % bytes);
+                        if write {
+                            Op::Write(va)
+                        } else {
+                            Op::Read(va)
+                        }
+                    }
+                    GenOp::Private { off } => Op::Read(private_va(p, off as u64)),
+                    GenOp::Compute(c) => Op::Compute(c as u32 + 1),
+                })
+                .collect();
+            lane.push(Op::Barrier(0));
+            lane
+        })
+        .collect();
+    Trace {
+        name: "prop".into(),
+        segments: vec![SegmentSpec { name: "s".into(), va_base: SHARED_BASE, bytes }],
+        lanes,
+    }
+}
+
+fn config(policy: PolicyKind) -> MachineConfig {
+    let mut cfg = MachineConfig::builder()
+        .nodes(2)
+        .procs_per_node(2)
+        .l1_bytes(512)
+        .l1_assoc(1)
+        .l2_bytes(1024)
+        .l2_assoc(2)
+        .tlb_entries(4)
+        .check_coherence(true)
+        .build();
+    cfg.policy = policy.page_policy();
+    cfg.page_cache_capacity = policy.is_capacity_limited().then_some(3);
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random access interleavings stay coherent (the shadow checker
+    /// panics on any read of stale data) with pathologically small
+    /// caches, TLBs, and page caches.
+    #[test]
+    fn random_traces_are_coherent_under_all_policies(
+        per_proc in prop::collection::vec(prop::collection::vec(gen_op(), 1..150), 4),
+    ) {
+        let trace = build_trace(&per_proc, 4);
+        for policy in PolicyKind::ALL {
+            let report = Machine::new(config(policy)).run(&trace);
+            prop_assert!(report.reads_checked > 0 || report.total_refs == 0);
+        }
+    }
+
+    /// The simulator is a pure function: same trace, same report.
+    #[test]
+    fn simulation_is_a_pure_function(
+        per_proc in prop::collection::vec(prop::collection::vec(gen_op(), 1..100), 4),
+    ) {
+        let trace = build_trace(&per_proc, 4);
+        let a = Machine::new(config(PolicyKind::DynLru)).run(&trace);
+        let b = Machine::new(config(PolicyKind::DynLru)).run(&trace);
+        prop_assert_eq!(a.exec_cycles, b.exec_cycles);
+        prop_assert_eq!(a.remote_misses, b.remote_misses);
+        prop_assert_eq!(a.page_outs, b.page_outs);
+        prop_assert_eq!(a.ledger.total(), b.ledger.total());
+    }
+
+    /// Execution time is monotone in the latency model: making every
+    /// network message slower can never make the machine faster.
+    #[test]
+    fn slower_network_never_speeds_execution(
+        per_proc in prop::collection::vec(prop::collection::vec(gen_op(), 1..100), 4),
+    ) {
+        let trace = build_trace(&per_proc, 4);
+        let fast = Machine::new(config(PolicyKind::Scoma)).run(&trace);
+        let mut slow_cfg = config(PolicyKind::Scoma);
+        slow_cfg.latency.net *= 4;
+        let slow = Machine::new(slow_cfg).run(&trace);
+        prop_assert!(slow.exec_cycles >= fast.exec_cycles);
+    }
+}
