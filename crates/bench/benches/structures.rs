@@ -1,9 +1,14 @@
-//! Criterion microbenchmarks of the core data structures and the
-//! end-to-end access path — the performance-critical pieces of the
-//! simulator (and the structures whose hardware analogues the paper
-//! sizes: PIT, directory cache, fine-grain tags).
+//! Microbenchmarks of the core data structures and the end-to-end
+//! access path — the performance-critical pieces of the simulator (and
+//! the structures whose hardware analogues the paper sizes: PIT,
+//! directory cache, fine-grain tags).
+//!
+//! Self-contained harness (no external bench framework): each benchmark
+//! is timed over a fixed iteration count after a warm-up pass, and the
+//! per-iteration latency is printed as a table.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 
 use prism_core::mem::addr::{FrameNo, GlobalPage, Gsid, LineIdx, NodeId};
 use prism_core::mem::cache::{Cache, LineState};
@@ -15,7 +20,26 @@ use prism_core::sim::SimRng;
 use prism_core::{MachineConfig, PolicyKind, Simulation};
 use prism_workloads::Synthetic;
 
-fn bench_pit(c: &mut Criterion) {
+/// Times `iters` runs of `f` (after `iters / 10` warm-up runs) and
+/// prints the mean per-iteration latency.
+fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
+    for _ in 0..iters / 10 {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = start.elapsed();
+    let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+    if per_iter < 10_000.0 {
+        println!("{name:<40} {per_iter:>12.1} ns/iter");
+    } else {
+        println!("{name:<40} {:>12.1} µs/iter", per_iter / 1_000.0);
+    }
+}
+
+fn bench_pit() {
     let mut pit = Pit::new(4096);
     for i in 0..2048u32 {
         pit.insert(
@@ -23,161 +47,135 @@ fn bench_pit(c: &mut Criterion) {
             PitEntry::shared(GlobalPage::new(Gsid(0), i), FrameMode::Scoma, NodeId(0)),
         );
     }
-    c.bench_function("pit_translate", |b| {
-        let mut i = 0u32;
-        b.iter(|| {
-            i = (i + 1) % 2048;
-            black_box(pit.translate(FrameNo(i)))
-        })
+    let mut i = 0u32;
+    bench("pit_translate", 1_000_000, || {
+        i = (i + 1) % 2048;
+        black_box(pit.translate(FrameNo(i)));
     });
-    c.bench_function("pit_reverse_hint_hit", |b| {
-        let mut i = 0u32;
-        b.iter(|| {
-            i = (i + 1) % 2048;
-            black_box(pit.reverse(GlobalPage::new(Gsid(0), i), Some(FrameNo(i))))
-        })
+    let mut i = 0u32;
+    bench("pit_reverse_hint_hit", 1_000_000, || {
+        i = (i + 1) % 2048;
+        black_box(pit.reverse(GlobalPage::new(Gsid(0), i), Some(FrameNo(i))));
     });
-    c.bench_function("pit_reverse_hash", |b| {
-        let mut i = 0u32;
-        b.iter(|| {
-            i = (i + 1) % 2048;
-            black_box(pit.reverse(GlobalPage::new(Gsid(0), i), None))
-        })
+    let mut i = 0u32;
+    bench("pit_reverse_hash", 1_000_000, || {
+        i = (i + 1) % 2048;
+        black_box(pit.reverse(GlobalPage::new(Gsid(0), i), None));
     });
 }
 
-fn bench_cache(c: &mut Criterion) {
+fn bench_cache() {
     let mut cache = Cache::new("bench-l2", 32 * 1024, 4, 6);
     let mut rng = SimRng::new(1);
-    c.bench_function("cache_touch_insert", |b| {
-        b.iter(|| {
-            let line = rng.gen_range(0..4096);
-            if cache.touch(line).is_none() {
-                cache.insert(line, LineState::Shared);
-            }
-        })
+    bench("cache_touch_insert", 1_000_000, || {
+        let line = rng.gen_range(0..4096);
+        if cache.touch(line).is_none() {
+            cache.insert(line, LineState::Shared);
+        }
     });
 }
 
-fn bench_tags(c: &mut Criterion) {
+fn bench_tags() {
     let mut tags = TagArray::new(1024, 64);
     for f in 0..1024u32 {
         tags.allocate(FrameNo(f), LineTag::Invalid);
     }
     let mut rng = SimRng::new(2);
-    c.bench_function("tags_get_set", |b| {
-        b.iter(|| {
-            let f = FrameNo(rng.gen_range(0..1024) as u32);
-            let l = LineIdx(rng.gen_range(0..64) as u16);
-            let t = tags.get(f, l);
-            tags.set(f, l, if t == LineTag::Invalid { LineTag::Shared } else { LineTag::Invalid });
-        })
+    bench("tags_get_set", 1_000_000, || {
+        let f = FrameNo(rng.gen_range(0..1024) as u32);
+        let l = LineIdx(rng.gen_range(0..64) as u16);
+        let t = tags.get(f, l);
+        tags.set(
+            f,
+            l,
+            if t == LineTag::Invalid {
+                LineTag::Shared
+            } else {
+                LineTag::Invalid
+            },
+        );
     });
-    c.bench_function("tags_invalid_count", |b| {
-        let mut f = 0u32;
-        b.iter(|| {
-            f = (f + 1) % 1024;
-            black_box(tags.count(FrameNo(f), LineTag::Invalid))
-        })
+    let mut f = 0u32;
+    bench("tags_invalid_count", 1_000_000, || {
+        f = (f + 1) % 1024;
+        black_box(tags.count(FrameNo(f), LineTag::Invalid));
     });
 }
 
-fn bench_dir_cache(c: &mut Criterion) {
+fn bench_dir_cache() {
     let mut dc = DirCache::new(8192, 8);
     let mut rng = SimRng::new(3);
-    c.bench_function("dir_cache_probe", |b| {
-        b.iter(|| {
-            let gp = GlobalPage::new(Gsid(0), rng.gen_range(0..512) as u32);
-            black_box(dc.probe(gp.line(LineIdx(rng.gen_range(0..64) as u16))))
-        })
+    bench("dir_cache_probe", 1_000_000, || {
+        let gp = GlobalPage::new(Gsid(0), rng.gen_range(0..512) as u32);
+        black_box(dc.probe(gp.line(LineIdx(rng.gen_range(0..64) as u16))));
     });
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let cfg = MachineConfig::builder()
-        .nodes(4)
-        .procs_per_node(2)
-        .build();
+fn bench_end_to_end() {
+    let cfg = MachineConfig::builder().nodes(4).procs_per_node(2).build();
     let workload = Synthetic::uniform(8, 256 * 1024, 2_000);
     let trace = prism_workloads::Workload::generate(&workload, 8);
-    let mut group = c.benchmark_group("end_to_end");
-    group.sample_size(20);
     // Simulator throughput under each page-mode policy: how fast the
     // whole TLB→cache→tags→directory pipeline executes references.
     for policy in [PolicyKind::Scoma, PolicyKind::Lanuma, PolicyKind::DynLru] {
-        group.bench_function(format!("simulate_16k_refs_{policy}"), |b| {
-            b.iter(|| {
-                let sim = Simulation::new(cfg.clone(), policy).with_page_cache_capacity(16);
-                black_box(sim.run_trace(&trace).expect("runs"))
-            })
+        bench(&format!("simulate_16k_refs_{policy}"), 20, || {
+            let sim = Simulation::new(cfg.clone(), policy).with_page_cache_capacity(16);
+            black_box(sim.run_trace(&trace).expect("runs"));
         });
     }
-    group.finish();
 }
 
-fn bench_workload_generation(c: &mut Criterion) {
+fn bench_workload_generation() {
     use prism_workloads::{app, AppId, Scale};
-    let mut group = c.benchmark_group("tracegen");
-    group.sample_size(10);
     for id in [AppId::Fft, AppId::Radix, AppId::Barnes] {
-        group.bench_function(format!("generate_{id}_small"), |b| {
-            let w = app(id, Scale::Small);
-            b.iter(|| black_box(w.generate(8)))
+        let w = app(id, Scale::Small);
+        bench(&format!("generate_{id}_small"), 10, || {
+            black_box(w.generate(8));
         });
     }
-    group.finish();
 }
 
-fn bench_trace_io(c: &mut Criterion) {
+fn bench_trace_io() {
     use prism_core::mem::trace_io::{read_trace, write_trace};
     use prism_workloads::{app, AppId, Scale};
     let trace = app(AppId::Lu, Scale::Small).generate(8);
     let mut buf = Vec::new();
     write_trace(&trace, &mut buf).expect("serialize");
-    let mut group = c.benchmark_group("trace_io");
-    group.sample_size(20);
-    group.bench_function("write_prtr", |b| {
-        b.iter(|| {
-            let mut out = Vec::with_capacity(buf.len());
-            write_trace(&trace, &mut out).expect("serialize");
-            black_box(out)
-        })
+    bench("write_prtr", 50, || {
+        let mut out = Vec::with_capacity(buf.len());
+        write_trace(&trace, &mut out).expect("serialize");
+        black_box(out);
     });
-    group.bench_function("read_prtr", |b| {
-        b.iter(|| black_box(read_trace(&mut buf.as_slice()).expect("parse")))
+    bench("read_prtr", 50, || {
+        black_box(read_trace(&mut buf.as_slice()).expect("parse"));
     });
-    group.finish();
 }
 
-fn bench_dir_transition(c: &mut Criterion) {
-    use prism_core::mem::addr::{NodeId, NodeSet};
+fn bench_dir_transition() {
+    use prism_core::mem::addr::NodeSet;
     use prism_core::mem::directory::LineDir;
     use prism_core::mem::tags::LineTag as T;
     use prism_core::protocol::dirproto::{transition, ReqKind};
     let sharers: NodeSet = [NodeId(1), NodeId(3), NodeId(5)].into_iter().collect();
-    c.bench_function("dir_transition_multi_sharer_write", |b| {
-        b.iter(|| {
-            black_box(transition(
-                LineDir::Shared(sharers),
-                T::Shared,
-                false,
-                NodeId(2),
-                ReqKind::Write,
-                false,
-            ))
-        })
+    bench("dir_transition_multi_sharer_write", 1_000_000, || {
+        black_box(transition(
+            LineDir::Shared(sharers),
+            T::Shared,
+            false,
+            NodeId(2),
+            ReqKind::Write,
+            false,
+        ));
     });
 }
 
-criterion_group!(
-    benches,
-    bench_pit,
-    bench_cache,
-    bench_tags,
-    bench_dir_cache,
-    bench_end_to_end,
-    bench_workload_generation,
-    bench_trace_io,
-    bench_dir_transition
-);
-criterion_main!(benches);
+fn main() {
+    bench_pit();
+    bench_cache();
+    bench_tags();
+    bench_dir_cache();
+    bench_end_to_end();
+    bench_workload_generation();
+    bench_trace_io();
+    bench_dir_transition();
+}

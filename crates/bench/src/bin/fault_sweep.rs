@@ -1,0 +1,87 @@
+//! Fault-tolerance sweep: message-loss probability × retry budget.
+//!
+//! Every lost or corrupted protocol message is retried with exponential
+//! backoff up to `RetryPolicy::max_attempts`; a message that exhausts
+//! its budget kills the requesting processor (fail-stop containment).
+//! The sweep shows the tradeoff: a budget of 1 turns every fault fatal,
+//! while a handful of attempts absorbs even percent-level loss at a
+//! modest slowdown.
+//!
+//! ```text
+//! cargo run --release -p prism-bench --bin fault_sweep
+//! ```
+
+use prism_core::machine::machine::Machine;
+use prism_core::machine::{FaultPlan, RetryPolicy};
+use prism_core::MachineConfig;
+use prism_workloads::{app, AppId, Scale};
+
+const DROP_RATES: [f64; 5] = [0.001, 0.005, 0.01, 0.02, 0.05];
+const BUDGETS: [u32; 5] = [1, 2, 3, 5, 8];
+const SEED: u64 = 0xFA117;
+
+fn config(max_attempts: u32) -> MachineConfig {
+    let mut cfg = MachineConfig::builder().nodes(4).procs_per_node(2).build();
+    cfg.retry = RetryPolicy {
+        max_attempts,
+        ..RetryPolicy::default()
+    };
+    cfg
+}
+
+fn main() {
+    let trace = app(AppId::Ocean, Scale::Small).generate(8);
+    let clean = Machine::new(config(RetryPolicy::default().max_attempts)).run(&trace);
+    let clean_cycles = clean.exec_cycles.as_u64() as f64;
+    println!("Ocean/Small on 4 nodes x 2 procs; corruption rate = drop rate / 5; seed {SEED:#x}");
+    println!("Cell: dead processors (fatal faults), or slowdown vs fault-free when all survive\n");
+
+    print!("{:<12}", "drop rate");
+    for b in BUDGETS {
+        print!(" {:>12}", format!("attempts={b}"));
+    }
+    println!();
+    for p in DROP_RATES {
+        print!("{:<12}", format!("{:.1}%", p * 100.0));
+        for b in BUDGETS {
+            let mut m = Machine::new(config(b));
+            m.install_fault_plan(FaultPlan::new(SEED).link_faults(p, p / 5.0));
+            let r = m.run(&trace);
+            let cell = if r.dead_procs > 0 {
+                format!("{} dead", r.dead_procs)
+            } else {
+                format!(
+                    "+{:.2}%",
+                    (r.exec_cycles.as_u64() as f64 / clean_cycles - 1.0) * 100.0
+                )
+            };
+            print!(" {cell:>12}");
+        }
+        println!();
+    }
+
+    // A second cut: how much of the absorbed loss each budget actually
+    // needed. Retries tell the cost story even when nobody dies.
+    println!("\nRetries issued (same cells):");
+    print!("{:<12}", "drop rate");
+    for b in BUDGETS {
+        print!(" {:>12}", format!("attempts={b}"));
+    }
+    println!();
+    for p in DROP_RATES {
+        print!("{:<12}", format!("{:.1}%", p * 100.0));
+        for b in BUDGETS {
+            let mut m = Machine::new(config(b));
+            m.install_fault_plan(FaultPlan::new(SEED).link_faults(p, p / 5.0));
+            let r = m.run(&trace);
+            print!(" {:>12}", r.fault.retries);
+        }
+        println!();
+    }
+
+    println!(
+        "\nWith one attempt every perturbed message is fatal; already the first\n\
+         retry absorbs even 5% loss at these trace lengths, and the only cost\n\
+         is backoff time. The retry budget buys survival, not speed."
+    );
+}

@@ -18,7 +18,10 @@ fn main() {
     let trace = workload.generate(base.total_procs());
 
     println!("Lazy home migration on a migratory-sharing workload");
-    println!("{:<22} {:>14} {:>10} {:>10} {:>10}", "Config", "Exec (cycles)", "Remote", "Migrations", "Forwards");
+    println!(
+        "{:<22} {:>14} {:>10} {:>10} {:>10}",
+        "Config", "Exec (cycles)", "Remote", "Migrations", "Forwards"
+    );
     for (name, cfg) in [("fixed homes", base), ("lazy migration", migr)] {
         let r = Simulation::new(cfg, PolicyKind::Scoma)
             .run_trace(&trace)

@@ -30,8 +30,8 @@ fn main() {
             .with_page_cache_capacity(cap)
             .run_trace(&trace)
             .expect("flag off");
-        let saved = 1.0
-            - with_flag.exec_cycles.as_u64() as f64 / without_flag.exec_cycles.as_u64() as f64;
+        let saved =
+            1.0 - with_flag.exec_cycles.as_u64() as f64 / without_flag.exec_cycles.as_u64() as f64;
         println!(
             "{:<12} {:>14} {:>14} {:>8.1}% {:>12}",
             id.to_string(),

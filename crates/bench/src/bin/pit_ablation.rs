@@ -13,7 +13,10 @@ fn main() {
     dram.latency = dram.latency.with_dram_pit();
 
     println!("PIT technology sensitivity (LANUMA pages exercise the PIT on every remote access)");
-    println!("{:<12} {:>14} {:>14} {:>9}", "Application", "SRAM (cycles)", "DRAM (cycles)", "Slowdown");
+    println!(
+        "{:<12} {:>14} {:>14} {:>9}",
+        "Application", "SRAM (cycles)", "DRAM (cycles)", "Slowdown"
+    );
     for (id, w) in suite(Scale::Paper) {
         let trace = w.generate(sram.total_procs());
         let a = Simulation::new(sram.clone(), PolicyKind::Lanuma)

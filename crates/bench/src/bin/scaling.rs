@@ -13,14 +13,20 @@ fn main() {
         .find(|a| a.to_string().eq_ignore_ascii_case(&which))
         .unwrap_or(AppId::Fft);
     let workload = app(id, Scale::Paper);
-    println!("scaling {} across machine sizes (4 processors per node)", id);
+    println!(
+        "scaling {} across machine sizes (4 processors per node)",
+        id
+    );
     println!(
         "{:>6} {:>6} {:>16} {:>16} {:>9} {:>9}",
         "nodes", "procs", "SCOMA cycles", "LANUMA cycles", "SCOMA ×", "LANUMA ×"
     );
     let mut base: Option<(u64, u64)> = None;
     for nodes in [1usize, 2, 4, 8, 16] {
-        let cfg = MachineConfig::builder().nodes(nodes).procs_per_node(4).build();
+        let cfg = MachineConfig::builder()
+            .nodes(nodes)
+            .procs_per_node(4)
+            .build();
         let trace = workload.generate(cfg.total_procs());
         let scoma = Simulation::new(cfg.clone(), PolicyKind::Scoma)
             .run_trace(&trace)

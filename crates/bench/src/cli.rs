@@ -280,13 +280,19 @@ pub fn execute(cmd: Command) -> Result<(), CliError> {
             let report = sim.run_trace(&trace).map_err(|e| CliError(e.to_string()))?;
             println!("{report}");
             println!("{}", prism_core::Analysis::of(&report));
-            println!("
+            println!(
+                "
 per-node balance:
-{}", prism_core::render_node_balance(&report));
+{}",
+                prism_core::render_node_balance(&report)
+            );
             Ok(())
         }
         Command::Sweep(a) => {
-            let cfg = MachineConfig::builder().nodes(a.nodes).procs_per_node(a.ppn).build();
+            let cfg = MachineConfig::builder()
+                .nodes(a.nodes)
+                .procs_per_node(a.ppn)
+                .build();
             let workload = app(a.app, a.scale);
             let result = prism_core::sweep(&cfg, workload.as_ref(), &PolicyKind::ALL)
                 .map_err(|e| CliError(e.to_string()))?;
@@ -301,7 +307,10 @@ per-node balance:
                     workload.description(),
                     result.capacity
                 );
-                println!("{:<10} {:>10} {:>12} {:>10}", "Config", "Normalized", "Remote", "Page-outs");
+                println!(
+                    "{:<10} {:>10} {:>12} {:>10}",
+                    "Config", "Normalized", "Remote", "Page-outs"
+                );
                 for p in PolicyKind::ALL {
                     let r = &result.reports[&p];
                     println!(
@@ -368,7 +377,10 @@ mod tests {
 
     #[test]
     fn parses_tracegen() {
-        let cmd = parse(&argv("tracegen --app lu --out /tmp/x.prtr --procs 8 --scale small")).unwrap();
+        let cmd = parse(&argv(
+            "tracegen --app lu --out /tmp/x.prtr --procs 8 --scale small",
+        ))
+        .unwrap();
         match cmd {
             Command::TraceGen(a) => {
                 assert_eq!(a.app, AppId::Lu);
@@ -381,7 +393,10 @@ mod tests {
 
     #[test]
     fn parses_sweep() {
-        let cmd = parse(&argv("sweep --app radix --scale small --nodes 4 --ppn 2 --csv")).unwrap();
+        let cmd = parse(&argv(
+            "sweep --app radix --scale small --nodes 4 --ppn 2 --csv",
+        ))
+        .unwrap();
         match cmd {
             Command::Sweep(a) => {
                 assert_eq!(a.app, AppId::Radix);

@@ -30,7 +30,10 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
 pub fn render_table2(scale: Scale) -> String {
     let mut out = String::new();
     out.push_str("Table 2: application benchmark types and data sets\n");
-    out.push_str(&format!("{:<12} {}\n", "Application", "Problem Description and Size"));
+    out.push_str(&format!(
+        "{:<12} {}\n",
+        "Application", "Problem Description and Size"
+    ));
     for (id, w) in suite(scale) {
         out.push_str(&format!("{:<12} {}\n", id.to_string(), w.description()));
     }
@@ -60,7 +63,13 @@ pub fn render_figure7(run: &SuiteRun) -> String {
         for p in PolicyKind::ALL {
             let v = sweep.normalized_time(p);
             let bar = "#".repeat(((v.min(4.0)) * 12.0) as usize);
-            out.push_str(&format!("{:<12} {:<9} {:>5.2} |{}\n", id.to_string(), p.to_string(), v, bar));
+            out.push_str(&format!(
+                "{:<12} {:<9} {:>5.2} |{}\n",
+                id.to_string(),
+                p.to_string(),
+                v,
+                bar
+            ));
         }
         out.push('\n');
     }

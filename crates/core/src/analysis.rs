@@ -36,7 +36,8 @@ impl Analysis {
         let refs = report.total_refs.max(1) as f64;
         let l1_total = (report.l1_hits + report.l1_misses).max(1) as f64;
         let l2_total = (report.l2_hits + report.l2_misses).max(1) as f64;
-        let fills = (report.local_fills + report.sibling_fills + report.remote_misses).max(1) as f64;
+        let fills =
+            (report.local_fills + report.sibling_fills + report.remote_misses).max(1) as f64;
         let (fmax, fmin) = report
             .per_node
             .iter()
@@ -82,7 +83,11 @@ impl fmt::Display for Analysis {
             self.messages_per_ref,
             self.fault_rate * 100.0
         )?;
-        write!(f, "  client-fault imbalance across nodes: {:.2}x", self.fault_imbalance)
+        write!(
+            f,
+            "  client-fault imbalance across nodes: {:.2}x",
+            self.fault_imbalance
+        )
     }
 }
 

@@ -153,9 +153,16 @@ mod tests {
     #[test]
     fn capacity_derivation_uses_max_node() {
         let w = Synthetic::uniform(4, 64 * 1024, 1_000);
-        let scoma = Simulation::new(config(), PolicyKind::Scoma).run(&w).unwrap();
+        let scoma = Simulation::new(config(), PolicyKind::Scoma)
+            .run(&w)
+            .unwrap();
         let cap = derive_scoma70_capacity(&scoma, 0.70);
-        let max_client = scoma.per_node.iter().map(|n| n.pool.scoma_client).max().unwrap();
+        let max_client = scoma
+            .per_node
+            .iter()
+            .map(|n| n.pool.scoma_client)
+            .max()
+            .unwrap();
         assert_eq!(cap, ((max_client as f64 * 0.7).ceil() as usize).max(1));
     }
 
@@ -166,19 +173,17 @@ mod tests {
         let rows = result.csv_rows();
         assert_eq!(rows.len(), 6);
         for row in &rows {
-            assert_eq!(row.split(',').count(), SweepResult::csv_header().split(',').count());
+            assert_eq!(
+                row.split(',').count(),
+                SweepResult::csv_header().split(',').count()
+            );
         }
     }
 
     #[test]
     fn scoma70_pages_out_when_capacity_binds() {
         let w = Synthetic::uniform(4, 256 * 1024, 4_000);
-        let result = sweep(
-            &config(),
-            &w,
-            &[PolicyKind::Scoma, PolicyKind::Scoma70],
-        )
-        .unwrap();
+        let result = sweep(&config(), &w, &[PolicyKind::Scoma, PolicyKind::Scoma70]).unwrap();
         assert_eq!(result.reports[&PolicyKind::Scoma].page_outs, 0);
         assert!(result.reports[&PolicyKind::Scoma70].page_outs > 0);
     }

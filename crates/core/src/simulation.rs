@@ -158,7 +158,13 @@ mod tests {
         let sim = Simulation::new(small_config(), PolicyKind::Scoma);
         let trace = Synthetic::uniform(4, 4096, 10).generate(3);
         let err = sim.run_trace(&trace).unwrap_err();
-        assert_eq!(err, SimError::LaneMismatch { machine: 4, trace: 3 });
+        assert_eq!(
+            err,
+            SimError::LaneMismatch {
+                machine: 4,
+                trace: 3
+            }
+        );
         assert!(err.to_string().contains("3 lanes"));
     }
 
@@ -177,8 +183,12 @@ mod tests {
     #[test]
     fn policies_produce_different_behaviour() {
         let w = Synthetic::uniform(4, 128 * 1024, 3_000);
-        let scoma = Simulation::new(small_config(), PolicyKind::Scoma).run(&w).unwrap();
-        let lanuma = Simulation::new(small_config(), PolicyKind::Lanuma).run(&w).unwrap();
+        let scoma = Simulation::new(small_config(), PolicyKind::Scoma)
+            .run(&w)
+            .unwrap();
+        let lanuma = Simulation::new(small_config(), PolicyKind::Lanuma)
+            .run(&w)
+            .unwrap();
         // LA-NUMA has no page cache: strictly more remote misses.
         assert!(lanuma.remote_misses > scoma.remote_misses);
     }

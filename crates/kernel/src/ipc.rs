@@ -32,7 +32,10 @@ impl HomeMap {
     /// Panics if `nodes` is zero.
     pub fn new(nodes: u16) -> HomeMap {
         assert!(nodes > 0, "machine needs at least one node");
-        HomeMap { nodes, placements: Vec::new() }
+        HomeMap {
+            nodes,
+            placements: Vec::new(),
+        }
     }
 
     /// Restricts segment `gsid`'s pages to the nodes
@@ -42,7 +45,10 @@ impl HomeMap {
     ///
     /// Panics if the range is empty or exceeds the machine.
     pub fn place_segment(&mut self, gsid: u32, first: u16, count: u16) {
-        assert!(count > 0 && first + count <= self.nodes, "bad placement range");
+        assert!(
+            count > 0 && first + count <= self.nodes,
+            "bad placement range"
+        );
         self.placements.retain(|&(g, _, _)| g != gsid);
         self.placements.push((gsid, first, count));
     }

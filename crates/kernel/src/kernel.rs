@@ -205,11 +205,7 @@ impl Kernel {
             let len = spec.bytes.next_multiple_of(self.geom.page_bytes());
             // Idempotent for warm re-runs: an identical attachment is
             // kept; anything conflicting is a caller bug caught below.
-            if let Some(existing) = self
-                .segments
-                .iter()
-                .find(|a| a.va_base == spec.va_base)
-            {
+            if let Some(existing) = self.segments.iter().find(|a| a.va_base == spec.va_base) {
                 assert_eq!(
                     (existing.bytes, existing.gsid),
                     (len, Gsid(i as u32)),
@@ -218,7 +214,8 @@ impl Kernel {
                 );
                 continue;
             }
-            self.segments.attach(spec.va_base, len, Gsid(i as u32), &self.geom);
+            self.segments
+                .attach(spec.va_base, len, Gsid(i as u32), &self.geom);
         }
     }
 
@@ -239,8 +236,7 @@ impl Kernel {
         self.segments
             .iter()
             .find(|a| {
-                a.gsid == gpage.gsid
-                    && (gpage.page as u64) < a.bytes.div_ceil(geom.page_bytes())
+                a.gsid == gpage.gsid && (gpage.page as u64) < a.bytes.div_ceil(geom.page_bytes())
             })
             .map(|a| (a.va_base >> geom.page_log2()) + gpage.page as u64)
     }
@@ -344,7 +340,13 @@ impl Kernel {
             .alloc(FrameClass::Local)
             .expect("out of local memory for private pages");
         self.usage.on_alloc(frame);
-        self.page_table.map(vpage, Pte { frame, mode: FrameMode::Local });
+        self.page_table.map(
+            vpage,
+            Pte {
+                frame,
+                mode: FrameMode::Local,
+            },
+        );
         self.stats.faults_private += 1;
         frame
     }
@@ -378,7 +380,13 @@ impl Kernel {
     /// (a home-node fault, paper §3.3 "External Paging").
     pub fn commit_home_fault(&mut self, vpage: u64, gpage: GlobalPage, frame: FrameNo) {
         debug_assert_eq!(self.resident_home.get(&gpage), Some(&frame));
-        self.page_table.map(vpage, Pte { frame, mode: FrameMode::Scoma });
+        self.page_table.map(
+            vpage,
+            Pte {
+                frame,
+                mode: FrameMode::Scoma,
+            },
+        );
         self.stats.faults_home += 1;
     }
 
@@ -697,7 +705,11 @@ mod tests {
         assert_eq!(plan.mode, FrameMode::LaNuma);
         let f = k.commit_client_fault(13, gp, FrameMode::LaNuma, true);
         assert!(f.is_imaginary());
-        assert_eq!(k.page_cache_len(), 0, "imaginary frames bypass the page cache");
+        assert_eq!(
+            k.page_cache_len(),
+            0,
+            "imaginary frames bypass the page cache"
+        );
         let f2 = k.unmap_lanuma(13);
         assert_eq!(f, f2);
         assert!(k.lookup(13).is_none());

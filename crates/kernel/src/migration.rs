@@ -81,7 +81,9 @@ impl MigrationPolicy {
     /// Returns the node the dynamic home should move to, if migration is
     /// warranted now. `current_home` never migrates to itself.
     pub fn evaluate(&self, current_home: NodeId, traffic: &PageTraffic) -> Option<NodeId> {
-        if traffic.total() < self.min_traffic || !traffic.total().is_multiple_of(self.check_interval) {
+        if traffic.total() < self.min_traffic
+            || !traffic.total().is_multiple_of(self.check_interval)
+        {
             return None;
         }
         let (top, count) = traffic.top_requester()?;

@@ -226,7 +226,12 @@ mod tests {
     #[test]
     fn scoma_with_space_takes_scoma() {
         let pc = PageCache::new(Some(2));
-        for policy in [PagePolicy::Scoma, PagePolicy::DynFcfs, PagePolicy::DynUtil, PagePolicy::DynLru] {
+        for policy in [
+            PagePolicy::Scoma,
+            PagePolicy::DynFcfs,
+            PagePolicy::DynUtil,
+            PagePolicy::DynLru,
+        ] {
             let d = decide_client_mode(policy, &pc, &empty_query());
             assert_eq!(d.mode, FrameMode::Scoma, "{policy:?}");
             assert!(d.evict.is_none(), "{policy:?}");
@@ -241,7 +246,10 @@ mod tests {
         assert_eq!(d.mode, FrameMode::Scoma);
         assert_eq!(
             d.evict,
-            Some(EvictDecision { gpage: g(1), convert_to_lanuma: false })
+            Some(EvictDecision {
+                gpage: g(1),
+                convert_to_lanuma: false
+            })
         );
     }
 
@@ -263,7 +271,10 @@ mod tests {
         let d = decide_client_mode(PagePolicy::DynUtil, &pc, &q);
         assert_eq!(
             d.evict,
-            Some(EvictDecision { gpage: g(1), convert_to_lanuma: true })
+            Some(EvictDecision {
+                gpage: g(1),
+                convert_to_lanuma: true
+            })
         );
     }
 
@@ -296,7 +307,10 @@ mod tests {
         let d = decide_client_mode(PagePolicy::DynLru, &pc, &empty_query());
         assert_eq!(
             d.evict,
-            Some(EvictDecision { gpage: g(0), convert_to_lanuma: true })
+            Some(EvictDecision {
+                gpage: g(0),
+                convert_to_lanuma: true
+            })
         );
         assert_eq!(d.mode, FrameMode::Scoma);
     }

@@ -47,8 +47,7 @@ impl Machine {
                     return;
                 }
             }
-            let frame = self
-                .nodes[n]
+            let frame = self.nodes[n]
                 .kernel
                 .lookup(vpage)
                 .expect("fault handler mapped the page")
@@ -65,7 +64,11 @@ impl Machine {
         // Per-access bookkeeping (frame utilization, page-cache LRU,
         // shadow line identity).
         let gpage = if mode.is_shared() {
-            self.nodes[n].controller.pit.translate(frame).map(|e| e.gpage)
+            self.nodes[n]
+                .controller
+                .pit
+                .translate(frame)
+                .map(|e| e.gpage)
         } else {
             None
         };
@@ -112,7 +115,9 @@ impl Machine {
             }
             Some(st) if st.is_writable() => {
                 t += Cycle(lat.l2_hit);
-                self.nodes[n].procs[pi].l2.set_state(key, LineState::Modified);
+                self.nodes[n].procs[pi]
+                    .l2
+                    .set_state(key, LineState::Modified);
                 self.fill_l1(n, pi, key, LineState::Modified, lid);
                 self.nodes[n].procs[pi].clock = t;
                 if let Some(sh) = self.shadow.as_mut() {
@@ -125,7 +130,19 @@ impl Machine {
         let has_shared_copy = matches!(l2_state, Some(LineState::Shared));
 
         // Node-level action, dispatched on the frame mode (paper Fig. 4).
-        t = self.node_level(n, pi, frame, mode, gpage, line, key, lid, write, has_shared_copy, t);
+        t = self.node_level(
+            n,
+            pi,
+            frame,
+            mode,
+            gpage,
+            line,
+            key,
+            lid,
+            write,
+            has_shared_copy,
+            t,
+        );
         if self.nodes[n].procs[pi].state != ProcState::Dead {
             self.nodes[n].procs[pi].clock = t;
         }
@@ -157,7 +174,9 @@ impl Machine {
                     key,
                     lid,
                     write,
-                    FillBacking::Memory { authoritative: true },
+                    FillBacking::Memory {
+                        authoritative: true,
+                    },
                     LineState::Exclusive,
                     t,
                 )
@@ -176,11 +195,30 @@ impl Machine {
                         // lines hold initial data); a client page cache
                         // only holds what was fetched.
                         let authoritative = self.resolve_dyn_home(gp).0 as usize == n;
-                        self.intra_node_fill(n, pi, key, lid, write, FillBacking::Memory { authoritative }, read_cap, t)
+                        self.intra_node_fill(
+                            n,
+                            pi,
+                            key,
+                            lid,
+                            write,
+                            FillBacking::Memory { authoritative },
+                            read_cap,
+                            t,
+                        )
                     }
-                    TagAction::Upgrade => {
-                        self.remote_access(n, pi, frame, gp, line, key, lid, true, has_shared_copy, true, t)
-                    }
+                    TagAction::Upgrade => self.remote_access(
+                        n,
+                        pi,
+                        frame,
+                        gp,
+                        line,
+                        key,
+                        lid,
+                        true,
+                        has_shared_copy,
+                        true,
+                        t,
+                    ),
                     TagAction::FetchShared => {
                         self.remote_access(n, pi, frame, gp, line, key, lid, false, false, true, t)
                     }
@@ -202,23 +240,47 @@ impl Machine {
                         // after read sharing), needing only a local bus
                         // upgrade.
                         if self.sibling_with_copy(n, pi, key).is_some() {
-                            self.intra_node_fill(n, pi, key, lid, write, FillBacking::CacheOnly, LineState::Shared, t)
+                            self.intra_node_fill(
+                                n,
+                                pi,
+                                key,
+                                lid,
+                                write,
+                                FillBacking::CacheOnly,
+                                LineState::Shared,
+                                t,
+                            )
                         } else if write && has_shared_copy {
                             self.local_bus_upgrade(n, pi, key, lid, t)
                         } else {
                             debug_assert!(false, "LA-NUMA node state without a local copy: node {n} proc {pi} frame {frame} line {line} tag {tag:?} write {write}");
-                            self.remote_access(n, pi, frame, gp, line, key, lid, write, false, false, t)
+                            self.remote_access(
+                                n, pi, frame, gp, line, key, lid, write, false, false, t,
+                            )
                         }
                     }
-                    TagAction::Upgrade => {
-                        self.remote_access(n, pi, frame, gp, line, key, lid, true, has_shared_copy, false, t)
-                    }
+                    TagAction::Upgrade => self.remote_access(
+                        n,
+                        pi,
+                        frame,
+                        gp,
+                        line,
+                        key,
+                        lid,
+                        true,
+                        has_shared_copy,
+                        false,
+                        t,
+                    ),
                     TagAction::FetchShared => {
-                        let t = self.remote_access(n, pi, frame, gp, line, key, lid, false, false, false, t);
+                        let t = self.remote_access(
+                            n, pi, frame, gp, line, key, lid, false, false, false, t,
+                        );
                         self.maybe_reconvert_lanuma(n, pi, frame, gp, t)
                     }
                     TagAction::FetchExclusive => {
-                        let t = self.remote_access(n, pi, frame, gp, line, key, lid, true, false, false, t);
+                        let t = self
+                            .remote_access(n, pi, frame, gp, line, key, lid, true, false, false, t);
                         self.maybe_reconvert_lanuma(n, pi, frame, gp, t)
                     }
                 }
@@ -236,9 +298,13 @@ impl Machine {
         if let Some(sh) = self.shadow.as_mut() {
             sh.observe_hit(flat, lid);
         }
-        self.nodes[n].procs[pi].l2.set_state(key, LineState::Modified);
+        self.nodes[n].procs[pi]
+            .l2
+            .set_state(key, LineState::Modified);
         if self.nodes[n].procs[pi].l1.probe(key).is_some() {
-            self.nodes[n].procs[pi].l1.set_state(key, LineState::Modified);
+            self.nodes[n].procs[pi]
+                .l1
+                .set_state(key, LineState::Modified);
         } else {
             self.fill_l1(n, pi, key, LineState::Modified, lid);
         }
@@ -251,7 +317,12 @@ impl Machine {
 
     /// The sibling processor (same node, different processor) holding a
     /// copy of `key`, preferring a Modified holder.
-    pub(crate) fn sibling_with_copy(&self, n: usize, pi: usize, key: u64) -> Option<(usize, LineState)> {
+    pub(crate) fn sibling_with_copy(
+        &self,
+        n: usize,
+        pi: usize,
+        key: u64,
+    ) -> Option<(usize, LineState)> {
         let mut found: Option<(usize, LineState)> = None;
         for spi in 0..self.ppn() {
             if spi == pi {
@@ -294,7 +365,9 @@ impl Machine {
             } else {
                 lat.bus_addr + lat.mem_access + lat.bus_data
             };
-            t = self.nodes[n].bus.acquire_until(t, Cycle(lat.bus_addr + lat.bus_data));
+            t = self.nodes[n]
+                .bus
+                .acquire_until(t, Cycle(lat.bus_addr + lat.bus_data));
             t += Cycle(cost - lat.bus_addr - lat.bus_data);
             if write {
                 // Data comes cache-to-cache, then every sibling copy is
@@ -339,9 +412,13 @@ impl Machine {
                         self.lanuma_demote_to_shared(n, key, lid, sflat, t);
                     }
                 } else if sstate == LineState::Exclusive {
-                    self.nodes[n].procs[spi].l2.set_state(key, LineState::Shared);
+                    self.nodes[n].procs[spi]
+                        .l2
+                        .set_state(key, LineState::Shared);
                     if self.nodes[n].procs[spi].l1.probe(key).is_some() {
-                        self.nodes[n].procs[spi].l1.set_state(key, LineState::Shared);
+                        self.nodes[n].procs[spi]
+                            .l1
+                            .set_state(key, LineState::Shared);
                     }
                 }
                 if let Some(sh) = self.shadow.as_mut() {
@@ -355,9 +432,16 @@ impl Machine {
                 memory_backed,
                 "intra-node fill from memory on a memory-less frame"
             );
-            t = self.nodes[n].bus.acquire_until(t, Cycle(lat.bus_addr + lat.bus_data));
+            t = self.nodes[n]
+                .bus
+                .acquire_until(t, Cycle(lat.bus_addr + lat.bus_data));
             t = self.nodes[n].memory.acquire(t, Cycle(lat.mem_occupancy)) + Cycle(lat.mem_access);
-            let authoritative = matches!(backing, FillBacking::Memory { authoritative: true });
+            let authoritative = matches!(
+                backing,
+                FillBacking::Memory {
+                    authoritative: true
+                }
+            );
             if let Some(sh) = self.shadow.as_mut() {
                 sh.fill_from_node_memory(flat, n as u16, lid, authoritative);
             }
@@ -377,10 +461,20 @@ impl Machine {
 
     /// Inserts a line into L2 then L1, processing evictions (inclusion:
     /// an L2 eviction removes the L1 copy and merges dirtiness).
-    pub(crate) fn insert_line(&mut self, n: usize, pi: usize, key: u64, state: LineState, lid: u64) {
+    pub(crate) fn insert_line(
+        &mut self,
+        n: usize,
+        pi: usize,
+        key: u64,
+        state: LineState,
+        lid: u64,
+    ) {
         let _ = lid;
         if let Some(ev) = self.nodes[n].procs[pi].l2.insert(key, state) {
-            let l1_dirty = self.nodes[n].procs[pi].l1.invalidate(ev.line).unwrap_or(false);
+            let l1_dirty = self.nodes[n].procs[pi]
+                .l1
+                .invalidate(ev.line)
+                .unwrap_or(false);
             self.process_l2_eviction(n, pi, ev.line, ev.dirty || l1_dirty);
         }
         self.fill_l1(n, pi, key, state, lid);
@@ -392,7 +486,9 @@ impl Machine {
         let _ = lid;
         if let Some(ev) = self.nodes[n].procs[pi].l1.insert(key, state) {
             if ev.dirty && self.nodes[n].procs[pi].l2.probe(ev.line).is_some() {
-                self.nodes[n].procs[pi].l2.set_state(ev.line, LineState::Modified);
+                self.nodes[n].procs[pi]
+                    .l2
+                    .set_state(ev.line, LineState::Modified);
             }
         }
     }
@@ -400,7 +496,13 @@ impl Machine {
     /// Handles an L2 eviction: local frames write back to node memory;
     /// LA-NUMA frames write back to (or send replacement hints to) the
     /// home.
-    pub(crate) fn process_l2_eviction(&mut self, n: usize, pi: usize, evicted_key: u64, dirty: bool) {
+    pub(crate) fn process_l2_eviction(
+        &mut self,
+        n: usize,
+        pi: usize,
+        evicted_key: u64,
+        dirty: bool,
+    ) {
         let lpp = self.cfg.geometry.lines_per_page() as u64;
         let frame = FrameNo((evicted_key / lpp) as u32);
         let line = LineIdx((evicted_key % lpp) as u16);
@@ -432,12 +534,18 @@ impl Machine {
                 } else {
                     self.lanuma_posted_writeback(n, evicted_key, 0, flat, t);
                 }
-                self.nodes[n].controller.set_lanuma_tag(frame, line, prism_mem::tags::LineTag::Invalid);
+                self.nodes[n].controller.set_lanuma_tag(
+                    frame,
+                    line,
+                    prism_mem::tags::LineTag::Invalid,
+                );
             } else if !sibling_has {
                 let was = self.nodes[n].controller.lanuma_tag(frame, line);
-                self.nodes[n]
-                    .controller
-                    .set_lanuma_tag(frame, line, prism_mem::tags::LineTag::Invalid);
+                self.nodes[n].controller.set_lanuma_tag(
+                    frame,
+                    line,
+                    prism_mem::tags::LineTag::Invalid,
+                );
                 if was == prism_mem::tags::LineTag::Exclusive {
                     // Replacement hint keeps the directory's Owned state
                     // honest (see prism-protocol docs on invariants).
@@ -452,7 +560,14 @@ impl Machine {
 
     /// Posts a dirty LA-NUMA line back to its home: updates the home's
     /// directory and memory without stalling the evicting processor.
-    pub(crate) fn lanuma_posted_writeback(&mut self, n: usize, key: u64, lid: u64, from_flat: u16, t: Cycle) {
+    pub(crate) fn lanuma_posted_writeback(
+        &mut self,
+        n: usize,
+        key: u64,
+        lid: u64,
+        from_flat: u16,
+        t: Cycle,
+    ) {
         let lpp = self.cfg.geometry.lines_per_page() as u64;
         let frame = FrameNo((key / lpp) as u32);
         let line = LineIdx((key % lpp) as u16);
@@ -460,9 +575,15 @@ impl Machine {
             return;
         };
         let gpage = entry.gpage;
-        let home = self.resolve_dyn_home(gpage).0 as usize;
+        let mut home = self.resolve_dyn_home(gpage).0 as usize;
         if self.nodes[home].failed {
-            return;
+            // Try to save the dirty data by re-mastering the page at the
+            // static home; an unrecoverable page loses the writeback
+            // (its directory state will refuse future readers).
+            match self.try_home_failover(gpage, home, t) {
+                Some(h) => home = h,
+                None => return,
+            }
         }
         self.post_send(n, home, MsgKind::Writeback, t);
         self.stats.remote_writebacks += 1;
@@ -470,15 +591,18 @@ impl Machine {
         self.nodes[home].memory.acquire(t, Cycle(lat.mem_access));
         if let Some(pd) = self.nodes[home].controller.dir.page_mut(gpage) {
             let cur = pd.line(line);
-            let was_owned = matches!(cur, prism_mem::directory::LineDir::Owned(o) if o.0 as usize == n);
-            *pd.line_mut(line) = prism_protocol::dirproto::apply_writeback(cur, prism_mem::addr::NodeId(n as u16));
+            let was_owned =
+                matches!(cur, prism_mem::directory::LineDir::Owned(o) if o.0 as usize == n);
+            *pd.line_mut(line) =
+                prism_protocol::dirproto::apply_writeback(cur, prism_mem::addr::NodeId(n as u16));
             if was_owned {
                 // Home memory is valid again.
                 let home_frame = pd.home_frame;
-                self.nodes[home]
-                    .controller
-                    .tags
-                    .set(home_frame, line, prism_mem::tags::LineTag::Shared);
+                self.nodes[home].controller.tags.set(
+                    home_frame,
+                    line,
+                    prism_mem::tags::LineTag::Shared,
+                );
             }
         }
         if let Some(sh) = self.shadow.as_mut() {
@@ -490,7 +614,14 @@ impl Machine {
     /// is written back to the home (whose memory becomes valid again)
     /// but the node *keeps* shared copies, so the directory records it
     /// as a sharer rather than forgetting it.
-    pub(crate) fn lanuma_demote_to_shared(&mut self, n: usize, key: u64, lid: u64, from_flat: u16, t: Cycle) {
+    pub(crate) fn lanuma_demote_to_shared(
+        &mut self,
+        n: usize,
+        key: u64,
+        lid: u64,
+        from_flat: u16,
+        t: Cycle,
+    ) {
         let lpp = self.cfg.geometry.lines_per_page() as u64;
         let frame = FrameNo((key / lpp) as u32);
         let line = LineIdx((key % lpp) as u16);
@@ -498,12 +629,15 @@ impl Machine {
             return;
         };
         let gpage = entry.gpage;
-        let home = self.resolve_dyn_home(gpage).0 as usize;
+        let mut home = self.resolve_dyn_home(gpage).0 as usize;
         self.nodes[n]
             .controller
             .set_lanuma_tag(frame, line, prism_mem::tags::LineTag::Shared);
         if self.nodes[home].failed {
-            return;
+            match self.try_home_failover(gpage, home, t) {
+                Some(h) => home = h,
+                None => return,
+            }
         }
         self.post_send(n, home, MsgKind::Writeback, t);
         self.stats.remote_writebacks += 1;
@@ -516,10 +650,11 @@ impl Machine {
                     prism_mem::addr::NodeSet::single(prism_mem::addr::NodeId(n as u16)),
                 );
                 let home_frame = pd.home_frame;
-                self.nodes[home]
-                    .controller
-                    .tags
-                    .set(home_frame, line, prism_mem::tags::LineTag::Shared);
+                self.nodes[home].controller.tags.set(
+                    home_frame,
+                    line,
+                    prism_mem::tags::LineTag::Shared,
+                );
             }
         }
         if let Some(sh) = self.shadow.as_mut() {
@@ -535,21 +670,28 @@ impl Machine {
         let gpage = entry.gpage;
         let home = self.resolve_dyn_home(gpage).0 as usize;
         if self.nodes[home].failed {
+            // A hint is advisory; losing it only leaves the directory's
+            // Owned state stale, which failover treats conservatively.
             return;
         }
         self.post_send(n, home, MsgKind::Writeback, t);
         if let Some(pd) = self.nodes[home].controller.dir.page_mut(gpage) {
             let cur = pd.line(line);
-            let was_owned = matches!(cur, prism_mem::directory::LineDir::Owned(o) if o.0 as usize == n);
-            *pd.line_mut(line) = prism_protocol::dirproto::apply_replacement_hint(cur, prism_mem::addr::NodeId(n as u16));
+            let was_owned =
+                matches!(cur, prism_mem::directory::LineDir::Owned(o) if o.0 as usize == n);
+            *pd.line_mut(line) = prism_protocol::dirproto::apply_replacement_hint(
+                cur,
+                prism_mem::addr::NodeId(n as u16),
+            );
             if was_owned {
                 // The node's copy was clean-exclusive, so home memory was
                 // already current; mark the home tag valid again.
                 let home_frame = pd.home_frame;
-                self.nodes[home]
-                    .controller
-                    .tags
-                    .set(home_frame, line, prism_mem::tags::LineTag::Shared);
+                self.nodes[home].controller.tags.set(
+                    home_frame,
+                    line,
+                    prism_mem::tags::LineTag::Shared,
+                );
             }
         }
     }

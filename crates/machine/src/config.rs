@@ -5,6 +5,8 @@ use prism_kernel::policy::PagePolicy;
 use prism_mem::addr::Geometry;
 use prism_protocol::latency::LatencyModel;
 
+use crate::faults::RetryPolicy;
+
 /// Static configuration of a simulated PRISM machine.
 ///
 /// The default models the paper's evaluation platform (§4.1): 8 SMP nodes
@@ -68,6 +70,9 @@ pub struct MachineConfig {
     /// Remote refetches before the two-directional policy converts an
     /// LA-NUMA page back to S-COMA (Reactive-NUMA's reuse threshold).
     pub renuma_threshold: u64,
+    /// Timeout/retry behavior for protocol messages under fault
+    /// injection (unused unless a fault plan is installed).
+    pub retry: RetryPolicy,
 }
 
 impl MachineConfig {
@@ -90,11 +95,25 @@ impl MachineConfig {
     pub fn validate(&self) {
         assert!(self.nodes > 0, "need at least one node");
         assert!(self.nodes <= 64, "NodeSet supports at most 64 nodes");
-        assert!(self.procs_per_node > 0, "need at least one processor per node");
-        assert!(self.l1_bytes >= self.geometry.line_bytes(), "L1 smaller than a line");
+        assert!(
+            self.procs_per_node > 0,
+            "need at least one processor per node"
+        );
+        assert!(
+            self.l1_bytes >= self.geometry.line_bytes(),
+            "L1 smaller than a line"
+        );
         assert!(self.l2_bytes >= self.l1_bytes, "L2 smaller than L1");
         assert!(self.frames_per_node > 0, "nodes need memory");
         assert!(self.tlb_entries > 0, "TLB needs entries");
+        assert!(
+            self.retry.max_attempts >= 1,
+            "retry policy needs at least one attempt"
+        );
+        assert!(
+            self.retry.backoff >= 1,
+            "retry backoff multiplier must be at least 1"
+        );
     }
 }
 
@@ -120,6 +139,7 @@ impl Default for MachineConfig {
             check_coherence: false,
             client_frame_hints_in_directory: false,
             renuma_threshold: 64,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -179,6 +199,8 @@ impl MachineConfigBuilder {
         client_frame_hints_in_directory: bool);
     setter!(/// Sets the Reactive-NUMA reuse threshold for DynBoth.
         renuma_threshold: u64);
+    setter!(/// Sets the message timeout/retry policy for fault injection.
+        retry: RetryPolicy);
 
     /// Finishes the configuration.
     ///

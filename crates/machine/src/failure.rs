@@ -7,12 +7,32 @@
 //! terminates only the applications using that node's resources
 //! (paper §1, §3.2).
 
+use std::fmt;
+
 use prism_mem::addr::{GlobalPage, NodeId};
 use prism_mem::pit::Caps;
 use prism_protocol::firewall::{self, FirewallViolation};
 
 use crate::machine::Machine;
 use crate::node::ProcState;
+
+/// A page-capability operation named a page the node has no PIT binding
+/// for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NoPitBinding {
+    /// The node whose PIT was consulted.
+    pub node: NodeId,
+    /// The page that is not bound there.
+    pub gpage: GlobalPage,
+}
+
+impl fmt::Display for NoPitBinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} has no PIT binding for {}", self.node, self.gpage)
+    }
+}
+
+impl std::error::Error for NoPitBinding {}
 
 impl Machine {
     /// Fails a node: its processors stop, and any *future* access that
@@ -36,22 +56,27 @@ impl Machine {
     /// Restricts remote access to a page's frame at `node` to the given
     /// capability set (the PIT firewall extension of paper §3.2).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the node has no PIT binding for the page.
-    pub fn restrict_page(&mut self, node: NodeId, gpage: GlobalPage, caps: Caps) {
+    /// Returns [`NoPitBinding`] if the node has no PIT binding for the
+    /// page (nothing is changed).
+    pub fn restrict_page(
+        &mut self,
+        node: NodeId,
+        gpage: GlobalPage,
+        caps: Caps,
+    ) -> Result<(), NoPitBinding> {
         let n = node.0 as usize;
-        let frame = self.nodes[n]
-            .controller
-            .pit
-            .frame_of(gpage)
-            .unwrap_or_else(|| panic!("{node} has no PIT binding for {gpage}"));
+        let Some(frame) = self.nodes[n].controller.pit.frame_of(gpage) else {
+            return Err(NoPitBinding { node, gpage });
+        };
         self.nodes[n]
             .controller
             .pit
             .translate_mut(frame)
             .expect("bound")
             .caps = caps;
+        Ok(())
     }
 
     /// Injects a *wild write*: a rogue access from `from` targeting the
@@ -77,9 +102,18 @@ impl Machine {
         let Some(frame) = self.nodes[v].controller.pit.frame_of(gpage) else {
             // No binding: the physical address names nothing at the
             // victim; the access cannot touch memory at all.
-            return Err(FirewallViolation { from, frame: prism_mem::addr::FrameNo(0), write: true });
+            self.stats.firewall_rejections += 1;
+            return Err(FirewallViolation {
+                from,
+                frame: None,
+                write: true,
+            });
         };
-        let entry = *self.nodes[v].controller.pit.translate(frame).expect("bound");
+        let entry = *self.nodes[v]
+            .controller
+            .pit
+            .translate(frame)
+            .expect("bound");
         match firewall::check(&entry, frame, from, true) {
             Ok(()) => Ok(()),
             Err(violation) => {

@@ -1,0 +1,474 @@
+//! Deterministic fault injection and recovery accounting.
+//!
+//! PRISM's containment story (paper §1, §3.2) is exercised here beyond
+//! the blunt fail-stop model: a seeded [`FaultPlan`] schedules transient
+//! link faults (message drop or corruption per link window), slow-node
+//! episodes (inflated dispatch/memory latency), PIT-entry corruption,
+//! and permanent node failures at given cycles. The machine consults the
+//! plan on every network send, retries with exponential backoff under a
+//! [`RetryPolicy`], re-masters pages at the static home when a dynamic
+//! home dies (home failover), and tallies everything in a
+//! [`FaultReport`].
+//!
+//! Plans are fully deterministic: the same seed on the same workload and
+//! machine produces bit-identical reports, so chaos tests can assert
+//! exact outcomes.
+
+use prism_mem::addr::NodeId;
+use prism_sim::{Cycle, SimRng};
+
+/// Bounded retry with exponential backoff for unacknowledged protocol
+/// messages.
+///
+/// A dropped message is detected by timeout after `timeout_cycles`; the
+/// k-th retry waits `timeout_cycles * backoff^(k-1)` before resending. A
+/// corrupted message is Nack'd by the receiver and retried immediately.
+/// After `max_attempts` total attempts the access is abandoned and the
+/// requesting processor is killed (fault containment).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total send attempts before the access is abandoned (>= 1).
+    pub max_attempts: u32,
+    /// Cycles a requester waits for a reply before presuming loss.
+    /// Calibrated to comfortably exceed a remote page-fault round trip
+    /// under the Table-1 latency model.
+    pub timeout_cycles: u64,
+    /// Multiplier applied to the timeout on each successive retry.
+    pub backoff: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 5,
+            timeout_cycles: 4096,
+            backoff: 2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Cycles spent waiting before the retry following failed attempt
+    /// number `attempt` (1-based): `timeout_cycles * backoff^(attempt-1)`,
+    /// saturating.
+    pub fn backoff_wait(&self, attempt: u32) -> u64 {
+        self.timeout_cycles
+            .saturating_mul(self.backoff.saturating_pow(attempt.saturating_sub(1)))
+    }
+}
+
+/// A window of cycles during which every inter-node message is subject
+/// to loss or corruption with the given probabilities.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkFaultWindow {
+    /// First cycle of the window (inclusive).
+    pub from: Cycle,
+    /// Last cycle of the window (exclusive); `Cycle::NEVER` = whole run.
+    pub until: Cycle,
+    /// Probability a message in the window is silently dropped.
+    pub drop_prob: f64,
+    /// Probability a message arrives with a corrupt payload (Nack'd).
+    pub corrupt_prob: f64,
+}
+
+impl LinkFaultWindow {
+    fn contains(&self, t: Cycle) -> bool {
+        self.from <= t && t < self.until
+    }
+}
+
+/// A window during which one node's protocol dispatch and memory access
+/// latencies are multiplied by `factor` (an overloaded or thermally
+/// throttled node).
+#[derive(Clone, Copy, Debug)]
+pub struct SlowEpisode {
+    /// The afflicted node.
+    pub node: NodeId,
+    /// First cycle (inclusive).
+    pub from: Cycle,
+    /// Last cycle (exclusive).
+    pub until: Cycle,
+    /// Latency multiplier (>= 1).
+    pub factor: u64,
+}
+
+/// A fault applied once at a scheduled cycle.
+#[derive(Clone, Copy, Debug)]
+pub struct ScheduledFault {
+    /// Simulated cycle at/after which the fault strikes.
+    pub at: Cycle,
+    /// What happens.
+    pub kind: ScheduledFaultKind,
+}
+
+/// The kinds of point-in-time faults a plan can schedule.
+#[derive(Clone, Copy, Debug)]
+pub enum ScheduledFaultKind {
+    /// Permanent node failure (as [`crate::machine::Machine`]'s
+    /// `fail_node`).
+    FailNode(NodeId),
+    /// Scramble the dynamic-home field of one client PIT entry at the
+    /// node (chosen deterministically from the plan's seed). The
+    /// misdirected request recovers through static-home forwarding.
+    CorruptPit(NodeId),
+}
+
+/// A seeded, deterministic schedule of faults for one run.
+///
+/// # Example
+///
+/// ```
+/// use prism_machine::faults::FaultPlan;
+/// use prism_mem::addr::NodeId;
+/// use prism_sim::Cycle;
+///
+/// let plan = FaultPlan::new(42)
+///     .link_faults(0.01, 0.002)
+///     .slow_node(NodeId(1), Cycle(10_000), Cycle(50_000), 4)
+///     .fail_node(NodeId(3), Cycle(200_000));
+/// assert_eq!(plan.seed(), 42);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    link_windows: Vec<LinkFaultWindow>,
+    slow_episodes: Vec<SlowEpisode>,
+    schedule: Vec<ScheduledFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) with the given determinism seed.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// The determinism seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Subjects every message of the whole run to the given drop and
+    /// corruption probabilities.
+    pub fn link_faults(self, drop_prob: f64, corrupt_prob: f64) -> FaultPlan {
+        self.link_fault_window(Cycle::ZERO, Cycle::NEVER, drop_prob, corrupt_prob)
+    }
+
+    /// Adds a transient link-fault window `[from, until)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probabilities are not in `[0, 1]` or sum above 1.
+    pub fn link_fault_window(
+        mut self,
+        from: Cycle,
+        until: Cycle,
+        drop_prob: f64,
+        corrupt_prob: f64,
+    ) -> FaultPlan {
+        assert!(
+            (0.0..=1.0).contains(&drop_prob)
+                && (0.0..=1.0).contains(&corrupt_prob)
+                && drop_prob + corrupt_prob <= 1.0,
+            "fault probabilities must be in [0,1] and sum to at most 1"
+        );
+        self.link_windows.push(LinkFaultWindow {
+            from,
+            until,
+            drop_prob,
+            corrupt_prob,
+        });
+        self
+    }
+
+    /// Adds a slow-node episode: `node`'s dispatch and memory latencies
+    /// are multiplied by `factor` during `[from, until)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    pub fn slow_node(mut self, node: NodeId, from: Cycle, until: Cycle, factor: u64) -> FaultPlan {
+        assert!(
+            factor >= 1,
+            "a slow-node factor below 1 would speed the node up"
+        );
+        self.slow_episodes.push(SlowEpisode {
+            node,
+            from,
+            until,
+            factor,
+        });
+        self
+    }
+
+    /// Schedules a permanent failure of `node` at cycle `at`.
+    pub fn fail_node(mut self, node: NodeId, at: Cycle) -> FaultPlan {
+        self.schedule.push(ScheduledFault {
+            at,
+            kind: ScheduledFaultKind::FailNode(node),
+        });
+        self.schedule.sort_by_key(|f| f.at);
+        self
+    }
+
+    /// Schedules a PIT-entry corruption at `node` at cycle `at`.
+    pub fn corrupt_pit(mut self, node: NodeId, at: Cycle) -> FaultPlan {
+        self.schedule.push(ScheduledFault {
+            at,
+            kind: ScheduledFaultKind::CorruptPit(node),
+        });
+        self.schedule.sort_by_key(|f| f.at);
+        self
+    }
+
+    /// The scheduled point faults, sorted by cycle.
+    pub fn schedule(&self) -> &[ScheduledFault] {
+        &self.schedule
+    }
+
+    /// The latency multiplier in effect for `node` at time `t`.
+    pub fn slow_factor(&self, node: NodeId, t: Cycle) -> u64 {
+        self.slow_episodes
+            .iter()
+            .filter(|e| e.node == node && e.from <= t && t < e.until)
+            .map(|e| e.factor)
+            .max()
+            .unwrap_or(1)
+    }
+
+    fn window_at(&self, t: Cycle) -> Option<&LinkFaultWindow> {
+        self.link_windows.iter().find(|w| w.contains(t))
+    }
+
+    /// True when the plan can never perturb anything.
+    pub fn is_empty(&self) -> bool {
+        self.link_windows
+            .iter()
+            .all(|w| w.drop_prob == 0.0 && w.corrupt_prob == 0.0)
+            && self.slow_episodes.is_empty()
+            && self.schedule.is_empty()
+    }
+}
+
+/// What the fault model decided for one message transmission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum LinkVerdict {
+    /// Delivered intact.
+    Deliver,
+    /// Silently lost in the interconnect.
+    Drop,
+    /// Delivered with a corrupt payload (receiver Nacks).
+    Corrupt,
+}
+
+/// The access that gave up: every allowed attempt was lost or corrupted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct DeliveryFailed;
+
+/// Live fault-injection state carried by a running machine.
+#[derive(Clone, Debug)]
+pub(crate) struct FaultState {
+    pub(crate) plan: FaultPlan,
+    pub(crate) rng: SimRng,
+    pub(crate) report: FaultReport,
+    /// Index of the next unapplied entry of `plan.schedule`.
+    pub(crate) next_event: usize,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan) -> FaultState {
+        // A fixed tweak keeps the fault stream independent of any other
+        // consumer of the raw seed.
+        let rng = SimRng::new(plan.seed() ^ 0x000F_A517_C0DE_5EED_u64);
+        FaultState {
+            plan,
+            rng,
+            report: FaultReport::default(),
+            next_event: 0,
+        }
+    }
+
+    /// Rolls the fate of one message sent at time `t`.
+    pub(crate) fn link_verdict(&mut self, t: Cycle) -> LinkVerdict {
+        let Some(w) = self.plan.window_at(t) else {
+            return LinkVerdict::Deliver;
+        };
+        if w.drop_prob == 0.0 && w.corrupt_prob == 0.0 {
+            return LinkVerdict::Deliver;
+        }
+        let roll = self.rng.next_f64();
+        if roll < w.drop_prob {
+            LinkVerdict::Drop
+        } else if roll < w.drop_prob + w.corrupt_prob {
+            LinkVerdict::Corrupt
+        } else {
+            LinkVerdict::Deliver
+        }
+    }
+}
+
+/// Outcome accounting of a run under a [`FaultPlan`].
+///
+/// Deterministic for a given seed/workload/config, so tests compare
+/// whole reports with `==`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Messages the interconnect silently dropped.
+    pub dropped_messages: u64,
+    /// Messages delivered with a corrupt payload.
+    pub corrupted_messages: u64,
+    /// Nack messages receivers sent for corrupt payloads.
+    pub nacks: u64,
+    /// Retransmissions performed (drop timeouts + corruption Nacks).
+    pub retries: u64,
+    /// Timeouts that expired waiting for a lost message's reply.
+    pub timeouts: u64,
+    /// Total cycles requesters spent in timeout + backoff waits.
+    pub backoff_cycles: u64,
+    /// Pages re-mastered at their static home after their dynamic home
+    /// failed.
+    pub failovers: u64,
+    /// PIT entries scrambled by scheduled corruption faults.
+    pub pit_corruptions: u64,
+    /// Permanent node failures applied from the schedule.
+    pub node_failures: u64,
+    /// Faults survived without killing a processor.
+    pub contained_faults: u64,
+    /// Faults that killed the requesting processor.
+    pub fatal_faults: u64,
+}
+
+impl FaultReport {
+    /// True when any fault was observed.
+    pub fn any(&self) -> bool {
+        *self != FaultReport::default()
+    }
+}
+
+impl std::fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "faults: {} dropped, {} corrupted ({} nacks), {} retries \
+             ({} timeouts, {} backoff cycles), {} failovers, \
+             {} pit corruptions, {} node failures, {} contained / {} fatal",
+            self.dropped_messages,
+            self.corrupted_messages,
+            self.nacks,
+            self.retries,
+            self.timeouts,
+            self.backoff_cycles,
+            self.failovers,
+            self.pit_corruptions,
+            self.node_failures,
+            self.contained_faults,
+            self.fatal_faults
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_per_attempt() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            timeout_cycles: 100,
+            backoff: 2,
+        };
+        assert_eq!(p.backoff_wait(1), 100);
+        assert_eq!(p.backoff_wait(2), 200);
+        assert_eq!(p.backoff_wait(3), 400);
+    }
+
+    #[test]
+    fn backoff_saturates() {
+        let p = RetryPolicy {
+            max_attempts: 200,
+            timeout_cycles: u64::MAX / 2,
+            backoff: 3,
+        };
+        assert_eq!(p.backoff_wait(100), u64::MAX);
+    }
+
+    #[test]
+    fn slow_factor_defaults_to_one() {
+        let plan = FaultPlan::new(1).slow_node(NodeId(2), Cycle(100), Cycle(200), 8);
+        assert_eq!(plan.slow_factor(NodeId(2), Cycle(150)), 8);
+        assert_eq!(plan.slow_factor(NodeId(2), Cycle(200)), 1); // exclusive end
+        assert_eq!(plan.slow_factor(NodeId(1), Cycle(150)), 1);
+    }
+
+    #[test]
+    fn overlapping_slow_episodes_take_the_max() {
+        let plan = FaultPlan::new(1)
+            .slow_node(NodeId(0), Cycle(0), Cycle(100), 2)
+            .slow_node(NodeId(0), Cycle(50), Cycle(80), 6);
+        assert_eq!(plan.slow_factor(NodeId(0), Cycle(60)), 6);
+        assert_eq!(plan.slow_factor(NodeId(0), Cycle(90)), 2);
+    }
+
+    #[test]
+    fn schedule_is_sorted() {
+        let plan = FaultPlan::new(1)
+            .fail_node(NodeId(1), Cycle(500))
+            .corrupt_pit(NodeId(0), Cycle(100));
+        let ats: Vec<u64> = plan.schedule().iter().map(|f| f.at.as_u64()).collect();
+        assert_eq!(ats, vec![100, 500]);
+    }
+
+    #[test]
+    fn verdicts_are_deterministic_and_roughly_calibrated() {
+        let plan = FaultPlan::new(7).link_faults(0.2, 0.1);
+        let mut a = FaultState::new(plan.clone());
+        let mut b = FaultState::new(plan);
+        let mut drops = 0;
+        let mut corrupts = 0;
+        for i in 0..10_000u64 {
+            let va = a.link_verdict(Cycle(i));
+            assert_eq!(va, b.link_verdict(Cycle(i)));
+            match va {
+                LinkVerdict::Drop => drops += 1,
+                LinkVerdict::Corrupt => corrupts += 1,
+                LinkVerdict::Deliver => {}
+            }
+        }
+        assert!((1500..2500).contains(&drops), "{drops} drops");
+        assert!((500..1500).contains(&corrupts), "{corrupts} corrupts");
+    }
+
+    #[test]
+    fn windows_gate_verdicts() {
+        let plan = FaultPlan::new(3).link_fault_window(Cycle(100), Cycle(200), 1.0, 0.0);
+        let mut s = FaultState::new(plan);
+        assert_eq!(s.link_verdict(Cycle(50)), LinkVerdict::Deliver);
+        assert_eq!(s.link_verdict(Cycle(150)), LinkVerdict::Drop);
+        assert_eq!(s.link_verdict(Cycle(200)), LinkVerdict::Deliver);
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(FaultPlan::new(9).is_empty());
+        assert!(FaultPlan::new(9).link_faults(0.0, 0.0).is_empty());
+        assert!(!FaultPlan::new(9).link_faults(0.1, 0.0).is_empty());
+        assert!(!FaultPlan::new(9).fail_node(NodeId(0), Cycle(1)).is_empty());
+    }
+
+    #[test]
+    fn report_display_mentions_key_counters() {
+        let r = FaultReport {
+            retries: 3,
+            failovers: 1,
+            ..FaultReport::default()
+        };
+        let s = r.to_string();
+        assert!(s.contains("3 retries"));
+        assert!(s.contains("1 failovers"));
+        assert!(r.any());
+        assert!(!FaultReport::default().any());
+    }
+}

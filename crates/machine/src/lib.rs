@@ -21,6 +21,8 @@
 //! * `migrate` — dynamic-home migration (paper §3.5).
 //! * [`shadow`] — optional read-sees-latest-write verification.
 //! * `failure` — node-failure injection and wild-write containment.
+//! * [`faults`] — deterministic fault plans ([`faults::FaultPlan`]),
+//!   retry/backoff policy, and recovery accounting.
 //! * [`report`] — [`report::RunReport`].
 //!
 //! # Example
@@ -55,6 +57,7 @@ mod access;
 pub mod config;
 mod controller;
 mod failure;
+pub mod faults;
 pub mod machine;
 mod migrate;
 pub mod node;
@@ -64,5 +67,7 @@ pub mod report;
 pub mod shadow;
 
 pub use config::MachineConfig;
+pub use failure::NoPitBinding;
+pub use faults::{FaultPlan, FaultReport, RetryPolicy};
 pub use machine::Machine;
 pub use report::{NodeReport, RunReport};

@@ -13,6 +13,9 @@ use prism_sim::sync::{BarrierOutcome, BarrierSet, LockOutcome, LockSet};
 use prism_sim::Cycle;
 
 use crate::config::MachineConfig;
+use crate::faults::{
+    DeliveryFailed, FaultPlan, FaultReport, FaultState, LinkVerdict, ScheduledFaultKind,
+};
 use crate::node::{Node, ProcState};
 use crate::report::{NodeReport, RunReport};
 use crate::shadow::Shadow;
@@ -102,6 +105,7 @@ pub struct Machine {
     pub(crate) ledger: TrafficLedger,
     pub(crate) stats: MachineStats,
     pub(crate) shadow: Option<Shadow>,
+    pub(crate) fault: Option<FaultState>,
     workload_name: String,
 }
 
@@ -136,8 +140,37 @@ impl Machine {
             ledger: TrafficLedger::new(),
             stats: MachineStats::default(),
             shadow,
+            fault: None,
             workload_name: String::new(),
         }
+    }
+
+    /// Installs a fault-injection plan for subsequent runs. The plan's
+    /// link faults, slow episodes, and scheduled failures apply from the
+    /// current simulated time onward; the accumulated [`FaultReport`]
+    /// appears in the next run's [`RunReport`].
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(FaultState::new(plan));
+    }
+
+    /// The fault accounting so far (empty when no plan is installed).
+    pub fn fault_report(&self) -> FaultReport {
+        self.fault.as_ref().map(|f| f.report).unwrap_or_default()
+    }
+
+    /// Updates the fault report, if fault injection is active.
+    pub(crate) fn freport(&mut self, f: impl FnOnce(&mut FaultReport)) {
+        if let Some(state) = self.fault.as_mut() {
+            f(&mut state.report);
+        }
+    }
+
+    /// The latency multiplier a slow-node episode imposes on `node` at
+    /// time `t` (1 when no episode is active).
+    pub(crate) fn slow_factor(&self, node: usize, t: Cycle) -> u64 {
+        self.fault
+            .as_ref()
+            .map_or(1, |f| f.plan.slow_factor(NodeId(node as u16), t))
     }
 
     /// The machine configuration.
@@ -179,7 +212,11 @@ impl Machine {
         let group = self.barrier_group_of(flat);
         if self.barrier_groups[group].1.participants() > 1 {
             for outcome in self.barrier_groups[group].1.remove_participant(flat) {
-                if let BarrierOutcome::Release { waiters, release_at } = outcome {
+                if let BarrierOutcome::Release {
+                    waiters,
+                    release_at,
+                } = outcome
+                {
                     for w in waiters {
                         let (wn, wpi) = self.split_flat(w);
                         let wp = &mut self.nodes[wn].procs[wpi];
@@ -231,7 +268,9 @@ impl Machine {
             mode.is_shared(),
             "only S-COMA or LA-NUMA can be suggested for shared pages"
         );
-        self.nodes[node.0 as usize].kernel.set_mode_pref(gpage, mode);
+        self.nodes[node.0 as usize]
+            .kernel
+            .set_mode_pref(gpage, mode);
     }
 
     /// Suggests a mode for every page of a virtual address range on
@@ -304,7 +343,8 @@ impl Machine {
         let t1 = self.nodes[from].ni.acquire(t, Cycle(lat.ni_occupancy)) + Cycle(lat.ni);
         let t2 = t1 + Cycle(lat.net);
         let t3 = self.nodes[to].ni.acquire(t2, Cycle(lat.ni_occupancy)) + Cycle(lat.ni);
-        self.ledger.record(kind, NodeId(from as u16), NodeId(to as u16));
+        self.ledger
+            .record(kind, NodeId(from as u16), NodeId(to as u16));
         t3
     }
 
@@ -319,7 +359,161 @@ impl Machine {
         let arrive =
             self.nodes[from].ni.acquire(t, Cycle(lat.ni_occupancy)) + Cycle(lat.ni + lat.net);
         self.nodes[to].ni.acquire(arrive, Cycle(lat.ni_occupancy));
-        self.ledger.record(kind, NodeId(from as u16), NodeId(to as u16));
+        self.ledger
+            .record(kind, NodeId(from as u16), NodeId(to as u16));
+    }
+
+    /// Sends a request whose delivery is subject to the installed fault
+    /// plan, retrying under the configured [`crate::faults::RetryPolicy`].
+    ///
+    /// * A **dropped** message costs the sender its NI occupancy, then a
+    ///   timeout + exponential-backoff wait before the retransmission.
+    /// * A **corrupted** message is delivered, Nack'd by the receiver,
+    ///   and retransmitted immediately.
+    /// * With no plan installed this is exactly [`Machine::send`].
+    ///
+    /// Returns the delivery time of the first intact copy, or
+    /// [`DeliveryFailed`] once `max_attempts` transmissions have all
+    /// been lost or corrupted (the caller kills the requester).
+    pub(crate) fn send_reliable(
+        &mut self,
+        from: usize,
+        to: usize,
+        kind: MsgKind,
+        t: Cycle,
+    ) -> Result<Cycle, DeliveryFailed> {
+        if from == to {
+            return Ok(t);
+        }
+        if self.fault.is_none() {
+            return Ok(self.send(from, to, kind, t));
+        }
+        let policy = self.cfg.retry;
+        let lat = self.cfg.latency;
+        let mut t = t;
+        let mut perturbed = false;
+        for attempt in 1..=policy.max_attempts {
+            let kind_now = if attempt == 1 {
+                kind
+            } else {
+                MsgKind::RetryReq
+            };
+            let verdict = self
+                .fault
+                .as_mut()
+                .map(|f| f.link_verdict(t))
+                .unwrap_or(LinkVerdict::Deliver);
+            match verdict {
+                LinkVerdict::Deliver => {
+                    let delivered = self.send(from, to, kind_now, t);
+                    if perturbed {
+                        self.freport(|r| r.contained_faults += 1);
+                    }
+                    return Ok(delivered);
+                }
+                LinkVerdict::Drop => {
+                    perturbed = true;
+                    // The message left the sender's NI and vanished; the
+                    // requester notices only when the reply timeout
+                    // expires, then backs off before retransmitting.
+                    self.nodes[from].ni.acquire(t, Cycle(lat.ni_occupancy));
+                    self.ledger
+                        .record(kind_now, NodeId(from as u16), NodeId(to as u16));
+                    let wait = policy.backoff_wait(attempt);
+                    let last = attempt == policy.max_attempts;
+                    self.freport(|r| {
+                        r.dropped_messages += 1;
+                        r.timeouts += 1;
+                        r.backoff_cycles += wait;
+                        if !last {
+                            r.retries += 1;
+                        }
+                    });
+                    t += Cycle(wait);
+                }
+                LinkVerdict::Corrupt => {
+                    perturbed = true;
+                    // Delivered, but the payload fails its checksum at
+                    // the receiver, which Nacks; the sender retries as
+                    // soon as the Nack arrives.
+                    let arrived = self.send(from, to, kind_now, t);
+                    let nacked = self.send(to, from, MsgKind::Nack, arrived + Cycle(lat.dispatch));
+                    let last = attempt == policy.max_attempts;
+                    self.freport(|r| {
+                        r.corrupted_messages += 1;
+                        r.nacks += 1;
+                        if !last {
+                            r.retries += 1;
+                        }
+                    });
+                    t = nacked + Cycle(lat.dispatch);
+                }
+            }
+        }
+        Err(DeliveryFailed)
+    }
+
+    /// Applies every scheduled fault whose time has come. Called from the
+    /// run loop before executing the earliest runnable processor, so
+    /// faults strike at deterministic points of the interleaving.
+    pub(crate) fn apply_fault_events(&mut self, now: Cycle) {
+        loop {
+            let Some(state) = self.fault.as_mut() else {
+                return;
+            };
+            let Some(&ev) = state.plan.schedule().get(state.next_event) else {
+                return;
+            };
+            if ev.at > now {
+                return;
+            }
+            state.next_event += 1;
+            match ev.kind {
+                ScheduledFaultKind::FailNode(node) => {
+                    if !self.nodes[node.0 as usize].failed {
+                        self.fail_node(node);
+                        self.freport(|r| r.node_failures += 1);
+                    }
+                }
+                ScheduledFaultKind::CorruptPit(node) => {
+                    self.corrupt_pit_entry(node);
+                }
+            }
+        }
+    }
+
+    /// Scrambles the dynamic-home field of one *client* PIT entry at
+    /// `node` (chosen deterministically from the plan's RNG). The next
+    /// request through the entry is misdirected and recovers via the
+    /// static-home forwarding path, so the fault is contained.
+    fn corrupt_pit_entry(&mut self, node: NodeId) {
+        let n = node.0 as usize;
+        // Client entries only: corrupting where this node *is* the home
+        // would model directory loss, which is the fail-node case.
+        let mut candidates: Vec<FrameNo> = self.nodes[n]
+            .controller
+            .pit
+            .iter()
+            .filter(|(_, e)| e.dyn_home != node)
+            .map(|(f, _)| f)
+            .collect();
+        candidates.sort_by_key(|f| f.0);
+        let Some(state) = self.fault.as_mut() else {
+            return;
+        };
+        if candidates.is_empty() {
+            return;
+        }
+        let frame = candidates[state.rng.gen_index(candidates.len())];
+        let bogus = NodeId(state.rng.gen_index(self.cfg.nodes) as u16);
+        if let Some(e) = self.nodes[n].controller.pit.translate_mut(frame) {
+            e.dyn_home = bogus;
+            e.home_frame_hint = None;
+        }
+        self.freport(|r| {
+            r.pit_corruptions += 1;
+            r.contained_faults += 1;
+        });
     }
 
     /// Line-addressing helper: the node-local cache key of a line.
@@ -394,9 +588,14 @@ impl Machine {
                     }
                 }
             }
-            let Some((_, flat)) = best else {
+            let Some((clock, flat)) = best else {
                 break;
             };
+            // Scheduled faults strike before the processor at their cycle
+            // executes, at a deterministic point of the interleaving.
+            if self.fault.is_some() {
+                self.apply_fault_events(clock);
+            }
             // Execute a batch of operations while this processor remains
             // the earliest runnable one.
             for _ in 0..256 {
@@ -501,7 +700,10 @@ impl Machine {
                     BarrierOutcome::Wait => {
                         self.nodes[n].procs[pi].state = ProcState::Blocked;
                     }
-                    BarrierOutcome::Release { waiters, release_at } => {
+                    BarrierOutcome::Release {
+                        waiters,
+                        release_at,
+                    } => {
                         self.nodes[n].procs[pi].clock = release_at;
                         for w in waiters {
                             let (wn, wpi) = self.split_flat(w);
@@ -642,13 +844,18 @@ impl Machine {
             barrier_episodes: self.barrier_groups.iter().map(|(_, b)| b.episodes()).sum(),
             lock_acquisitions: (self.locks.acquisitions(), self.locks.contended()),
             frames_allocated: frames,
-            avg_utilization: if frames == 0 { 0.0 } else { util_num / frames as f64 },
+            avg_utilization: if frames == 0 {
+                0.0
+            } else {
+                util_num / frames as f64
+            },
             ledger: self.ledger.clone(),
             local_fill_latency: self.stats.local_fill_latency.clone(),
             remote_fetch_latency: self.stats.remote_fetch_latency.clone(),
             fault_latency: self.stats.fault_latency.clone(),
             per_node,
             reads_checked: self.shadow.as_ref().map(|s| s.reads_checked).unwrap_or(0),
+            fault: self.fault_report(),
         }
     }
 }

@@ -6,6 +6,7 @@
 //! home) and the reply teaches them the new location.
 
 use prism_mem::addr::{GlobalPage, LineIdx, NodeId};
+use prism_mem::cache::LineState;
 use prism_mem::directory::LineDir;
 use prism_mem::mode::FrameMode;
 use prism_mem::pit::PitEntry;
@@ -70,8 +71,14 @@ impl Machine {
         let base_key = self.line_key(old_frame, LineIdx(0));
         for spi in 0..self.ppn() {
             let flat = self.flat(old, spi) as u16;
-            for (key, dirty) in self.nodes[old].procs[spi].l2.invalidate_range(base_key, lpp as u64) {
-                let l1_dirty = self.nodes[old].procs[spi].l1.invalidate(key).unwrap_or(false);
+            for (key, dirty) in self.nodes[old].procs[spi]
+                .l2
+                .invalidate_range(base_key, lpp as u64)
+            {
+                let l1_dirty = self.nodes[old].procs[spi]
+                    .l1
+                    .invalidate(key)
+                    .unwrap_or(false);
                 if dirty || l1_dirty {
                     // Fold the processor's dirty copy into the old home's
                     // memory so the bulk transfer carries current data.
@@ -87,7 +94,10 @@ impl Machine {
                     }
                 }
             }
-            for (key, dirty) in self.nodes[old].procs[spi].l1.invalidate_range(base_key, lpp as u64) {
+            for (key, dirty) in self.nodes[old].procs[spi]
+                .l1
+                .invalidate_range(base_key, lpp as u64)
+            {
                 if let Some(sh) = self.shadow.as_mut() {
                     if let Some(lid) = sh.lid_for(old as u16, key) {
                         if dirty {
@@ -125,7 +135,10 @@ impl Machine {
             caps: prism_mem::pit::Caps::AllNodes,
         };
         self.nodes[new].controller.pit.insert(new_frame, entry);
-        self.nodes[new].controller.tags.allocate(new_frame, LineTag::Shared);
+        self.nodes[new]
+            .controller
+            .tags
+            .allocate(new_frame, LineTag::Shared);
         for l in 0..lpp {
             let li = LineIdx(l as u16);
             let tag = match pd.line(li) {
@@ -140,7 +153,8 @@ impl Machine {
         // Shadow: the page data moved old → new.
         if self.shadow.is_some() {
             if let Some(vp) = self.shared_vpage_value(gpage) {
-                let lid_base = vp << (self.cfg.geometry.page_log2() - self.cfg.geometry.line_log2());
+                let lid_base =
+                    vp << (self.cfg.geometry.page_log2() - self.cfg.geometry.line_log2());
                 for l in 0..lpp as u64 {
                     if let Some(sh) = self.shadow.as_mut() {
                         sh.copy_node_to_node(old as u16, new as u16, lid_base + l);
@@ -155,9 +169,248 @@ impl Machine {
         self.stats.migrations += 1;
     }
 
+    /// Attempts to re-master `gpage` at its static home after its
+    /// dynamic home `dead` failed (fault recovery, complementing the
+    /// lazy-migration machinery above). Succeeds — returning the new
+    /// home — only when the paper's containment invariant allows it:
+    ///
+    /// * the static home is a different, surviving node (it owns the
+    ///   page's backing store, from which the image is restored);
+    /// * the directory shows no line whose sole up-to-date copy is
+    ///   unreachable — no line owned by a failed node or dirty at the
+    ///   static home itself (the dead home can no longer accept its
+    ///   flush), and no line dirty in the dead home's own processor
+    ///   caches (node memory survives a failure; cache contents do
+    ///   not).
+    ///
+    /// On success the static home drops any (clean) client mapping it
+    /// held, adopts the directory with itself scrubbed from the sharer
+    /// sets, and becomes the page's dynamic home; surviving clients keep
+    /// stale PIT entries that heal through forwarding, exactly as after
+    /// a migration.
+    pub(crate) fn try_home_failover(
+        &mut self,
+        gpage: GlobalPage,
+        dead: usize,
+        t: Cycle,
+    ) -> Option<usize> {
+        let static_home = self.homes.static_home(gpage).0 as usize;
+        if static_home == dead || self.nodes[static_home].failed {
+            return None;
+        }
+        let lpp = self.cfg.geometry.lines_per_page();
+        {
+            // The dead home's last directory state is recoverable (the
+            // static home mirrors it with the backing store), but a line
+            // owned by a failed node — or dirty at the static home with
+            // nowhere to flush — is unrecoverable: refuse, the access is
+            // fatal.
+            let pd = self.nodes[dead].controller.dir.page(gpage)?;
+            for l in 0..lpp {
+                if let LineDir::Owned(o) = pd.line(LineIdx(l as u16)) {
+                    if self.nodes[o.0 as usize].failed || o.0 as usize == static_home {
+                        return None;
+                    }
+                }
+            }
+            // Home-self writes live as Modified lines in the dead home's
+            // own processor caches, not as Owned directory entries. Node
+            // memory survives a failure; cache contents die with the
+            // processors — a dirty line stranded there makes the memory
+            // image stale, so the page is unrecoverable.
+            let base_key = self.line_key(pd.home_frame, LineIdx(0));
+            for spi in 0..self.ppn() {
+                for l in 0..lpp as u64 {
+                    let in_l1 = self.nodes[dead].procs[spi].l1.probe(base_key + l);
+                    let in_l2 = self.nodes[dead].procs[spi].l2.probe(base_key + l);
+                    if in_l1 == Some(LineState::Modified) || in_l2 == Some(LineState::Modified) {
+                        return None;
+                    }
+                }
+            }
+        }
+        if let Some(cp) = self.nodes[static_home].kernel.client_page(gpage) {
+            let dirty_at_static = self.nodes[static_home]
+                .controller
+                .tags
+                .iter_frame(cp.frame)
+                .any(|(_, tag)| tag == LineTag::Exclusive);
+            if dirty_at_static {
+                return None;
+            }
+            // A clean client copy: retire it so the node can host the
+            // page as its home. The page-out skips the dead home's
+            // directory update; the adoption below rebuilds it.
+            let evict = prism_kernel::kernel::EvictOrder {
+                gpage,
+                frame: cp.frame,
+                vpage: cp.vpage,
+                convert_to_lanuma: false,
+            };
+            self.page_out_client(static_home, evict, t);
+        } else if let Some(frame) = self.nodes[static_home]
+            .controller
+            .pit
+            .frame_of(gpage)
+            .filter(|f| f.is_imaginary())
+        {
+            // An LA-NUMA mapping at the static home: necessarily clean
+            // (dirty lines appear as Owned(static_home) and were refused
+            // above), so dropping it loses nothing.
+            self.drop_lanuma_mapping(static_home, gpage, frame);
+        }
+
+        // Strip the dead home's residency: directory, PIT, tags. Its
+        // processors are dead; their caches need no invalidation.
+        let mut pd = self.nodes[dead]
+            .controller
+            .dir
+            .page_out(gpage)
+            .expect("residency checked above");
+        let old_frame = pd.home_frame;
+        self.nodes[dead].controller.pit.remove(old_frame);
+        self.nodes[dead].controller.tags.deallocate(old_frame);
+        self.nodes[dead].kernel.release_home_residency(gpage);
+
+        // The new home must not appear in its own directory as a client.
+        pd.clients.remove(NodeId(static_home as u16));
+        pd.client_frames.remove(&NodeId(static_home as u16));
+        pd.clients.remove(NodeId(dead as u16));
+        pd.client_frames.remove(&NodeId(dead as u16));
+        for l in 0..lpp {
+            let li = LineIdx(l as u16);
+            if let LineDir::Shared(mut s) = pd.line(li) {
+                s.remove(NodeId(static_home as u16));
+                s.remove(NodeId(dead as u16));
+                *pd.line_mut(li) = if s.is_empty() {
+                    LineDir::Uncached
+                } else {
+                    LineDir::Shared(s)
+                };
+            }
+        }
+
+        // The static home adopts: frame, PIT entry, tags from the
+        // directory, then the restored page image (backing store).
+        let (new_frame, newly) = self.nodes[static_home].kernel.ensure_home_resident(gpage);
+        assert!(newly, "failover target cannot already be home-resident");
+        pd.home_frame = new_frame;
+        let entry = PitEntry {
+            gpage,
+            mode: FrameMode::Scoma,
+            static_home: NodeId(static_home as u16),
+            dyn_home: NodeId(static_home as u16),
+            home_frame_hint: Some(new_frame),
+            caps: prism_mem::pit::Caps::AllNodes,
+        };
+        self.nodes[static_home]
+            .controller
+            .pit
+            .insert(new_frame, entry);
+        self.nodes[static_home]
+            .controller
+            .tags
+            .allocate(new_frame, LineTag::Shared);
+        for l in 0..lpp {
+            let li = LineIdx(l as u16);
+            let tag = match pd.line(li) {
+                LineDir::Owned(_) => LineTag::Invalid,
+                LineDir::Shared(_) => LineTag::Shared,
+                LineDir::Uncached => LineTag::Exclusive,
+            };
+            self.nodes[static_home]
+                .controller
+                .tags
+                .set(new_frame, li, tag);
+        }
+        self.nodes[static_home].controller.dir.adopt(gpage, pd);
+
+        // Shadow: the backing-store image (the dead home's node copy)
+        // reappears at the static home. Lines owned by surviving clients
+        // keep their authority at those clients.
+        if self.shadow.is_some() {
+            if let Some(vp) = self.shared_vpage_value(gpage) {
+                let lid_base =
+                    vp << (self.cfg.geometry.page_log2() - self.cfg.geometry.line_log2());
+                for l in 0..lpp as u64 {
+                    if let Some(sh) = self.shadow.as_mut() {
+                        sh.copy_node_to_node(dead as u16, static_home as u16, lid_base + l);
+                        sh.drop_node(dead as u16, lid_base + l);
+                    }
+                }
+            }
+        }
+
+        self.dyn_homes.insert(gpage, NodeId(static_home as u16));
+        self.freport(|r| r.failovers += 1);
+        Some(static_home)
+    }
+
+    /// Re-routes a request whose (believed) home is on a failed node:
+    /// after a timeout the requester re-asks the static home, which
+    /// either knows a surviving dynamic home (stale-hint case) or
+    /// performs a [`Machine::try_home_failover`]. Returns the surviving
+    /// home and the time the re-routed request arrives there, or `None`
+    /// when the access is unrecoverable (the caller kills the
+    /// requester).
+    pub(crate) fn reroute_after_home_failure(
+        &mut self,
+        n: usize,
+        gpage: GlobalPage,
+        t: Cycle,
+    ) -> Option<(usize, Cycle)> {
+        let lat = self.cfg.latency;
+        let policy = self.cfg.retry;
+        let static_home = self.homes.static_home(gpage).0 as usize;
+        if self.nodes[static_home].failed {
+            // Discovery and recovery both go through the static home;
+            // with it gone the page is unreachable.
+            return None;
+        }
+        // The request to the dead home went unanswered.
+        let mut t = t + Cycle(policy.timeout_cycles);
+        self.freport(|r| {
+            r.timeouts += 1;
+            r.retries += 1;
+            r.backoff_cycles += policy.timeout_cycles;
+        });
+        let actual = self.resolve_dyn_home(gpage).0 as usize;
+        let (target, recovered) = if !self.nodes[actual].failed {
+            // A stale hint pointed at the failed node; the page already
+            // lives elsewhere.
+            (actual, false)
+        } else {
+            (self.try_home_failover(gpage, actual, t)?, true)
+        };
+        t = self.send(n, static_home, MsgKind::RetryReq, t);
+        t = self.nodes[static_home]
+            .engine
+            .acquire(t, Cycle(lat.dispatch_occupancy))
+            + Cycle(lat.dispatch);
+        if recovered {
+            // Restoring the page image from backing store is on the
+            // critical path of the first re-routed request.
+            t += Cycle(
+                lat.home_pagein_service
+                    + lat.pageout_per_line * self.cfg.geometry.lines_per_page() as u64 / 4,
+            );
+        }
+        if target != static_home {
+            self.stats.forwards += 1;
+            t = self.send(static_home, target, MsgKind::Forward, t);
+        }
+        self.freport(|r| r.contained_faults += 1);
+        Some((target, t))
+    }
+
     /// Drops an LA-NUMA client mapping at a node (used when the node
     /// becomes the page's home).
-    pub(crate) fn drop_lanuma_mapping(&mut self, n: usize, gpage: GlobalPage, frame: prism_mem::addr::FrameNo) {
+    pub(crate) fn drop_lanuma_mapping(
+        &mut self,
+        n: usize,
+        gpage: GlobalPage,
+        frame: prism_mem::addr::FrameNo,
+    ) {
         let lpp = self.cfg.geometry.lines_per_page() as u64;
         let base_key = self.line_key(frame, LineIdx(0));
         // Dirty LA-NUMA lines must reach the (old) home before the frame

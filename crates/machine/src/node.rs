@@ -122,7 +122,12 @@ mod tests {
     #[test]
     fn node_assembly_numbers_processors_globally() {
         let cfg = MachineConfig::builder().nodes(2).procs_per_node(3).build();
-        let k = Kernel::new(NodeId(1), KernelConfig::default(), HomeMap::new(2), cfg.geometry);
+        let k = Kernel::new(
+            NodeId(1),
+            KernelConfig::default(),
+            HomeMap::new(2),
+            cfg.geometry,
+        );
         let node = Node::new(NodeId(1), &cfg, k);
         let ids: Vec<u16> = node.procs.iter().map(|p| p.id.0).collect();
         assert_eq!(ids, vec![3, 4, 5]);

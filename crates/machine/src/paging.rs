@@ -30,7 +30,8 @@ impl Machine {
             // The policy may query the local controller's fine-grain tags
             // (Dyn-Util).
             let node = &self.nodes[n];
-            node.kernel.plan_fault(vpage, gpage, dyn_home, &node.controller)
+            node.kernel
+                .plan_fault(vpage, gpage, dyn_home, &node.controller)
         };
         let mut t = t;
         let t0 = t;
@@ -56,25 +57,51 @@ impl Machine {
                 if plan.contact_home {
                     // Page-in request round trip (paper §3.3, "External
                     // Paging"); covers bringing the page in at home.
-                    let home = dyn_home.0 as usize;
+                    let mut home = dyn_home.0 as usize;
                     if self.nodes[home].failed {
-                        self.kill_proc(n, pi);
-                        return t;
+                        // Recover via the static home (redirect or home
+                        // failover) — or the fault is fatal.
+                        match self.reroute_after_home_failure(n, gp, t) {
+                            Some((h, tt)) => {
+                                home = h;
+                                t = tt;
+                            }
+                            None => {
+                                self.freport(|r| r.fatal_faults += 1);
+                                self.kill_proc(n, pi);
+                                return t;
+                            }
+                        }
                     }
+                    let dyn_home = NodeId(home as u16);
                     t += Cycle(lat.fault_kernel + lat.tlb_miss);
                     // Page-in requests are addressed with the shmat-time
                     // (static) home information; if the dynamic home has
                     // migrated, the static home forwards (paper §3.5).
                     let static_home = self.homes.static_home(gp).0 as usize;
-                    if static_home != home {
-                        t = self.send(n, static_home, MsgKind::PageInReq, t);
-                        t += Cycle(lat.dispatch);
-                        t = self.send(static_home, home, MsgKind::Forward, t);
-                        self.stats.forwards += 1;
+                    let delivered = if static_home != home {
+                        self.send_reliable(n, static_home, MsgKind::PageInReq, t)
+                            .map(|tt| {
+                                self.stats.forwards += 1;
+                                self.send(
+                                    static_home,
+                                    home,
+                                    MsgKind::Forward,
+                                    tt + Cycle(lat.dispatch),
+                                )
+                            })
                     } else {
-                        t = self.send(n, home, MsgKind::PageInReq, t);
-                    }
-                    t += Cycle(lat.home_pagein_service);
+                        self.send_reliable(n, home, MsgKind::PageInReq, t)
+                    };
+                    t = match delivered {
+                        Ok(tt) => tt,
+                        Err(_) => {
+                            self.freport(|r| r.fatal_faults += 1);
+                            self.kill_proc(n, pi);
+                            return t;
+                        }
+                    };
+                    t += Cycle(lat.home_pagein_service * self.slow_factor(home, t));
                     let (home_frame, newly) = self.nodes[home].kernel.ensure_home_resident(gp);
                     if newly {
                         self.init_home_page(home, gp, home_frame);
@@ -95,10 +122,12 @@ impl Machine {
                 } else {
                     t += Cycle(lat.uncontended_fault_local());
                 }
-                let frame =
-                    self.nodes[n]
-                        .kernel
-                        .commit_client_fault(vpage, gp, plan.mode, plan.contact_home);
+                let frame = self.nodes[n].kernel.commit_client_fault(
+                    vpage,
+                    gp,
+                    plan.mode,
+                    plan.contact_home,
+                );
                 // Bind the frame in the controller's PIT.
                 let known = self.nodes[n].kernel.known_home(gp);
                 let entry = PitEntry {
@@ -111,7 +140,10 @@ impl Machine {
                 };
                 self.nodes[n].controller.pit.insert(frame, entry);
                 if plan.mode == FrameMode::Scoma {
-                    self.nodes[n].controller.tags.allocate(frame, LineTag::Invalid);
+                    self.nodes[n]
+                        .controller
+                        .tags
+                        .allocate(frame, LineTag::Invalid);
                 }
             }
         }
@@ -133,7 +165,10 @@ impl Machine {
             caps: prism_mem::pit::Caps::AllNodes,
         };
         self.nodes[home].controller.pit.insert(frame, entry);
-        self.nodes[home].controller.tags.allocate(frame, LineTag::Exclusive);
+        self.nodes[home]
+            .controller
+            .tags
+            .allocate(frame, LineTag::Exclusive);
         self.nodes[home]
             .controller
             .dir
@@ -204,8 +239,14 @@ impl Machine {
         let base_key = self.line_key(home_frame, LineIdx(0));
         for hpi in 0..self.ppn() {
             let flat = self.flat(home, hpi) as u16;
-            for (key, dirty) in self.nodes[home].procs[hpi].l2.invalidate_range(base_key, lpp) {
-                let l1_dirty = self.nodes[home].procs[hpi].l1.invalidate(key).unwrap_or(false);
+            for (key, dirty) in self.nodes[home].procs[hpi]
+                .l2
+                .invalidate_range(base_key, lpp)
+            {
+                let l1_dirty = self.nodes[home].procs[hpi]
+                    .l1
+                    .invalidate(key)
+                    .unwrap_or(false);
                 if let Some(sh) = self.shadow.as_mut() {
                     if let Some(lid) = sh.lid_for(home as u16, key) {
                         if dirty || l1_dirty {
@@ -215,7 +256,9 @@ impl Machine {
                     }
                 }
             }
-            self.nodes[home].procs[hpi].l1.invalidate_range(base_key, lpp);
+            self.nodes[home].procs[hpi]
+                .l1
+                .invalidate_range(base_key, lpp);
         }
 
         // 3. Unmap the home's own virtual mapping (node-local shootdown
@@ -232,7 +275,9 @@ impl Machine {
         self.nodes[home].controller.tags.deallocate(home_frame);
         self.nodes[home].kernel.release_home_residency(gpage);
         // Disk write: a bulk memory read plus fixed device overhead.
-        self.nodes[home].memory.acquire(t, Cycle(lat.mem_occupancy * 8));
+        self.nodes[home]
+            .memory
+            .acquire(t, Cycle(lat.mem_occupancy * 8));
         t += Cycle(lat.pageout_per_line * lpp / 4);
         self.stats.home_page_outs += 1;
         Some(t)
@@ -301,7 +346,10 @@ impl Machine {
         let base_key = self.line_key(frame, LineIdx(0));
         for spi in 0..self.ppn() {
             let f2 = self.flat(n, spi) as u16;
-            for (key, _dirty) in self.nodes[n].procs[spi].l2.invalidate_range(base_key, lpp as u64) {
+            for (key, _dirty) in self.nodes[n].procs[spi]
+                .l2
+                .invalidate_range(base_key, lpp as u64)
+            {
                 self.nodes[n].procs[spi].l1.invalidate(key);
                 if let Some(sh) = self.shadow.as_mut() {
                     if let Some(lid) = sh.lid_for(n as u16, key) {
@@ -313,7 +361,10 @@ impl Machine {
                 }
             }
             // L1-only leftovers (possible if L2 already lost the line).
-            for (key, _dirty) in self.nodes[n].procs[spi].l1.invalidate_range(base_key, lpp as u64) {
+            for (key, _dirty) in self.nodes[n].procs[spi]
+                .l1
+                .invalidate_range(base_key, lpp as u64)
+            {
                 if let Some(sh) = self.shadow.as_mut() {
                     if let Some(lid) = sh.lid_for(n as u16, key) {
                         sh.writeback(f2, n as u16, lid);

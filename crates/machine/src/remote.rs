@@ -40,11 +40,13 @@ impl Machine {
 
         // Requester-side: bus address phase, dispatch, PIT translation.
         let mut t = self.nodes[n].bus.acquire_until(t, Cycle(lat.bus_addr));
-        t = self.nodes[n].engine.acquire(t, Cycle(lat.dispatch_occupancy)) + Cycle(lat.dispatch);
+        t = self.nodes[n]
+            .engine
+            .acquire(t, Cycle(lat.dispatch_occupancy))
+            + Cycle(lat.dispatch);
         t += Cycle(lat.pit_access());
 
-        let entry = self
-            .nodes[n]
+        let entry = self.nodes[n]
             .controller
             .pit
             .translate(frame)
@@ -54,32 +56,89 @@ impl Machine {
         let static_home = entry.static_home.0 as usize;
         let hint = entry.home_frame_hint;
 
-        let kind_msg = if write { MsgKind::WriteReq } else { MsgKind::ReadReq };
-        t = self.send(n, home, kind_msg, t);
+        let kind_msg = if write {
+            MsgKind::WriteReq
+        } else {
+            MsgKind::ReadReq
+        };
+        t = match self.send_reliable(n, home, kind_msg, t) {
+            Ok(tt) => tt,
+            Err(_) => {
+                // Every allowed transmission was lost or corrupted.
+                self.freport(|r| r.fatal_faults += 1);
+                self.kill_proc(n, pi);
+                return t;
+            }
+        };
+
+        // A failed (believed) home: after a timeout the requester
+        // re-asks the static home, which redirects to a surviving
+        // dynamic home or re-masters the page there (home failover) —
+        // otherwise the access is fatal.
+        if self.nodes[home].failed {
+            match self.reroute_after_home_failure(n, gpage, t) {
+                Some((h, tt)) => {
+                    home = h;
+                    t = tt;
+                }
+                None => {
+                    self.freport(|r| r.fatal_faults += 1);
+                    self.kill_proc(n, pi);
+                    return t;
+                }
+            }
+        }
 
         // Lazy-migration forwarding: a stale dynamic-home hint bounces
         // through the static home, which knows the current location
         // (paper §3.5).
         if self.nodes[home].controller.dir.page(gpage).is_none() {
+            if self.nodes[static_home].failed {
+                // The forwarder is gone; the page cannot be located.
+                self.freport(|r| r.fatal_faults += 1);
+                self.kill_proc(n, pi);
+                return t;
+            }
             self.stats.forwards += 1;
-            t = self.nodes[home].engine.acquire(t, Cycle(lat.dispatch_occupancy)) + Cycle(lat.dispatch);
+            t = self.nodes[home]
+                .engine
+                .acquire(t, Cycle(lat.dispatch_occupancy))
+                + Cycle(lat.dispatch);
             t = self.send(home, static_home, MsgKind::Forward, t);
-            t = self.nodes[static_home].engine.acquire(t, Cycle(lat.dispatch_occupancy)) + Cycle(lat.dispatch);
+            t = self.nodes[static_home]
+                .engine
+                .acquire(t, Cycle(lat.dispatch_occupancy))
+                + Cycle(lat.dispatch);
             let target = self.resolve_dyn_home(gpage).0 as usize;
-            t = self.send(static_home, target, MsgKind::Forward, t);
-            home = target;
-        }
-        if self.nodes[home].failed {
-            self.kill_proc(n, pi);
-            return t;
+            if self.nodes[target].failed {
+                match self.reroute_after_home_failure(n, gpage, t) {
+                    Some((h, tt)) => {
+                        home = h;
+                        t = tt;
+                    }
+                    None => {
+                        self.freport(|r| r.fatal_faults += 1);
+                        self.kill_proc(n, pi);
+                        return t;
+                    }
+                }
+            } else {
+                t = self.send(static_home, target, MsgKind::Forward, t);
+                home = target;
+            }
         }
         assert!(
             self.nodes[home].controller.dir.page(gpage).is_some(),
             "dynamic home {home} lacks directory state for {gpage}"
         );
 
-        // Home-side processing.
-        t = self.nodes[home].engine.acquire(t, Cycle(lat.dispatch_occupancy)) + Cycle(lat.dispatch);
+        // Home-side processing (a slow-node episode inflates the home's
+        // protocol dispatch and memory latencies).
+        let slow = self.slow_factor(home, t);
+        t = self.nodes[home]
+            .engine
+            .acquire(t, Cycle(lat.dispatch_occupancy))
+            + Cycle(lat.dispatch * slow);
         if home != n {
             // Reverse translation (with the message's frame hint) and
             // firewall check against the home's own PIT entry.
@@ -90,7 +149,9 @@ impl Machine {
                 .expect("home has a PIT entry for a resident page");
             t += Cycle(match how {
                 prism_mem::pit::ReverseOutcome::GuessHit => lat.pit_access(),
-                prism_mem::pit::ReverseOutcome::HashLookup => lat.pit_access() + lat.pit_hash_search,
+                prism_mem::pit::ReverseOutcome::HashLookup => {
+                    lat.pit_access() + lat.pit_hash_search
+                }
             });
             let home_entry = *self.nodes[home]
                 .controller
@@ -117,12 +178,22 @@ impl Machine {
         }
 
         // Directory cache and state.
-        let dir_hit = self.nodes[home].controller.dir_cache.probe(gpage.line(line));
+        let dir_hit = self.nodes[home]
+            .controller
+            .dir_cache
+            .probe(gpage.line(line));
         t += Cycle(lat.dir_access(dir_hit));
-        self.nodes[home].controller.traffic_mut(gpage).record(NodeId(n as u16));
+        self.nodes[home]
+            .controller
+            .traffic_mut(gpage)
+            .record(NodeId(n as u16));
 
         let (dirline, home_frame) = {
-            let pd = self.nodes[home].controller.dir.page(gpage).expect("checked above");
+            let pd = self.nodes[home]
+                .controller
+                .dir
+                .page(gpage)
+                .expect("checked above");
             (pd.line(line), pd.home_frame)
         };
         let home_tag = self.nodes[home].controller.tags.get(home_frame, line);
@@ -149,8 +220,11 @@ impl Machine {
         let mut reply_from_owner = false;
         match outcome.source {
             DataSource::HomeMemory => {
-                t = self.nodes[home].bus.acquire_until(t, Cycle(lat.bus_addr + lat.bus_data));
-                t = self.nodes[home].memory.acquire(t, Cycle(lat.mem_occupancy)) + Cycle(lat.mem_access);
+                t = self.nodes[home]
+                    .bus
+                    .acquire_until(t, Cycle(lat.bus_addr + lat.bus_data));
+                t = self.nodes[home].memory.acquire(t, Cycle(lat.mem_occupancy))
+                    + Cycle(lat.mem_access * slow);
                 if let Some(sh) = self.shadow.as_ref() {
                     version = sh.freshest_at_node(home as u16, self.node_proc_range(home), lid);
                 }
@@ -161,10 +235,16 @@ impl Machine {
                     // upgrade path (writes are handled by
                     // `invalidate_home` below).
                     for hpi in 0..self.ppn() {
-                        if self.nodes[home].procs[hpi].l2.probe(home_key) == Some(LineState::Exclusive) {
-                            self.nodes[home].procs[hpi].l2.set_state(home_key, LineState::Shared);
+                        if self.nodes[home].procs[hpi].l2.probe(home_key)
+                            == Some(LineState::Exclusive)
+                        {
+                            self.nodes[home].procs[hpi]
+                                .l2
+                                .set_state(home_key, LineState::Shared);
                             if self.nodes[home].procs[hpi].l1.probe(home_key).is_some() {
-                                self.nodes[home].procs[hpi].l1.set_state(home_key, LineState::Shared);
+                                self.nodes[home].procs[hpi]
+                                    .l1
+                                    .set_state(home_key, LineState::Shared);
                             }
                         }
                     }
@@ -172,7 +252,9 @@ impl Machine {
                 data_fetched = true;
             }
             DataSource::HomeIntervention => {
-                t = self.nodes[home].bus.acquire_until(t, Cycle(lat.bus_addr + lat.bus_data));
+                t = self.nodes[home]
+                    .bus
+                    .acquire_until(t, Cycle(lat.bus_addr + lat.bus_data));
                 t += Cycle(lat.cache_intervention);
                 if let Some(sh) = self.shadow.as_ref() {
                     version = sh.freshest_at_node(home as u16, self.node_proc_range(home), lid);
@@ -205,16 +287,31 @@ impl Machine {
             DataSource::Owner(owner) => {
                 let o = owner.0 as usize;
                 if self.nodes[o].failed {
+                    // The line's only up-to-date copy died with its
+                    // owner: unrecoverable, kill the requester.
+                    self.freport(|r| r.fatal_faults += 1);
                     self.kill_proc(n, pi);
                     return t;
                 }
-                t = self.send(home, o, MsgKind::Intervention, t);
-                t = self.nodes[o].engine.acquire(t, Cycle(lat.dispatch_occupancy)) + Cycle(lat.dispatch);
+                t = match self.send_reliable(home, o, MsgKind::Intervention, t) {
+                    Ok(tt) => tt,
+                    Err(_) => {
+                        self.freport(|r| r.fatal_faults += 1);
+                        self.kill_proc(n, pi);
+                        return t;
+                    }
+                };
+                t = self.nodes[o]
+                    .engine
+                    .acquire(t, Cycle(lat.dispatch_occupancy))
+                    + Cycle(lat.dispatch);
                 t += Cycle(lat.pit_access());
                 if !self.cfg.client_frame_hints_in_directory {
                     t += Cycle(lat.pit_hash_search);
                 }
-                t = self.nodes[o].bus.acquire_until(t, Cycle(lat.bus_addr + lat.bus_data));
+                t = self.nodes[o]
+                    .bus
+                    .acquire_until(t, Cycle(lat.bus_addr + lat.bus_data));
                 t += Cycle(lat.cache_intervention);
                 if let Some(sh) = self.shadow.as_ref() {
                     version = sh.freshest_at_node(o as u16, self.node_proc_range(o), lid);
@@ -251,7 +348,10 @@ impl Machine {
             // rest overlap with serialized ack processing at the home.
             let first = sharers[0];
             t = self.send(home, first, MsgKind::Invalidate, t);
-            t = self.nodes[first].engine.acquire(t, Cycle(lat.dispatch_occupancy)) + Cycle(lat.dispatch);
+            t = self.nodes[first]
+                .engine
+                .acquire(t, Cycle(lat.dispatch_occupancy))
+                + Cycle(lat.dispatch);
             // The sharer reverse-translates the invalidation's global
             // address. Without client frame numbers cached in the home
             // directory (paper §3.2 option, off by default) the message
@@ -261,7 +361,10 @@ impl Machine {
                 t += Cycle(lat.pit_hash_search);
             }
             t = self.send(first, home, MsgKind::InvalAck, t);
-            t = self.nodes[home].engine.acquire(t, Cycle(lat.dispatch_occupancy)) + Cycle(lat.dispatch);
+            t = self.nodes[home]
+                .engine
+                .acquire(t, Cycle(lat.dispatch_occupancy))
+                + Cycle(lat.dispatch);
             for (i, &s) in sharers.iter().enumerate() {
                 if i > 0 {
                     self.post_send(home, s, MsgKind::Invalidate, t);
@@ -276,8 +379,14 @@ impl Machine {
             t += Cycle(lat.home_invalidate);
             for hpi in 0..self.ppn() {
                 let hflat = self.flat(home, hpi) as u16;
-                let a = self.nodes[home].procs[hpi].l1.invalidate(home_key).is_some();
-                let b = self.nodes[home].procs[hpi].l2.invalidate(home_key).is_some();
+                let a = self.nodes[home].procs[hpi]
+                    .l1
+                    .invalidate(home_key)
+                    .is_some();
+                let b = self.nodes[home].procs[hpi]
+                    .l2
+                    .invalidate(home_key)
+                    .is_some();
                 if a || b {
                     if let Some(sh) = self.shadow.as_mut() {
                         sh.drop_proc(hflat, lid);
@@ -291,7 +400,11 @@ impl Machine {
 
         // Commit directory and home-tag updates.
         {
-            let pd = self.nodes[home].controller.dir.page_mut(gpage).expect("resident");
+            let pd = self.nodes[home]
+                .controller
+                .dir
+                .page_mut(gpage)
+                .expect("resident");
             *pd.line_mut(line) = outcome.new_state;
             pd.traffic += 1;
             if self.cfg.client_frame_hints_in_directory && home != n {
@@ -305,10 +418,17 @@ impl Machine {
         // Reply to the requester (unless the owner already did, or this
         // was the home's own access).
         if !reply_from_owner {
-            let reply = if data_fetched { MsgKind::DataReply } else { MsgKind::AckReply };
+            let reply = if data_fetched {
+                MsgKind::DataReply
+            } else {
+                MsgKind::AckReply
+            };
             t = self.send(home, n, reply, t);
         }
-        t = self.nodes[n].engine.acquire(t, Cycle(lat.dispatch_occupancy)) + Cycle(lat.dispatch);
+        t = self.nodes[n]
+            .engine
+            .acquire(t, Cycle(lat.dispatch_occupancy))
+            + Cycle(lat.dispatch);
         if data_fetched {
             t = self.nodes[n].bus.acquire_until(t, Cycle(lat.bus_data));
         }
@@ -320,10 +440,16 @@ impl Machine {
                 e.dyn_home = NodeId(home as u16);
                 e.home_frame_hint = Some(home_frame);
             }
-            self.nodes[n].kernel.learn_home(gpage, NodeId(home as u16), Some(home_frame));
+            self.nodes[n]
+                .kernel
+                .learn_home(gpage, NodeId(home as u16), Some(home_frame));
         }
 
-        let new_node_tag = if write { LineTag::Exclusive } else { LineTag::Shared };
+        let new_node_tag = if write {
+            LineTag::Exclusive
+        } else {
+            LineTag::Shared
+        };
         if home == n {
             // Home-self access: the home's own tag was set via
             // `home_tag_to`; nothing else to record.
@@ -334,7 +460,9 @@ impl Machine {
                 self.nodes[n].memory.acquire(t, Cycle(lat.mem_access));
             }
         } else {
-            self.nodes[n].controller.set_lanuma_tag(frame, line, new_node_tag);
+            self.nodes[n]
+                .controller
+                .set_lanuma_tag(frame, line, new_node_tag);
         }
 
         // A write gains node-and-processor exclusivity: the bus
@@ -362,7 +490,11 @@ impl Machine {
             if let Some(sh) = self.shadow.as_mut() {
                 sh.fill_remote(flat, n as u16, lid, version, scoma && home != n);
             }
-            let state = if write { LineState::Modified } else { LineState::Shared };
+            let state = if write {
+                LineState::Modified
+            } else {
+                LineState::Shared
+            };
             self.insert_line(n, pi, key, state, lid);
             if write {
                 if let Some(sh) = self.shadow.as_mut() {
@@ -379,9 +511,13 @@ impl Machine {
             if let Some(sh) = self.shadow.as_mut() {
                 sh.observe_hit(flat, lid);
             }
-            self.nodes[n].procs[pi].l2.set_state(key, LineState::Modified);
+            self.nodes[n].procs[pi]
+                .l2
+                .set_state(key, LineState::Modified);
             if self.nodes[n].procs[pi].l1.probe(key).is_some() {
-                self.nodes[n].procs[pi].l1.set_state(key, LineState::Modified);
+                self.nodes[n].procs[pi]
+                    .l1
+                    .set_state(key, LineState::Modified);
             } else {
                 self.fill_l1(n, pi, key, LineState::Modified, lid);
             }
@@ -415,7 +551,11 @@ impl Machine {
         has_data: bool,
     ) -> prism_protocol::dirproto::DirOutcome {
         use prism_protocol::dirproto::DirOutcome;
-        let data_source = if has_data { DataSource::None } else { DataSource::HomeMemory };
+        let data_source = if has_data {
+            DataSource::None
+        } else {
+            DataSource::HomeMemory
+        };
         match (dirline, write) {
             (LineDir::Owned(owner), false) => DirOutcome {
                 source: DataSource::Owner(owner),
@@ -451,14 +591,22 @@ impl Machine {
                 updates_home_memory: false,
             },
             (state, false) => {
-                unreachable!("home read with valid memory should hit locally: {state:?} tag {home_tag:?}")
+                unreachable!(
+                    "home read with valid memory should hit locally: {state:?} tag {home_tag:?}"
+                )
             }
         }
     }
 
     /// Invalidates a line at a node: every processor cache, plus the
     /// node-level tag (S-COMA fine-grain tag or LA-NUMA state).
-    pub(crate) fn invalidate_at_node(&mut self, s: usize, gpage: GlobalPage, line: LineIdx, lid: u64) {
+    pub(crate) fn invalidate_at_node(
+        &mut self,
+        s: usize,
+        gpage: GlobalPage,
+        line: LineIdx,
+        lid: u64,
+    ) {
         let Some(frame) = self.nodes[s].controller.pit.frame_of(gpage) else {
             return; // stale sharer: the node paged the page out already
         };
@@ -474,9 +622,14 @@ impl Machine {
             }
         }
         if frame.is_imaginary() {
-            self.nodes[s].controller.set_lanuma_tag(frame, line, LineTag::Invalid);
+            self.nodes[s]
+                .controller
+                .set_lanuma_tag(frame, line, LineTag::Invalid);
         } else if self.nodes[s].controller.tags.is_allocated(frame) {
-            self.nodes[s].controller.tags.set(frame, line, LineTag::Invalid);
+            self.nodes[s]
+                .controller
+                .tags
+                .set(frame, line, LineTag::Invalid);
             if let Some(sh) = self.shadow.as_mut() {
                 sh.drop_node(s as u16, lid);
             }
@@ -484,7 +637,14 @@ impl Machine {
     }
 
     /// Downgrades a line at an owning node to Shared (3-party read).
-    fn downgrade_at_node(&mut self, s: usize, gpage: GlobalPage, line: LineIdx, lid: u64, version: u64) {
+    fn downgrade_at_node(
+        &mut self,
+        s: usize,
+        gpage: GlobalPage,
+        line: LineIdx,
+        lid: u64,
+        version: u64,
+    ) {
         let Some(frame) = self.nodes[s].controller.pit.frame_of(gpage) else {
             return;
         };
@@ -496,9 +656,14 @@ impl Machine {
             }
         }
         if frame.is_imaginary() {
-            self.nodes[s].controller.set_lanuma_tag(frame, line, LineTag::Shared);
+            self.nodes[s]
+                .controller
+                .set_lanuma_tag(frame, line, LineTag::Shared);
         } else if self.nodes[s].controller.tags.is_allocated(frame) {
-            self.nodes[s].controller.tags.set(frame, line, LineTag::Shared);
+            self.nodes[s]
+                .controller
+                .tags
+                .set(frame, line, LineTag::Shared);
             // The owner's page-cache copy is refreshed by the writeback.
             if let Some(sh) = self.shadow.as_mut() {
                 sh.set_node_copy(s as u16, lid, version);

@@ -8,6 +8,8 @@ use prism_protocol::msg::TrafficLedger;
 use prism_sim::stats::Histogram;
 use prism_sim::Cycle;
 
+use crate::faults::FaultReport;
+
 /// Per-node results.
 #[derive(Clone, Debug)]
 pub struct NodeReport {
@@ -115,6 +117,8 @@ pub struct RunReport {
     pub per_node: Vec<NodeReport>,
     /// Reads verified by the coherence checker (0 when disabled).
     pub reads_checked: u64,
+    /// Fault-injection accounting (all zero when no plan is installed).
+    pub fault: FaultReport,
 }
 
 impl RunReport {
@@ -152,7 +156,10 @@ impl fmt::Display for RunReport {
         writeln!(
             f,
             "  page-outs {}  ({} dirty lines)  conversions {} (→LA-NUMA) / {} (→S-COMA)",
-            self.page_outs, self.page_out_lines, self.conversions_to_lanuma, self.conversions_to_scoma
+            self.page_outs,
+            self.page_out_lines,
+            self.conversions_to_lanuma,
+            self.conversions_to_scoma
         )?;
         writeln!(
             f,
@@ -165,6 +172,9 @@ impl fmt::Display for RunReport {
             self.invalidations, self.remote_writebacks, self.migrations, self.forwards
         )?;
         writeln!(f, "  messages {}", self.ledger.total())?;
+        if self.fault.any() {
+            writeln!(f, "  {}", self.fault)?;
+        }
         write!(
             f,
             "  mean latencies: local {:.0}cy, remote {:.0}cy, fault {:.0}cy",

@@ -75,7 +75,10 @@ impl Shadow {
     /// A processor writes the line (after the protocol granted
     /// exclusivity): bumps the global version.
     pub fn write(&mut self, proc: u16, lid: u64) {
-        self.trace(lid, &format!("write by proc {proc} -> v{}", self.latest(lid)+1));
+        self.trace(
+            lid,
+            &format!("write by proc {proc} -> v{}", self.latest(lid) + 1),
+        );
         let v = self.latest(lid) + 1;
         self.latest.insert(lid, v);
         self.proc_copy.insert((proc, lid), v);
@@ -87,7 +90,13 @@ impl Shadow {
     ///
     /// Panics if the held copy is stale.
     pub fn observe_hit(&mut self, proc: u16, lid: u64) {
-        self.trace(lid, &format!("observe_hit proc {proc} holds v{}", self.proc_version(proc, lid)));
+        self.trace(
+            lid,
+            &format!(
+                "observe_hit proc {proc} holds v{}",
+                self.proc_version(proc, lid)
+            ),
+        );
         self.reads_checked += 1;
         let held = self.proc_copy.get(&(proc, lid)).copied().unwrap_or(0);
         let latest = self.latest(lid);
@@ -121,7 +130,10 @@ impl Shadow {
             v, latest,
             "coherence violation: node {node} memory holds v{v} of line {lid:#x}, latest is v{latest}"
         );
-        self.trace(lid, &format!("fill_from_node_memory proc {proc} node {node} v{v}"));
+        self.trace(
+            lid,
+            &format!("fill_from_node_memory proc {proc} node {node} v{v}"),
+        );
         self.proc_copy.insert((proc, lid), v);
         self.reads_checked += 1;
     }
@@ -158,13 +170,23 @@ impl Shadow {
     /// # Panics
     ///
     /// Panics if the supplied version is stale.
-    pub fn fill_remote(&mut self, proc: u16, node: u16, lid: u64, version: u64, into_page_cache: bool) {
+    pub fn fill_remote(
+        &mut self,
+        proc: u16,
+        node: u16,
+        lid: u64,
+        version: u64,
+        into_page_cache: bool,
+    ) {
         let latest = self.latest(lid);
         assert_eq!(
             version, latest,
             "coherence violation: remote fetch got v{version} of line {lid:#x}, latest is v{latest}"
         );
-        self.trace(lid, &format!("fill_remote proc {proc} node {node} v{version} pc={into_page_cache}"));
+        self.trace(
+            lid,
+            &format!("fill_remote proc {proc} node {node} v{version} pc={into_page_cache}"),
+        );
         self.proc_copy.insert((proc, lid), version);
         if into_page_cache {
             self.node_copy.insert((node, lid), version);
@@ -175,7 +197,13 @@ impl Shadow {
     /// A dirty line leaves a processor for its node's memory (local
     /// writeback) or another node's memory (LA-NUMA writeback).
     pub fn writeback(&mut self, proc: u16, dst_node: u16, lid: u64) {
-        self.trace(lid, &format!("writeback proc {proc} -> node {dst_node} v{}", self.proc_version(proc, lid)));
+        self.trace(
+            lid,
+            &format!(
+                "writeback proc {proc} -> node {dst_node} v{}",
+                self.proc_version(proc, lid)
+            ),
+        );
         if let Some(&v) = self.proc_copy.get(&(proc, lid)) {
             self.node_copy.insert((dst_node, lid), v);
         }
@@ -250,7 +278,7 @@ mod tests {
     fn missing_invalidation_detected_via_memory() {
         let mut s = Shadow::new();
         s.write(0, 7); // v1 only in proc 0's cache
-        // Node memory was never updated; a fill from it must fail.
+                       // Node memory was never updated; a fill from it must fail.
         s.set_node_copy(0, 7, 0);
         s.fill_from_node_memory(1, 0, 7, false);
     }

@@ -1,0 +1,294 @@
+//! Chaos tests: the machine under a deterministic [`FaultPlan`].
+//!
+//! The bar is the paper's containment story (§1, §3.2) extended to
+//! transient faults: link-level loss and corruption are absorbed by
+//! retry with backoff (no processor dies, results are bit-identical to
+//! the fault-free run), and permanent failures terminate only the work
+//! that used the failed node's resources.
+
+use prism_kernel::migration::MigrationPolicy;
+use prism_machine::config::MachineConfig;
+use prism_machine::machine::Machine;
+use prism_machine::FaultPlan;
+use prism_mem::addr::{NodeId, VirtAddr};
+use prism_mem::trace::{Op, SegmentSpec, Trace, SHARED_BASE};
+use prism_sim::Cycle;
+use prism_workloads::{app, AppId, Scale};
+
+fn config() -> MachineConfig {
+    MachineConfig::builder()
+        .nodes(4)
+        .procs_per_node(2)
+        .check_coherence(true)
+        .build()
+}
+
+/// Transient link faults (1% drop, 0.2% corruption) are fully absorbed
+/// by the retry/backoff machinery on every application of the paper's
+/// suite: nobody dies, every reference executes, and the shadow checker
+/// verifies exactly the same reads as the fault-free run.
+#[test]
+fn every_splash_app_survives_transient_link_faults() {
+    for id in AppId::ALL {
+        let trace = app(id, Scale::Small).generate(8);
+        let clean = Machine::new(config()).run(&trace);
+        assert_eq!(clean.dead_procs, 0);
+
+        let mut m = Machine::new(config());
+        m.install_fault_plan(FaultPlan::new(0xC0FFEE).link_faults(0.01, 0.002));
+        let faulty = m.run(&trace);
+
+        assert_eq!(
+            faulty.dead_procs, 0,
+            "{id}: a transient fault killed a processor"
+        );
+        assert_eq!(faulty.total_refs, clean.total_refs, "{id}: references lost");
+        // The checker verified the perturbed run end to end (it panics
+        // on any stale read). The exact event count is timing-sensitive
+        // — a write classifies as upgrade or miss-fill depending on
+        // interleaving — so equality is not expected.
+        assert!(faulty.reads_checked > 0, "{id}: checker never engaged");
+        assert!(
+            faulty.fault.retries > 0,
+            "{id}: plan never perturbed a message"
+        );
+        assert_eq!(
+            faulty.fault.fatal_faults, 0,
+            "{id}: a fault escaped containment"
+        );
+        assert!(faulty.fault.contained_faults > 0);
+        // Recovery costs time: the perturbed run cannot be faster.
+        assert!(faulty.exec_cycles >= clean.exec_cycles);
+    }
+}
+
+/// The fault stream is a pure function of the seed: identical seeds
+/// produce bit-identical fault reports and identical machine timing;
+/// a different seed perturbs different messages.
+#[test]
+fn identical_seeds_give_identical_fault_reports() {
+    let trace = app(AppId::Ocean, Scale::Small).generate(8);
+    let run = |seed: u64| {
+        let mut m = Machine::new(config());
+        m.install_fault_plan(FaultPlan::new(seed).link_faults(0.02, 0.005));
+        m.run(&trace)
+    };
+    let a = run(7);
+    let b = run(7);
+    assert_eq!(a.fault, b.fault);
+    assert_eq!(a.exec_cycles, b.exec_cycles);
+    assert_eq!(a.ledger.total(), b.ledger.total());
+
+    let c = run(8);
+    assert_ne!(
+        a.fault, c.fault,
+        "different seeds should fault different messages"
+    );
+}
+
+/// A mid-run permanent node failure is contained to the job that used
+/// the failed node: the other job's processors all survive and its
+/// work completes in full.
+#[test]
+fn mid_run_node_failure_kills_only_jobs_on_failed_resources() {
+    // Job A: lanes 0..4 (nodes 0-1); job B: lanes 4..8 (nodes 2-3).
+    // run_jobs places each job's pages on its own nodes, so node 0's
+    // death can only ever touch job A.
+    let job_a = app(AppId::Lu, Scale::Small).generate(4);
+    let job_b = app(AppId::Ocean, Scale::Small).generate(4);
+
+    let clean = Machine::new(config()).run_jobs(&[job_a.clone(), job_b.clone()]);
+    assert_eq!(clean.dead_procs, 0);
+    let half = Cycle(clean.exec_cycles.as_u64() / 2);
+
+    let mut m = Machine::new(config());
+    m.install_fault_plan(FaultPlan::new(1).fail_node(NodeId(0), half));
+    let report = m.run_jobs(&[job_a, job_b.clone()]);
+
+    assert_eq!(report.fault.node_failures, 1, "the scheduled failure fired");
+    // Node 0's own two processors die; node 1's die only if they touch
+    // a page homed on node 0. Job B's four are untouchable.
+    assert!(report.dead_procs >= 2, "the failed node's processors died");
+    assert!(
+        report.dead_procs <= 4,
+        "a job-B processor died: containment broken"
+    );
+    assert_eq!(m.live_procs(), 8 - report.dead_procs as usize);
+    // Job B finished every reference despite the failure next door.
+    assert!(report.total_refs >= job_b.total_refs() as u64);
+}
+
+/// A slow node changes timing, never results: same references, same
+/// checked reads, zero deaths — and the run takes at least as long.
+#[test]
+fn slow_node_episodes_perturb_timing_not_results() {
+    let trace = app(AppId::Fft, Scale::Small).generate(8);
+    let clean = Machine::new(config()).run(&trace);
+
+    let mut m = Machine::new(config());
+    m.install_fault_plan(FaultPlan::new(3).slow_node(NodeId(1), Cycle::ZERO, Cycle::NEVER, 4));
+    let slow = m.run(&trace);
+
+    assert_eq!(slow.dead_procs, 0);
+    assert_eq!(slow.total_refs, clean.total_refs);
+    assert!(slow.reads_checked > 0);
+    assert!(
+        slow.exec_cycles >= clean.exec_cycles,
+        "slowing a node cannot speed the run"
+    );
+}
+
+/// A scrambled client PIT entry misdirects the next request, which
+/// recovers through static-home forwarding — contained, nobody dies.
+#[test]
+fn pit_corruption_recovers_via_static_home_forwarding() {
+    let trace = app(AppId::Radix, Scale::Small).generate(8);
+    let clean = Machine::new(config()).run(&trace);
+    let quarter = Cycle(clean.exec_cycles.as_u64() / 4);
+
+    let mut m = Machine::new(config());
+    m.install_fault_plan(
+        FaultPlan::new(5)
+            .corrupt_pit(NodeId(1), quarter)
+            .corrupt_pit(NodeId(2), quarter + Cycle(1))
+            .corrupt_pit(NodeId(3), quarter + Cycle(2)),
+    );
+    let faulty = m.run(&trace);
+
+    assert_eq!(faulty.dead_procs, 0);
+    assert_eq!(faulty.total_refs, clean.total_refs);
+    assert!(faulty.reads_checked > 0);
+    assert_eq!(faulty.fault.fatal_faults, 0);
+    // At least one node had a client entry to scramble at that point.
+    assert!(
+        faulty.fault.pit_corruptions > 0,
+        "no corruption ever applied"
+    );
+}
+
+/// Builds the canonical home-failover scenario on one shared page
+/// (static home: node 0). Writers on node 2 pull the page's dynamic
+/// home to node 2 through lazy migration; reads from node 1 then leave
+/// the image at node 2 clean (nothing Modified in node 2's processor
+/// caches). Node 2 dies inside the compute pad, and afterwards node 3
+/// — a stranger to the page — reads it, forcing the static home to
+/// re-master the page.
+fn failover_trace() -> Trace {
+    const LINES: u64 = 64; // 4 KiB page / 64 B lines
+    let read_all = |lane: &mut Vec<Op>| {
+        for l in 0..LINES {
+            lane.push(Op::Read(VirtAddr(SHARED_BASE + l * 64)));
+        }
+    };
+    let write_all = |lane: &mut Vec<Op>| {
+        for l in 0..LINES {
+            lane.push(Op::Write(VirtAddr(SHARED_BASE + l * 64)));
+        }
+    };
+    let barrier = |lanes: &mut Vec<Vec<Op>>, id: u32| {
+        for lane in lanes.iter_mut() {
+            lane.push(Op::Barrier(id));
+        }
+    };
+
+    let mut lanes: Vec<Vec<Op>> = (0..8).map(|_| Vec::new()).collect();
+    // Phase 1: node 2 (lane 4) faults every line in — 64 remote fills.
+    write_all(&mut lanes[4]);
+    barrier(&mut lanes, 0);
+    // Phase 2: node 1 (lane 2) reads every line, downgrading node 2's
+    // dirty copies — 64 more requests at the home (128 total, split
+    // evenly, below the migration policy's dominance bar).
+    read_all(&mut lanes[2]);
+    barrier(&mut lanes, 1);
+    // Phase 3: node 2 upgrades every line again. At request 192 node 2
+    // holds 2/3 of the page's traffic and the dynamic home migrates to
+    // node 2 (flushing every dirty line into its memory on the way).
+    write_all(&mut lanes[4]);
+    barrier(&mut lanes, 2);
+    // Phase 4: node 1 re-reads through the stale hint (healing it) and
+    // leaves the page clean at its new home.
+    read_all(&mut lanes[2]);
+    barrier(&mut lanes, 3);
+    // Compute pad: the node-2 failure lands in here.
+    for lane in lanes.iter_mut() {
+        lane.push(Op::Compute(2_000_000));
+    }
+    barrier(&mut lanes, 4);
+    // Phase 5: node 3 (lane 6) has never touched the page; its read is
+    // forwarded by the static home toward the dead dynamic home and
+    // must recover through failover.
+    read_all(&mut lanes[6]);
+
+    Trace {
+        name: "failover".into(),
+        segments: vec![SegmentSpec {
+            name: "page".into(),
+            va_base: SHARED_BASE,
+            bytes: 4096,
+        }],
+        lanes,
+    }
+}
+
+/// A page whose dynamic home migrated away from its static home can
+/// survive that home's death: the static home re-masters it from the
+/// clean image and later readers get current data (the shadow checker
+/// would panic on anything stale).
+#[test]
+fn static_home_remasters_pages_of_a_dead_dynamic_home() {
+    let mut cfg = config();
+    cfg.migration = Some(MigrationPolicy::default());
+    let trace = failover_trace();
+
+    let clean = Machine::new(cfg.clone()).run(&trace);
+    assert_eq!(clean.dead_procs, 0);
+    assert!(
+        clean.migrations >= 1,
+        "the scenario must move the dynamic home"
+    );
+    let half = Cycle(clean.exec_cycles.as_u64() / 2);
+
+    let mut m = Machine::new(cfg);
+    m.install_fault_plan(FaultPlan::new(2).fail_node(NodeId(2), half));
+    let report = m.run(&trace);
+
+    assert_eq!(report.fault.node_failures, 1);
+    assert!(
+        report.fault.failovers >= 1,
+        "the static home never re-mastered the page"
+    );
+    assert_eq!(
+        report.fault.fatal_faults, 0,
+        "the post-failure read should survive"
+    );
+    assert_eq!(
+        report.dead_procs, 2,
+        "only the failed node's processors die"
+    );
+    assert_eq!(m.live_procs(), 6);
+    assert!(report.reads_checked > 0);
+}
+
+/// Link faults and a permanent failure together: the retry machinery
+/// keeps absorbing transient loss while the fail-stop containment story
+/// holds, and both are tallied in one report.
+#[test]
+fn combined_transient_and_permanent_faults_stay_contained() {
+    let job_a = app(AppId::WaterSpa, Scale::Small).generate(4);
+    let job_b = app(AppId::Radix, Scale::Small).generate(4);
+    let clean = Machine::new(config()).run_jobs(&[job_a.clone(), job_b.clone()]);
+    let half = Cycle(clean.exec_cycles.as_u64() / 2);
+
+    let mut m = Machine::new(config());
+    m.install_fault_plan(
+        FaultPlan::new(11)
+            .link_faults(0.005, 0.001)
+            .fail_node(NodeId(1), half),
+    );
+    let report = m.run_jobs(&[job_a, job_b.clone()]);
+
+    assert_eq!(report.fault.node_failures, 1);
+    assert!(report.fault.retries > 0);
+    assert!(report.dead_procs <= 4, "containment: job B untouched");
+    assert!(report.total_refs >= job_b.total_refs() as u64);
+}

@@ -29,7 +29,11 @@ fn machine(policy: PagePolicy) -> Machine {
 fn trace(lanes: Vec<Vec<Op>>) -> Trace {
     Trace {
         name: "scenario".into(),
-        segments: vec![SegmentSpec { name: "s".into(), va_base: SHARED_BASE, bytes: 4096 }],
+        segments: vec![SegmentSpec {
+            name: "s".into(),
+            va_base: SHARED_BASE,
+            bytes: 4096,
+        }],
         lanes,
     }
 }
@@ -58,7 +62,10 @@ fn remote_clean_read_is_one_request_one_data_reply() {
     assert_eq!(r.ledger.count(MsgKind::PageInReply), 1);
     // Latency class: a single uncontended remote clean read ≈ 573.
     let mean = r.remote_fetch_latency.mean();
-    assert!((540.0..=650.0).contains(&mean), "remote clean read = {mean}");
+    assert!(
+        (540.0..=650.0).contains(&mean),
+        "remote clean read = {mean}"
+    );
 }
 
 #[test]
@@ -86,13 +93,22 @@ fn upgrade_is_ack_only_and_invalidates_the_sharer() {
     // an upgrade (no data) with one invalidation to node 2.
     let lanes = vec![
         vec![Op::Barrier(0), Op::Barrier(1)],
-        vec![Op::Read(va(0)), Op::Barrier(0), Op::Barrier(1), Op::Write(va(0))],
+        vec![
+            Op::Read(va(0)),
+            Op::Barrier(0),
+            Op::Barrier(1),
+            Op::Write(va(0)),
+        ],
         vec![Op::Read(va(0)), Op::Barrier(0), Op::Barrier(1)],
         vec![Op::Barrier(0), Op::Barrier(1)],
     ];
     let r = run(PagePolicy::Lanuma, lanes);
     assert_eq!(r.remote_upgrades, 1, "the write found its copy valid");
-    assert_eq!(r.ledger.count(MsgKind::AckReply), 1, "upgrade carries no data");
+    assert_eq!(
+        r.ledger.count(MsgKind::AckReply),
+        1,
+        "upgrade carries no data"
+    );
     assert_eq!(r.ledger.count(MsgKind::Invalidate), 1);
     assert_eq!(r.ledger.count(MsgKind::InvalAck), 1);
     assert_eq!(r.invalidations, 1);
@@ -112,7 +128,10 @@ fn scoma_refetches_locally_lanuma_refetches_remotely() {
     let scoma = run(PagePolicy::Scoma, lanes(&lane));
     let lanuma = run(PagePolicy::Lanuma, lanes(&lane));
     assert_eq!(scoma.remote_misses, 1, "S-COMA refetch is local");
-    assert_eq!(lanuma.remote_misses, 2, "LA-NUMA refetch crosses the network");
+    assert_eq!(
+        lanuma.remote_misses, 2,
+        "LA-NUMA refetch crosses the network"
+    );
     assert!(scoma.local_fills > 0);
 }
 
@@ -133,8 +152,15 @@ fn lanuma_dirty_eviction_writes_back_to_home() {
         vec![Op::Barrier(0)],
     ];
     let r = run(PagePolicy::Lanuma, lanes);
-    assert!(r.remote_writebacks >= 1, "dirty LA-NUMA eviction writes back");
-    assert_eq!(r.ledger.count(MsgKind::Intervention), 0, "read served by home memory");
+    assert!(
+        r.remote_writebacks >= 1,
+        "dirty LA-NUMA eviction writes back"
+    );
+    assert_eq!(
+        r.ledger.count(MsgKind::Intervention),
+        0,
+        "read served by home memory"
+    );
 }
 
 #[test]
@@ -160,7 +186,12 @@ fn multi_sharer_write_fans_out_invalidations() {
     // Three nodes read; then one of them writes: two invalidations.
     let lanes = vec![
         vec![Op::Barrier(0), Op::Barrier(1)],
-        vec![Op::Read(va(0)), Op::Barrier(0), Op::Barrier(1), Op::Write(va(0))],
+        vec![
+            Op::Read(va(0)),
+            Op::Barrier(0),
+            Op::Barrier(1),
+            Op::Write(va(0)),
+        ],
         vec![Op::Read(va(0)), Op::Barrier(0), Op::Barrier(1)],
         vec![Op::Read(va(0)), Op::Barrier(0), Op::Barrier(1)],
     ];
@@ -181,7 +212,10 @@ fn pit_hints_hit_after_first_exchange() {
     let lanes = vec![vec![], lane, vec![], vec![]];
     let r = run(PagePolicy::Lanuma, lanes);
     let home = &r.per_node[0];
-    assert!(home.pit_guess_hits >= 6, "later requests use the hint: {home:?}");
+    assert!(
+        home.pit_guess_hits >= 6,
+        "later requests use the hint: {home:?}"
+    );
     // The page-in reply already primes the hint, so even the first line
     // fetch can hit; hash lookups stay rare.
     assert!(home.pit_guess_hits > home.pit_hash_lookups);
@@ -191,25 +225,19 @@ fn pit_hints_hit_after_first_exchange() {
 fn distributed_locks_cost_round_trips_to_their_home() {
     // Lock id 2 homes on node 2. A processor on node 1 acquiring it pays
     // LockReq/LockGrant messages; a processor on node 2 does not.
-    let lanes_remote = vec![
-        vec![],
-        vec![Op::Lock(2), Op::Unlock(2)],
-        vec![],
-        vec![],
-    ];
+    let lanes_remote = vec![vec![], vec![Op::Lock(2), Op::Unlock(2)], vec![], vec![]];
     let r = run(PagePolicy::Lanuma, lanes_remote);
     assert_eq!(r.ledger.count(MsgKind::LockReq), 1);
     assert_eq!(r.ledger.count(MsgKind::LockGrant), 1);
     assert_eq!(r.ledger.count(MsgKind::LockRelease), 1);
 
-    let lanes_local = vec![
-        vec![],
-        vec![],
-        vec![Op::Lock(2), Op::Unlock(2)],
-        vec![],
-    ];
+    let lanes_local = vec![vec![], vec![], vec![Op::Lock(2), Op::Unlock(2)], vec![]];
     let r = run(PagePolicy::Lanuma, lanes_local);
-    assert_eq!(r.ledger.count(MsgKind::LockReq), 0, "home-local lock is free of messages");
+    assert_eq!(
+        r.ledger.count(MsgKind::LockReq),
+        0,
+        "home-local lock is free of messages"
+    );
     assert_eq!(r.lock_acquisitions, (1, 0));
 }
 
@@ -255,14 +283,21 @@ fn migration_forwarding_messages_are_counted() {
         .nodes(4)
         .procs_per_node(1)
         .check_coherence(true)
-        .migration(Some(MigrationPolicy { check_interval: 16, min_traffic: 32, dominance: 0.5 }))
+        .migration(Some(MigrationPolicy {
+            check_interval: 16,
+            min_traffic: 32,
+            dominance: 0.5,
+        }))
         .build();
     cfg.policy = PagePolicy::Lanuma;
     let r = Machine::new(cfg).run(&trace(lanes));
     assert!(r.migrations >= 1);
     // The old home IS the static home here (page 0 homes on node 0), so
     // only the static→new control message crosses the network.
-    assert!(r.ledger.count(MsgKind::MigrateCtl) >= 1, "static home coordinates");
+    assert!(
+        r.ledger.count(MsgKind::MigrateCtl) >= 1,
+        "static home coordinates"
+    );
     assert!(r.ledger.count(MsgKind::PageData) >= 1, "bulk page transfer");
     assert!(r.forwards >= 1, "stale hint bounced via the static home");
     assert!(r.ledger.count(MsgKind::Forward) >= 1);

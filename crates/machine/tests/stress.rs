@@ -51,7 +51,9 @@ fn random_trace(seed: u64, procs: usize, pages: u64, refs: usize, write_pct: f64
         }],
         lanes,
     };
-    trace.validate(&prism_mem::addr::Geometry::default()).expect("trace well-formed");
+    trace
+        .validate(&prism_mem::addr::Geometry::default())
+        .expect("trace well-formed");
     trace
 }
 
@@ -105,7 +107,10 @@ fn scoma_limited_pages_out_and_stays_coherent() {
 fn dyn_fcfs_switches_to_lanuma() {
     let trace = random_trace(4, 8, 24, 2000, 0.3);
     let report = tiny_machine(PagePolicy::DynFcfs, Some(4)).run(&trace);
-    assert_eq!(report.page_outs, 0, "Dyn-FCFS never pages out (paper Table 5)");
+    assert_eq!(
+        report.page_outs, 0,
+        "Dyn-FCFS never pages out (paper Table 5)"
+    );
     assert!(report.reads_checked > 0);
 }
 
@@ -153,7 +158,11 @@ fn write_heavy_single_line_ping_pong() {
     }
     let trace = Trace {
         name: "ping-pong-heavy".into(),
-        segments: vec![SegmentSpec { name: "s".into(), va_base: SHARED_BASE, bytes: 4096 }],
+        segments: vec![SegmentSpec {
+            name: "s".into(),
+            va_base: SHARED_BASE,
+            bytes: 4096,
+        }],
         lanes,
     };
     let report = tiny_machine(PagePolicy::Scoma, None).run(&trace);
@@ -176,7 +185,11 @@ fn migration_moves_hot_pages_and_stays_coherent() {
     }
     let trace = Trace {
         name: "migratory".into(),
-        segments: vec![SegmentSpec { name: "s".into(), va_base: SHARED_BASE, bytes: 4096 }],
+        segments: vec![SegmentSpec {
+            name: "s".into(),
+            va_base: SHARED_BASE,
+            bytes: 4096,
+        }],
         lanes,
     };
     let cfg = MachineConfig::builder()
@@ -193,7 +206,10 @@ fn migration_moves_hot_pages_and_stays_coherent() {
         }))
         .build();
     let report = Machine::new(cfg).run(&trace);
-    assert!(report.migrations > 0, "hot page should migrate toward node 1");
+    assert!(
+        report.migrations > 0,
+        "hot page should migrate toward node 1"
+    );
     assert!(report.reads_checked > 0);
 }
 
@@ -217,7 +233,10 @@ fn node_failure_is_contained() {
     let mut m = tiny_machine(PagePolicy::Scoma, None);
     m.fail_node(prism_mem::addr::NodeId(0));
     let report = m.run(&trace);
-    assert_eq!(report.dead_procs, 2, "only the failed node's processors die");
+    assert_eq!(
+        report.dead_procs, 2,
+        "only the failed node's processors die"
+    );
     assert!(report.total_refs > 0, "other nodes keep running");
 }
 
@@ -240,7 +259,10 @@ fn dyn_both_reconverts_reuse_pages_and_stays_coherent() {
         .build();
     cfg.policy = PagePolicy::DynBoth;
     let report = Machine::new(cfg).run(&trace);
-    assert!(report.conversions_to_lanuma > 0, "overflow converts pages out");
+    assert!(
+        report.conversions_to_lanuma > 0,
+        "overflow converts pages out"
+    );
     assert!(
         report.conversions_to_scoma > 0,
         "reuse brings pages back to S-COMA"

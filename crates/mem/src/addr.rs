@@ -50,7 +50,10 @@ impl Geometry {
             page_log2 - line_log2 <= 10,
             "more than 1024 lines per page is unsupported"
         );
-        Geometry { page_log2, line_log2 }
+        Geometry {
+            page_log2,
+            line_log2,
+        }
     }
 
     /// Bytes per page.

@@ -219,7 +219,11 @@ impl Cache {
         } else {
             None
         };
-        set.push(Way { line, state, stamp: tick });
+        set.push(Way {
+            line,
+            state,
+            stamp: tick,
+        });
         evicted
     }
 
@@ -312,7 +316,13 @@ mod tests {
         c.insert(4, LineState::Modified);
         c.touch(0); // 0 becomes MRU; 4 is LRU
         let ev = c.insert(8, LineState::Exclusive).expect("eviction");
-        assert_eq!(ev, Evicted { line: 4, dirty: true });
+        assert_eq!(
+            ev,
+            Evicted {
+                line: 4,
+                dirty: true
+            }
+        );
         assert_eq!(c.probe(0), Some(LineState::Exclusive));
         assert_eq!(c.probe(8), Some(LineState::Exclusive));
         assert_eq!(c.stats().evictions, 1);

@@ -177,7 +177,10 @@ impl DirCache {
     ///
     /// Panics unless `entries` divides into a power-of-two number of sets.
     pub fn new(entries: usize, assoc: usize) -> DirCache {
-        assert!(assoc > 0 && entries.is_multiple_of(assoc), "entries must divide by assoc");
+        assert!(
+            assoc > 0 && entries.is_multiple_of(assoc),
+            "entries must divide by assoc"
+        );
         let sets = entries / assoc;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         DirCache {
@@ -265,7 +268,10 @@ mod tests {
         *home_a.page_mut(gp(1)).unwrap().line_mut(LineIdx(1)) = LineDir::Owned(NodeId(7));
         let state = home_a.page_out(gp(1)).unwrap();
         home_b.adopt(gp(1), state);
-        assert_eq!(home_b.page(gp(1)).unwrap().line(LineIdx(1)), LineDir::Owned(NodeId(7)));
+        assert_eq!(
+            home_b.page(gp(1)).unwrap().line(LineIdx(1)),
+            LineDir::Owned(NodeId(7))
+        );
     }
 
     #[test]

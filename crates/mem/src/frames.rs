@@ -202,7 +202,9 @@ impl UsageTracker {
         if frame.is_imaginary() {
             return; // imaginary frames consume no memory: not tracked
         }
-        let prev = self.active.insert(frame, LineMask::new(self.lines_per_page));
+        let prev = self
+            .active
+            .insert(frame, LineMask::new(self.lines_per_page));
         debug_assert!(prev.is_none(), "frame {frame} allocated twice");
     }
 
@@ -278,7 +280,11 @@ mod tests {
         let mut p = FramePool::new(1);
         let f = p.alloc(FrameClass::LaNuma).unwrap();
         p.free(f);
-        assert_eq!(p.free_real(), 1, "imaginary frees do not grow the real pool");
+        assert_eq!(
+            p.free_real(),
+            1,
+            "imaginary frees do not grow the real pool"
+        );
         assert_eq!(p.active_of(FrameClass::LaNuma), 0);
     }
 

@@ -133,13 +133,26 @@ impl SegmentTable {
         assert_eq!(bytes % geom.page_bytes(), 0, "length must be page-aligned");
         let idx = self.segments.partition_point(|s| s.va_base < va_base);
         if let Some(next) = self.segments.get(idx) {
-            assert!(va_base + bytes <= next.va_base, "attachment overlaps {next:?}");
+            assert!(
+                va_base + bytes <= next.va_base,
+                "attachment overlaps {next:?}"
+            );
         }
         if idx > 0 {
             let prev = &self.segments[idx - 1];
-            assert!(prev.va_base + prev.bytes <= va_base, "attachment overlaps {prev:?}");
+            assert!(
+                prev.va_base + prev.bytes <= va_base,
+                "attachment overlaps {prev:?}"
+            );
         }
-        self.segments.insert(idx, Attachment { va_base, bytes, gsid });
+        self.segments.insert(
+            idx,
+            Attachment {
+                va_base,
+                bytes,
+                gsid,
+            },
+        );
     }
 
     /// Detaches the attachment based at `va_base`, returning it.
@@ -187,7 +200,13 @@ mod tests {
     fn page_table_map_unmap() {
         let mut pt = PageTable::new();
         assert!(pt.is_empty());
-        pt.map(1, Pte { frame: FrameNo(2), mode: FrameMode::Scoma });
+        pt.map(
+            1,
+            Pte {
+                frame: FrameNo(2),
+                mode: FrameMode::Scoma,
+            },
+        );
         assert_eq!(pt.len(), 1);
         assert_eq!(pt.lookup(1).unwrap().mode, FrameMode::Scoma);
         assert!(pt.lookup(2).is_none());
@@ -199,7 +218,10 @@ mod tests {
     #[should_panic(expected = "already mapped")]
     fn double_map_panics() {
         let mut pt = PageTable::new();
-        let pte = Pte { frame: FrameNo(0), mode: FrameMode::Local };
+        let pte = Pte {
+            frame: FrameNo(0),
+            mode: FrameMode::Local,
+        };
         pt.map(1, pte);
         pt.map(1, pte);
     }
@@ -212,7 +234,10 @@ mod tests {
         st.attach(0x8000, 0x1000, Gsid(2), &geom);
         // First byte and last byte of each region.
         assert_eq!(st.resolve(VirtAddr(0x1000), &geom).unwrap().gsid, Gsid(1));
-        assert_eq!(st.resolve(VirtAddr(0x2FFF), &geom).unwrap(), GlobalPage::new(Gsid(1), 1));
+        assert_eq!(
+            st.resolve(VirtAddr(0x2FFF), &geom).unwrap(),
+            GlobalPage::new(Gsid(1), 1)
+        );
         assert!(st.resolve(VirtAddr(0x3000), &geom).is_none());
         assert!(st.resolve(VirtAddr(0x0FFF), &geom).is_none());
         assert_eq!(st.resolve(VirtAddr(0x8000), &geom).unwrap().gsid, Gsid(2));

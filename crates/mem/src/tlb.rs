@@ -87,7 +87,11 @@ impl Tlb {
                 .expect("full TLB is nonempty");
             self.entries.swap_remove(idx);
         }
-        self.entries.push(TlbEntry { vpage, frame, stamp: tick });
+        self.entries.push(TlbEntry {
+            vpage,
+            frame,
+            stamp: tick,
+        });
     }
 
     /// Drops the translation for `vpage`; returns whether it was present.

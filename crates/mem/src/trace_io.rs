@@ -135,7 +135,10 @@ impl<W: Write> CountingWriter<'_, W> {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn write_trace<W: Write>(trace: &Trace, writer: &mut W) -> Result<(), TraceIoError> {
-    let mut w = CountingWriter { inner: writer, crc: Fnv::new() };
+    let mut w = CountingWriter {
+        inner: writer,
+        crc: Fnv::new(),
+    };
     w.put(MAGIC)?;
     w.u32(VERSION)?;
     w.str(&trace.name)?;
@@ -225,7 +228,10 @@ impl<R: Read> CountingReader<'_, R> {
 ///
 /// Returns [`TraceIoError`] on malformed or corrupted input.
 pub fn read_trace<R: Read>(reader: &mut R) -> Result<Trace, TraceIoError> {
-    let mut r = CountingReader { inner: reader, crc: Fnv::new() };
+    let mut r = CountingReader {
+        inner: reader,
+        crc: Fnv::new(),
+    };
     let mut magic = [0u8; 4];
     r.get(&mut magic)?;
     if &magic != MAGIC {
@@ -245,7 +251,11 @@ pub fn read_trace<R: Read>(reader: &mut R) -> Result<Trace, TraceIoError> {
         let name = r.str()?;
         let va_base = r.u64()?;
         let bytes = r.u64()?;
-        segments.push(SegmentSpec { name, va_base, bytes });
+        segments.push(SegmentSpec {
+            name,
+            va_base,
+            bytes,
+        });
     }
     let lane_count = r.u32()?;
     if lane_count > 1 << 16 {
@@ -280,7 +290,11 @@ pub fn read_trace<R: Read>(reader: &mut R) -> Result<Trace, TraceIoError> {
     if u64::from_le_bytes(crc_bytes) != computed {
         return Err(TraceIoError::BadChecksum);
     }
-    Ok(Trace { name, segments, lanes })
+    Ok(Trace {
+        name,
+        segments,
+        lanes,
+    })
 }
 
 /// Writes a trace to a file path.
@@ -315,8 +329,16 @@ mod tests {
         Trace {
             name: "sample".into(),
             segments: vec![
-                SegmentSpec { name: "a".into(), va_base: SHARED_BASE, bytes: 8192 },
-                SegmentSpec { name: "b".into(), va_base: SHARED_BASE + 8192, bytes: 4096 },
+                SegmentSpec {
+                    name: "a".into(),
+                    va_base: SHARED_BASE,
+                    bytes: 8192,
+                },
+                SegmentSpec {
+                    name: "b".into(),
+                    va_base: SHARED_BASE + 8192,
+                    bytes: 4096,
+                },
             ],
             lanes: vec![
                 vec![
@@ -349,7 +371,10 @@ mod tests {
         let mut buf = Vec::new();
         write_trace(&sample(), &mut buf).unwrap();
         buf[0] = b'X';
-        assert!(matches!(read_trace(&mut buf.as_slice()), Err(TraceIoError::BadMagic)));
+        assert!(matches!(
+            read_trace(&mut buf.as_slice()),
+            Err(TraceIoError::BadMagic)
+        ));
     }
 
     #[test]
@@ -360,7 +385,14 @@ mod tests {
         buf[mid] ^= 0xFF;
         let err = read_trace(&mut buf.as_slice()).unwrap_err();
         assert!(
-            matches!(err, TraceIoError::BadChecksum | TraceIoError::BadOpTag(_) | TraceIoError::BadLength(_) | TraceIoError::Io(_) | TraceIoError::BadMagic),
+            matches!(
+                err,
+                TraceIoError::BadChecksum
+                    | TraceIoError::BadOpTag(_)
+                    | TraceIoError::BadLength(_)
+                    | TraceIoError::Io(_)
+                    | TraceIoError::BadMagic
+            ),
             "{err}"
         );
     }

@@ -1,6 +1,10 @@
-//! Property-based tests for the core memory-system data structures.
+//! Randomized model tests for the core memory-system data structures.
+//!
+//! Each test drives the structure under test with a seeded [`SimRng`]
+//! stream against a naive reference model, over many independent seeds
+//! — the offline, deterministic equivalent of a property-based test.
 
-use proptest::prelude::*;
+use std::collections::HashMap;
 
 use prism_mem::addr::{FrameNo, Geometry, GlobalPage, Gsid, NodeId, VirtAddr};
 use prism_mem::cache::{Cache, LineState};
@@ -10,21 +14,27 @@ use prism_mem::page_table::SegmentTable;
 use prism_mem::pit::{Pit, PitEntry};
 use prism_mem::trace::{Op, SegmentSpec, Trace};
 use prism_mem::trace_io::{read_trace, write_trace};
+use prism_sim::SimRng;
+
+const CASES: u64 = 32;
 
 fn gp(p: u32) -> GlobalPage {
     GlobalPage::new(Gsid(0), p)
 }
 
-proptest! {
-    /// The PIT's forward and reverse translations stay mutually consistent
-    /// under arbitrary interleavings of inserts and removes.
-    #[test]
-    fn pit_forward_reverse_bijection(ops in prop::collection::vec((0u32..32, any::<bool>()), 1..200)) {
+/// The PIT's forward and reverse translations stay mutually consistent
+/// under arbitrary interleavings of inserts and removes.
+#[test]
+fn pit_forward_reverse_bijection() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::new(seed);
         let mut pit = Pit::new(64);
-        let mut model: std::collections::HashMap<u32, FrameNo> = Default::default();
+        let mut model: HashMap<u32, FrameNo> = Default::default();
         let mut next_frame = 0u32;
-        for (page, insert) in ops {
-            if insert {
+        let steps = rng.gen_range(1..200);
+        for _ in 0..steps {
+            let page = rng.gen_range(0..32) as u32;
+            if rng.gen_bool(0.5) {
                 if let std::collections::hash_map::Entry::Vacant(e) = model.entry(page) {
                     let f = FrameNo(next_frame % 64);
                     if pit.translate(f).is_none() {
@@ -35,85 +45,107 @@ proptest! {
                 }
             } else if let Some(f) = model.remove(&page) {
                 let e = pit.remove(f);
-                prop_assert_eq!(e.gpage, gp(page));
+                assert_eq!(e.gpage, gp(page));
             }
             // Invariant: every model entry round-trips both ways.
             for (&p, &f) in &model {
-                prop_assert_eq!(pit.frame_of(gp(p)), Some(f));
-                prop_assert_eq!(pit.translate(f).map(|e| e.gpage), Some(gp(p)));
+                assert_eq!(pit.frame_of(gp(p)), Some(f));
+                assert_eq!(pit.translate(f).map(|e| e.gpage), Some(gp(p)));
             }
-            prop_assert_eq!(pit.len(), model.len());
+            assert_eq!(pit.len(), model.len());
         }
     }
+}
 
-    /// Reverse translation returns the bound frame regardless of whether
-    /// the guess hint is right, wrong, or absent.
-    #[test]
-    fn pit_reverse_ignores_bad_guesses(
-        pages in prop::collection::vec(0u32..16, 1..16),
-        guesses in prop::collection::vec(proptest::option::of(0u32..64), 16),
-    ) {
+/// Reverse translation returns the bound frame regardless of whether
+/// the guess hint is right, wrong, or absent.
+#[test]
+fn pit_reverse_ignores_bad_guesses() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::new(seed);
         let mut pit = Pit::new(64);
-        let mut bound = std::collections::HashMap::new();
-        for (i, &p) in pages.iter().enumerate() {
+        let mut bound = HashMap::new();
+        let count = rng.gen_range(1..16);
+        for i in 0..count {
+            let p = rng.gen_range(0..16) as u32;
             bound.entry(p).or_insert_with(|| {
                 let f = FrameNo(i as u32);
                 pit.insert(f, PitEntry::shared(gp(p), FrameMode::Scoma, NodeId(0)));
                 f
             });
         }
-        for (i, (&p, &f)) in bound.iter().enumerate() {
-            let guess = guesses[i % guesses.len()].map(FrameNo);
+        for (&p, &f) in bound.iter() {
+            let guess = match rng.gen_range(0..3) {
+                0 => None,
+                1 => Some(FrameNo(f.0)),                         // right
+                _ => Some(FrameNo(rng.gen_range(0..64) as u32)), // possibly wrong
+            };
             let (found, _) = pit.reverse(gp(p), guess).expect("bound page resolves");
-            prop_assert_eq!(found, f);
+            assert_eq!(found, f);
         }
     }
+}
 
-    /// A cache never holds more lines than its capacity, never holds
-    /// duplicates, and a probe after insert finds the line unless a
-    /// conflicting insert displaced it.
-    #[test]
-    fn cache_capacity_and_uniqueness(lines in prop::collection::vec(0u64..256, 1..500)) {
+/// A cache never holds more lines than its capacity, never holds
+/// duplicates, and a probe after insert finds the line unless a
+/// conflicting insert displaced it.
+#[test]
+fn cache_capacity_and_uniqueness() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::new(seed);
         let mut c = Cache::new("prop", 1024, 2, 6); // 16 lines
-        for &l in &lines {
+        let steps = rng.gen_range(1..500);
+        for _ in 0..steps {
+            let l = rng.gen_range(0..256);
             c.insert(l, LineState::Shared);
-            prop_assert!(c.len() <= c.capacity_lines());
+            assert!(c.len() <= c.capacity_lines());
             // Uniqueness: collect all and check for duplicates.
             let mut seen: Vec<u64> = c.iter().map(|(a, _)| a).collect();
             let before = seen.len();
             seen.sort_unstable();
             seen.dedup();
-            prop_assert_eq!(seen.len(), before, "duplicate line in cache");
-            prop_assert_eq!(c.probe(l), Some(LineState::Shared));
+            assert_eq!(seen.len(), before, "duplicate line in cache");
+            assert_eq!(c.probe(l), Some(LineState::Shared));
         }
     }
+}
 
-    /// Dirty evictions are reported exactly when the victim was Modified.
-    #[test]
-    fn cache_dirty_evictions_reported(ops in prop::collection::vec((0u64..64, any::<bool>()), 1..300)) {
+/// Dirty evictions are reported exactly when the victim was Modified.
+#[test]
+fn cache_dirty_evictions_reported() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::new(seed);
         let mut c = Cache::new("prop", 512, 1, 6); // 8 direct-mapped lines
-        let mut dirty_model = std::collections::HashMap::new();
-        for (line, write) in ops {
-            let state = if write { LineState::Modified } else { LineState::Shared };
+        let mut dirty_model = HashMap::new();
+        let steps = rng.gen_range(1..300);
+        for _ in 0..steps {
+            let line = rng.gen_range(0..64);
+            let write = rng.gen_bool(0.5);
+            let state = if write {
+                LineState::Modified
+            } else {
+                LineState::Shared
+            };
             if let Some(ev) = c.insert(line, state) {
                 let was = dirty_model.remove(&ev.line).unwrap_or(false);
-                prop_assert_eq!(ev.dirty, was, "eviction dirtiness mismatch");
+                assert_eq!(ev.dirty, was, "eviction dirtiness mismatch");
             }
             // insert() may overwrite the state of an existing line.
             dirty_model.insert(line, write);
         }
     }
+}
 
-    /// SegmentTable::resolve agrees with a naive linear scan.
-    #[test]
-    fn segment_resolution_matches_naive(
-        bases in prop::collection::vec(0u64..64, 1..8),
-        probe in 0u64..(65 * 4096),
-    ) {
+/// SegmentTable::resolve agrees with a naive linear scan.
+#[test]
+fn segment_resolution_matches_naive() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::new(seed);
         let geom = Geometry::default();
         let mut st = SegmentTable::new();
         let mut naive: Vec<(u64, u64, Gsid)> = Vec::new();
-        let mut sorted: Vec<u64> = bases.clone();
+        let count = rng.gen_range(1..8);
+        let mut sorted: Vec<u64> = (0..count).map(|_| rng.gen_range(0..64)).collect();
         sorted.sort_unstable();
         sorted.dedup();
         for (i, &b) in sorted.iter().enumerate() {
@@ -121,23 +153,30 @@ proptest! {
             st.attach(base, 4096, Gsid(i as u32), &geom);
             naive.push((base, 4096, Gsid(i as u32)));
         }
-        let got = st.resolve(VirtAddr(probe), &geom);
-        let expect = naive
-            .iter()
-            .find(|&&(b, l, _)| probe >= b && probe < b + l)
-            .map(|&(b, _, g)| GlobalPage::new(g, ((probe - b) / 4096) as u32));
-        prop_assert_eq!(got, expect);
+        for _ in 0..64 {
+            let probe = rng.gen_range(0..65 * 4096);
+            let got = st.resolve(VirtAddr(probe), &geom);
+            let expect = naive
+                .iter()
+                .find(|&&(b, l, _)| probe >= b && probe < b + l)
+                .map(|&(b, _, g)| GlobalPage::new(g, ((probe - b) / 4096) as u32));
+            assert_eq!(got, expect);
+        }
     }
+}
 
-    /// Frame pools conserve frames: free + live == total, and allocation
-    /// statistics equal the number of allocation events.
-    #[test]
-    fn frame_pool_conservation(ops in prop::collection::vec(any::<bool>(), 1..200)) {
+/// Frame pools conserve frames: free + live == total, and allocation
+/// statistics equal the number of allocation events.
+#[test]
+fn frame_pool_conservation() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::new(seed);
         let mut pool = FramePool::new(16);
         let mut live: Vec<FrameNo> = Vec::new();
         let mut allocs = 0u64;
-        for op in ops {
-            if op {
+        let steps = rng.gen_range(1..200);
+        for _ in 0..steps {
+            if rng.gen_bool(0.5) {
                 if let Some(f) = pool.alloc(FrameClass::Local) {
                     live.push(f);
                     allocs += 1;
@@ -145,83 +184,111 @@ proptest! {
             } else if let Some(f) = live.pop() {
                 pool.free(f);
             }
-            prop_assert_eq!(pool.free_real() + live.len(), 16);
+            assert_eq!(pool.free_real() + live.len(), 16);
         }
-        prop_assert_eq!(pool.stats().local, allocs);
+        assert_eq!(pool.stats().local, allocs);
     }
+}
 
-    /// Utilization is always within [0, 1].
-    #[test]
-    fn utilization_is_a_fraction(touches in prop::collection::vec((0u32..8, 0usize..64), 0..200)) {
+/// Utilization is always within [0, 1].
+#[test]
+fn utilization_is_a_fraction() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::new(seed);
         let mut u = UsageTracker::new(64);
         for f in 0..8u32 {
             u.on_alloc(FrameNo(f));
         }
-        for (f, l) in touches {
-            u.touch(FrameNo(f), l);
+        let touches = rng.gen_range(0..200);
+        for _ in 0..touches {
+            u.touch(FrameNo(rng.gen_range(0..8) as u32), rng.gen_index(64));
         }
         let (n, util) = u.finalize();
-        prop_assert_eq!(n, 8);
-        prop_assert!((0.0..=1.0).contains(&util));
+        assert_eq!(n, 8);
+        assert!((0.0..=1.0).contains(&util));
     }
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        any::<u64>().prop_map(|a| Op::Read(VirtAddr(a))),
-        any::<u64>().prop_map(|a| Op::Write(VirtAddr(a))),
-        any::<u32>().prop_map(Op::Compute),
-        any::<u32>().prop_map(Op::Barrier),
-        any::<u32>().prop_map(Op::Lock),
-        any::<u32>().prop_map(Op::Unlock),
-    ]
+fn arb_op(rng: &mut SimRng) -> Op {
+    match rng.gen_range(0..6) {
+        0 => Op::Read(VirtAddr(rng.next_u64())),
+        1 => Op::Write(VirtAddr(rng.next_u64())),
+        2 => Op::Compute(rng.next_u64() as u32),
+        3 => Op::Barrier(rng.next_u64() as u32),
+        4 => Op::Lock(rng.next_u64() as u32),
+        _ => Op::Unlock(rng.next_u64() as u32),
+    }
 }
 
-proptest! {
-    /// PRTR serialization round-trips arbitrary traces exactly.
-    #[test]
-    fn trace_io_round_trips(
-        name in ".{0,32}",
-        segs in prop::collection::vec((any::<u64>(), any::<u64>(), ".{0,16}"), 0..4),
-        lanes in prop::collection::vec(prop::collection::vec(arb_op(), 0..64), 0..6),
-    ) {
+fn arb_lanes(
+    rng: &mut SimRng,
+    lanes: std::ops::Range<u64>,
+    ops: std::ops::Range<u64>,
+) -> Vec<Vec<Op>> {
+    let n = rng.gen_range(lanes.start..lanes.end);
+    (0..n)
+        .map(|_| {
+            let len = rng.gen_range(ops.start..ops.end);
+            (0..len).map(|_| arb_op(rng)).collect()
+        })
+        .collect()
+}
+
+/// PRTR serialization round-trips arbitrary traces exactly.
+#[test]
+fn trace_io_round_trips() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::new(seed);
+        let name: String = (0..rng.gen_range(0..33))
+            .map(|_| (b'a' + rng.gen_index(26) as u8) as char)
+            .collect();
+        let segments = (0..rng.gen_range(0..4))
+            .map(|i| SegmentSpec {
+                name: format!("seg{i}"),
+                va_base: rng.next_u64(),
+                bytes: rng.next_u64(),
+            })
+            .collect::<Vec<_>>();
+        let lanes = arb_lanes(&mut rng, 0..6, 1..64);
         let trace = Trace {
             name,
-            segments: segs
-                .into_iter()
-                .map(|(va_base, bytes, name)| SegmentSpec { name, va_base, bytes })
-                .collect(),
+            segments,
             lanes,
         };
         let mut buf = Vec::new();
         write_trace(&trace, &mut buf).expect("write");
         let back = read_trace(&mut buf.as_slice()).expect("read");
-        prop_assert_eq!(back.name, trace.name);
-        prop_assert_eq!(back.segments, trace.segments);
-        prop_assert_eq!(back.lanes, trace.lanes);
+        assert_eq!(back.name, trace.name);
+        assert_eq!(back.segments, trace.segments);
+        assert_eq!(back.lanes, trace.lanes);
     }
+}
 
-    /// Any single-byte corruption is detected (checksum, tag, or length
-    /// validation) — never silently misparsed into a "valid" trace that
-    /// differs from the original.
-    #[test]
-    fn trace_io_detects_any_single_flip(
-        lanes in prop::collection::vec(prop::collection::vec(arb_op(), 1..16), 1..3),
-        pos_seed in any::<u64>(),
-        bit in 0u8..8,
-    ) {
-        let trace = Trace { name: "t".into(), segments: vec![], lanes };
+/// Any single-byte corruption is detected (checksum, tag, or length
+/// validation) — never silently misparsed into a "valid" trace that
+/// differs from the original.
+#[test]
+fn trace_io_detects_any_single_flip() {
+    for seed in 0..CASES * 4 {
+        let mut rng = SimRng::new(seed);
+        let lanes = arb_lanes(&mut rng, 1..3, 1..16);
+        let trace = Trace {
+            name: "t".into(),
+            segments: vec![],
+            lanes,
+        };
         let mut buf = Vec::new();
         write_trace(&trace, &mut buf).expect("write");
-        let pos = (pos_seed % buf.len() as u64) as usize;
+        let pos = rng.gen_index(buf.len());
+        let bit = rng.gen_range(0..8) as u8;
         buf[pos] ^= 1 << bit;
         match read_trace(&mut buf.as_slice()) {
             Err(_) => {} // detected: good
             Ok(back) => {
                 // The only undetectable flip would have to reproduce the
                 // same content; anything else is a checksum failure.
-                prop_assert_eq!(back.lanes, trace.lanes);
-                prop_assert_eq!(back.name, trace.name);
+                assert_eq!(back.lanes, trace.lanes);
+                assert_eq!(back.name, trace.name);
             }
         }
     }

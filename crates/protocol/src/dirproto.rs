@@ -124,7 +124,11 @@ pub fn transition(
             }
         }
         (LineDir::Uncached, ReqKind::Write) => DirOutcome {
-            source: if requester_has_data { DataSource::None } else { home_source },
+            source: if requester_has_data {
+                DataSource::None
+            } else {
+                home_source
+            },
             invalidate: NodeSet::EMPTY,
             invalidate_home: home_tag != LineTag::Invalid,
             new_state: LineDir::Owned(requester),
@@ -132,7 +136,11 @@ pub fn transition(
             updates_home_memory: false,
         },
         (LineDir::Shared(s), ReqKind::Write) => DirOutcome {
-            source: if requester_has_data { DataSource::None } else { home_source },
+            source: if requester_has_data {
+                DataSource::None
+            } else {
+                home_source
+            },
             invalidate: s.without(requester),
             invalidate_home: home_tag != LineTag::Invalid,
             new_state: LineDir::Owned(requester),
@@ -230,7 +238,14 @@ mod tests {
 
     #[test]
     fn read_uncached_shares_from_home() {
-        let out = transition(LineDir::Uncached, LineTag::Exclusive, false, R, ReqKind::Read, false);
+        let out = transition(
+            LineDir::Uncached,
+            LineTag::Exclusive,
+            false,
+            R,
+            ReqKind::Read,
+            false,
+        );
         assert_eq!(out.source, DataSource::HomeMemory);
         assert_eq!(out.new_state, LineDir::Shared(NodeSet::single(R)));
         assert_eq!(out.home_tag_to, Some(LineTag::Shared));
@@ -240,14 +255,28 @@ mod tests {
 
     #[test]
     fn read_uncached_modified_at_home_intervenes() {
-        let out = transition(LineDir::Uncached, LineTag::Exclusive, true, R, ReqKind::Read, false);
+        let out = transition(
+            LineDir::Uncached,
+            LineTag::Exclusive,
+            true,
+            R,
+            ReqKind::Read,
+            false,
+        );
         assert_eq!(out.source, DataSource::HomeIntervention);
     }
 
     #[test]
     fn read_shared_adds_sharer() {
         let s = NodeSet::single(O);
-        let out = transition(LineDir::Shared(s), LineTag::Shared, false, R, ReqKind::Read, false);
+        let out = transition(
+            LineDir::Shared(s),
+            LineTag::Shared,
+            false,
+            R,
+            ReqKind::Read,
+            false,
+        );
         assert_eq!(out.source, DataSource::HomeMemory);
         let expect: NodeSet = [O, R].into_iter().collect();
         assert_eq!(out.new_state, LineDir::Shared(expect));
@@ -256,7 +285,14 @@ mod tests {
 
     #[test]
     fn read_owned_three_party() {
-        let out = transition(LineDir::Owned(O), LineTag::Invalid, false, R, ReqKind::Read, false);
+        let out = transition(
+            LineDir::Owned(O),
+            LineTag::Invalid,
+            false,
+            R,
+            ReqKind::Read,
+            false,
+        );
         assert_eq!(out.source, DataSource::Owner(O));
         let expect: NodeSet = [O, R].into_iter().collect();
         assert_eq!(out.new_state, LineDir::Shared(expect));
@@ -266,7 +302,14 @@ mod tests {
 
     #[test]
     fn write_uncached_takes_ownership() {
-        let out = transition(LineDir::Uncached, LineTag::Exclusive, false, R, ReqKind::Write, false);
+        let out = transition(
+            LineDir::Uncached,
+            LineTag::Exclusive,
+            false,
+            R,
+            ReqKind::Write,
+            false,
+        );
         assert_eq!(out.source, DataSource::HomeMemory);
         assert_eq!(out.new_state, LineDir::Owned(R));
         assert_eq!(out.home_tag_to, Some(LineTag::Invalid));
@@ -276,7 +319,14 @@ mod tests {
     #[test]
     fn write_shared_invalidates_others() {
         let s: NodeSet = [O, X, R].into_iter().collect();
-        let out = transition(LineDir::Shared(s), LineTag::Shared, false, R, ReqKind::Write, true);
+        let out = transition(
+            LineDir::Shared(s),
+            LineTag::Shared,
+            false,
+            R,
+            ReqKind::Write,
+            true,
+        );
         assert_eq!(out.source, DataSource::None, "upgrade needs no data");
         let expect: NodeSet = [O, X].into_iter().collect();
         assert_eq!(out.invalidate, expect);
@@ -287,14 +337,28 @@ mod tests {
     #[test]
     fn write_shared_without_data_fetches() {
         let s = NodeSet::single(O);
-        let out = transition(LineDir::Shared(s), LineTag::Shared, false, R, ReqKind::Write, false);
+        let out = transition(
+            LineDir::Shared(s),
+            LineTag::Shared,
+            false,
+            R,
+            ReqKind::Write,
+            false,
+        );
         assert_eq!(out.source, DataSource::HomeMemory);
         assert_eq!(out.invalidate, NodeSet::single(O));
     }
 
     #[test]
     fn write_owned_transfers_ownership() {
-        let out = transition(LineDir::Owned(O), LineTag::Invalid, false, R, ReqKind::Write, false);
+        let out = transition(
+            LineDir::Owned(O),
+            LineTag::Invalid,
+            false,
+            R,
+            ReqKind::Write,
+            false,
+        );
         assert_eq!(out.source, DataSource::Owner(O));
         assert_eq!(out.invalidate, NodeSet::single(O));
         assert_eq!(out.new_state, LineDir::Owned(R));
@@ -306,7 +370,14 @@ mod tests {
         // After a prior remote write the home's tag is I; a later write by
         // another node (after a writeback made it Uncached… with tag S)
         // exercises the not-invalid path; this test covers tag I.
-        let out = transition(LineDir::Uncached, LineTag::Invalid, false, R, ReqKind::Write, false);
+        let out = transition(
+            LineDir::Uncached,
+            LineTag::Invalid,
+            false,
+            R,
+            ReqKind::Write,
+            false,
+        );
         assert!(!out.invalidate_home);
         assert_eq!(out.home_tag_to, None);
     }
@@ -316,7 +387,10 @@ mod tests {
         assert_eq!(apply_writeback(LineDir::Owned(O), O), LineDir::Uncached);
         assert_eq!(apply_writeback(LineDir::Owned(O), X), LineDir::Owned(O));
         let s: NodeSet = [O, X].into_iter().collect();
-        assert_eq!(apply_writeback(LineDir::Shared(s), O), LineDir::Shared(NodeSet::single(X)));
+        assert_eq!(
+            apply_writeback(LineDir::Shared(s), O),
+            LineDir::Shared(NodeSet::single(X))
+        );
         assert_eq!(
             apply_writeback(LineDir::Shared(NodeSet::single(O)), O),
             LineDir::Uncached
@@ -326,7 +400,10 @@ mod tests {
 
     #[test]
     fn replacement_hint_drops_holder() {
-        assert_eq!(apply_replacement_hint(LineDir::Owned(O), O), LineDir::Uncached);
+        assert_eq!(
+            apply_replacement_hint(LineDir::Owned(O), O),
+            LineDir::Uncached
+        );
         let s: NodeSet = [O, X].into_iter().collect();
         assert_eq!(
             apply_replacement_hint(LineDir::Shared(s), X),
@@ -341,7 +418,10 @@ mod tests {
         assert_eq!(tag_action(LineTag::Shared, false), TagAction::Proceed);
         assert_eq!(tag_action(LineTag::Shared, true), TagAction::Upgrade);
         assert_eq!(tag_action(LineTag::Invalid, false), TagAction::FetchShared);
-        assert_eq!(tag_action(LineTag::Invalid, true), TagAction::FetchExclusive);
+        assert_eq!(
+            tag_action(LineTag::Invalid, true),
+            TagAction::FetchExclusive
+        );
         assert_eq!(tag_action(LineTag::Transit, true), TagAction::Proceed);
     }
 
@@ -380,10 +460,10 @@ mod tests {
                     if kind == ReqKind::Write {
                         assert_eq!(out.new_state, LineDir::Owned(R));
                         // Nobody else survives a write.
-                        assert!(out
-                            .invalidate
-                            .iter()
-                            .all(|n| n != R), "requester never invalidates itself");
+                        assert!(
+                            out.invalidate.iter().all(|n| n != R),
+                            "requester never invalidates itself"
+                        );
                     }
                     // If the line ends Owned by a remote node, the home tag
                     // must end (or already be) Invalid.

@@ -15,8 +15,9 @@ use prism_mem::pit::{Caps, PitEntry};
 pub struct FirewallViolation {
     /// The node whose access was rejected.
     pub from: NodeId,
-    /// The frame it tried to touch.
-    pub frame: FrameNo,
+    /// The frame it tried to touch, or `None` when the physical address
+    /// named no bound frame at all (the access could not reach memory).
+    pub frame: Option<FrameNo>,
     /// Whether the rejected access was a write.
     pub write: bool,
 }
@@ -25,11 +26,14 @@ impl fmt::Display for FirewallViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "firewall: rejected remote {} from {} to {}",
+            "firewall: rejected remote {} from {} to ",
             if self.write { "write" } else { "read" },
             self.from,
-            self.frame
-        )
+        )?;
+        match self.frame {
+            Some(frame) => write!(f, "{frame}"),
+            None => write!(f, "an unbound frame"),
+        }
     }
 }
 
@@ -64,7 +68,11 @@ pub fn check(
     if entry.caps.allows(from) {
         Ok(())
     } else {
-        Err(FirewallViolation { from, frame, write })
+        Err(FirewallViolation {
+            from,
+            frame: Some(frame),
+            write,
+        })
     }
 }
 
@@ -118,8 +126,21 @@ mod tests {
         assert!(check(&e, FrameNo(0), NodeId(1), true).is_ok());
         assert!(check(&e, FrameNo(0), NodeId(3), false).is_ok());
         let v = check(&e, FrameNo(9), NodeId(2), true).unwrap_err();
-        assert_eq!(v, FirewallViolation { from: NodeId(2), frame: FrameNo(9), write: true });
+        assert_eq!(
+            v,
+            FirewallViolation {
+                from: NodeId(2),
+                frame: Some(FrameNo(9)),
+                write: true
+            }
+        );
         assert!(v.to_string().contains("rejected remote write"));
+        let unbound = FirewallViolation {
+            from: NodeId(2),
+            frame: None,
+            write: true,
+        };
+        assert!(unbound.to_string().contains("unbound frame"));
     }
 
     #[test]

@@ -50,11 +50,17 @@ pub enum MsgKind {
     LockGrant,
     /// Lock release notification to the synchronization home.
     LockRelease,
+    /// Receiver-side rejection of a message that arrived with a corrupt
+    /// payload (checksum failure); prompts an immediate retransmission.
+    Nack,
+    /// Retransmission of a request that was lost or Nack'd, or a
+    /// re-issued request after a home failover.
+    RetryReq,
 }
 
 impl MsgKind {
     /// All message kinds, for iteration in reports.
-    pub const ALL: [MsgKind; 18] = [
+    pub const ALL: [MsgKind; 20] = [
         MsgKind::ReadReq,
         MsgKind::WriteReq,
         MsgKind::DataReply,
@@ -73,10 +79,15 @@ impl MsgKind {
         MsgKind::LockReq,
         MsgKind::LockGrant,
         MsgKind::LockRelease,
+        MsgKind::Nack,
+        MsgKind::RetryReq,
     ];
 
     fn index(self) -> usize {
-        Self::ALL.iter().position(|&k| k == self).expect("kind listed in ALL")
+        Self::ALL
+            .iter()
+            .position(|&k| k == self)
+            .expect("kind listed in ALL")
     }
 
     /// True for messages that carry a full cache line or page of data.
@@ -109,7 +120,7 @@ impl fmt::Display for MsgKind {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct TrafficLedger {
-    counts: [u64; 18],
+    counts: [u64; 20],
     total: u64,
     self_messages: u64,
 }
@@ -193,6 +204,8 @@ mod tests {
         assert!(MsgKind::PageData.carries_data());
         assert!(!MsgKind::ReadReq.carries_data());
         assert!(!MsgKind::InvalAck.carries_data());
+        assert!(!MsgKind::Nack.carries_data());
+        assert!(!MsgKind::RetryReq.carries_data());
     }
 
     #[test]

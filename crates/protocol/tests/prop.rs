@@ -1,18 +1,18 @@
-//! Property tests over the pure directory-protocol transitions: a model
-//! of one line's global state is driven through random request/writeback
-//! sequences and the protocol invariants are checked after every step.
-
-use proptest::prelude::*;
+//! Randomized tests over the pure directory-protocol transitions: a
+//! model of one line's global state is driven through seeded random
+//! request/writeback sequences and the protocol invariants are checked
+//! after every step.
 
 use prism_mem::addr::{NodeId, NodeSet};
 use prism_mem::directory::LineDir;
 use prism_mem::tags::LineTag;
 use prism_protocol::dirproto::{
-    apply_replacement_hint, apply_writeback, tag_action, transition, DataSource, ReqKind,
-    TagAction,
+    apply_replacement_hint, apply_writeback, tag_action, transition, DataSource, ReqKind, TagAction,
 };
+use prism_sim::SimRng;
 
 const HOME: NodeId = NodeId(0);
+const CASES: u64 = 64;
 
 /// One event in a line's life, from the home's perspective.
 #[derive(Clone, Copy, Debug)]
@@ -25,13 +25,14 @@ enum Event {
     Hint(u16),
 }
 
-fn event() -> impl Strategy<Value = Event> {
-    prop_oneof![
-        (1u16..5).prop_map(Event::Read),
-        (1u16..5).prop_map(Event::Write),
-        (1u16..5).prop_map(Event::Writeback),
-        (1u16..5).prop_map(Event::Hint),
-    ]
+fn event(rng: &mut SimRng) -> Event {
+    let node = rng.gen_range(1..5) as u16;
+    match rng.gen_range(0..4) {
+        0 => Event::Read(node),
+        1 => Event::Write(node),
+        2 => Event::Writeback(node),
+        _ => Event::Hint(node),
+    }
 }
 
 /// The invariants of DESIGN.md / prism-protocol:
@@ -61,39 +62,41 @@ fn check_invariants(dir: LineDir, tag: LineTag) {
     }
 }
 
-proptest! {
-    /// Random event sequences keep directory and home-tag state mutually
-    /// consistent, and every request leaves the requester a holder.
-    #[test]
-    fn random_histories_preserve_invariants(events in prop::collection::vec(event(), 1..200)) {
+/// Random event sequences keep directory and home-tag state mutually
+/// consistent, and every request leaves the requester a holder.
+#[test]
+fn random_histories_preserve_invariants() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::new(seed);
         let mut dir = LineDir::Uncached;
         let mut tag = LineTag::Exclusive;
-        for ev in events {
+        let steps = rng.gen_range(1..200);
+        for _ in 0..steps {
+            let ev = event(&mut rng);
             match ev {
                 Event::Read(node) | Event::Write(node) => {
                     let requester = NodeId(node);
-                    let kind = if matches!(ev, Event::Read(_)) { ReqKind::Read } else { ReqKind::Write };
+                    let kind = if matches!(ev, Event::Read(_)) {
+                        ReqKind::Read
+                    } else {
+                        ReqKind::Write
+                    };
                     // Skip impossible combinations (a holder re-requesting
                     // what it has is satisfied locally in the machine).
-                    let skip = match (dir, kind) {
-                        (LineDir::Owned(o), _) if o == requester => true,
-                        (LineDir::Shared(s), ReqKind::Read) if s.contains(requester) => false,
-                        _ => false,
-                    };
-                    if skip {
+                    if matches!(dir, LineDir::Owned(o) if o == requester) {
                         continue;
                     }
                     let has_data = matches!(dir, LineDir::Shared(s) if s.contains(requester))
                         && kind == ReqKind::Write;
                     let out = transition(dir, tag, false, requester, kind, has_data);
                     // The requester ends up a holder.
-                    prop_assert!(out.new_state.held_by(requester));
+                    assert!(out.new_state.held_by(requester));
                     // Upgrades carry no data; fetches carry data.
                     if has_data {
-                        prop_assert_eq!(out.source, DataSource::None);
+                        assert_eq!(out.source, DataSource::None);
                     }
                     // Invalidation targets never include the requester.
-                    prop_assert!(!out.invalidate.contains(requester));
+                    assert!(!out.invalidate.contains(requester));
                     dir = out.new_state;
                     if let Some(t) = out.home_tag_to {
                         tag = t;
@@ -130,42 +133,58 @@ proptest! {
             }
         }
     }
+}
 
-    /// A write always ends exclusively owned by the requester with every
-    /// other holder listed for invalidation.
-    #[test]
-    fn writes_invalidate_every_other_holder(
-        sharers in prop::collection::vec(1u16..8, 0..6),
-        requester in 1u16..8,
-    ) {
-        let set: NodeSet = sharers.iter().map(|&s| NodeId(s)).collect();
-        let dir = if set.is_empty() { LineDir::Uncached } else { LineDir::Shared(set) };
+/// A write always ends exclusively owned by the requester with every
+/// other holder listed for invalidation.
+#[test]
+fn writes_invalidate_every_other_holder() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::new(seed);
+        let count = rng.gen_range(0..6);
+        let set: NodeSet = (0..count)
+            .map(|_| NodeId(rng.gen_range(1..8) as u16))
+            .collect();
+        let requester = NodeId(rng.gen_range(1..8) as u16);
+        let dir = if set.is_empty() {
+            LineDir::Uncached
+        } else {
+            LineDir::Shared(set)
+        };
         let tag = LineTag::Shared;
-        let req = NodeId(requester);
-        let out = transition(dir, tag, false, req, ReqKind::Write, set.contains(req));
-        prop_assert_eq!(out.new_state, LineDir::Owned(req));
+        let out = transition(
+            dir,
+            tag,
+            false,
+            requester,
+            ReqKind::Write,
+            set.contains(requester),
+        );
+        assert_eq!(out.new_state, LineDir::Owned(requester));
         // Everyone except the requester is invalidated.
-        let expected = set.without(req);
-        prop_assert_eq!(out.invalidate, expected);
-        prop_assert_eq!(out.home_tag_to, Some(LineTag::Invalid));
+        let expected = set.without(requester);
+        assert_eq!(out.invalidate, expected);
+        assert_eq!(out.home_tag_to, Some(LineTag::Invalid));
     }
+}
 
-    /// tag_action is total and consistent: E always proceeds, I always
-    /// fetches, S depends on the access kind.
-    #[test]
-    fn tag_actions_are_consistent(write in any::<bool>()) {
-        prop_assert_eq!(tag_action(LineTag::Exclusive, write), TagAction::Proceed);
+/// tag_action is total and consistent: E always proceeds, I always
+/// fetches, S depends on the access kind.
+#[test]
+fn tag_actions_are_consistent() {
+    for write in [false, true] {
+        assert_eq!(tag_action(LineTag::Exclusive, write), TagAction::Proceed);
         let i = tag_action(LineTag::Invalid, write);
         if write {
-            prop_assert_eq!(i, TagAction::FetchExclusive);
+            assert_eq!(i, TagAction::FetchExclusive);
         } else {
-            prop_assert_eq!(i, TagAction::FetchShared);
+            assert_eq!(i, TagAction::FetchShared);
         }
         let s = tag_action(LineTag::Shared, write);
         if write {
-            prop_assert_eq!(s, TagAction::Upgrade);
+            assert_eq!(s, TagAction::Upgrade);
         } else {
-            prop_assert_eq!(s, TagAction::Proceed);
+            assert_eq!(s, TagAction::Proceed);
         }
     }
 }

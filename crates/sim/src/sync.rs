@@ -213,7 +213,10 @@ impl LockSet {
     /// Panics if `proc` does not hold the lock.
     pub fn release(&mut self, id: u32, proc: usize, now: Cycle) -> Option<(usize, Cycle)> {
         let state = self.locks.get_mut(&id).expect("release of unheld lock");
-        assert_eq!(state.holder, proc, "lock {id} released by non-holder {proc}");
+        assert_eq!(
+            state.holder, proc,
+            "lock {id} released by non-holder {proc}"
+        );
         if state.queue.is_empty() {
             self.locks.remove(&id);
             None
@@ -274,7 +277,10 @@ mod tests {
         assert_eq!(b.arrive(7, 2, Cycle(100)), BarrierOutcome::Wait);
         assert_eq!(b.parked(), 2);
         match b.arrive(7, 1, Cycle(250)) {
-            BarrierOutcome::Release { waiters, release_at } => {
+            BarrierOutcome::Release {
+                waiters,
+                release_at,
+            } => {
                 assert_eq!(waiters, vec![0, 2]);
                 assert_eq!(release_at, Cycle(500));
             }
@@ -302,14 +308,20 @@ mod tests {
         let mut b = BarrierSet::new(1);
         assert!(matches!(
             b.arrive(0, 0, Cycle(42)),
-            BarrierOutcome::Release { release_at: Cycle(42), .. }
+            BarrierOutcome::Release {
+                release_at: Cycle(42),
+                ..
+            }
         ));
     }
 
     #[test]
     fn lock_fifo_handoff() {
         let mut l = LockSet::new();
-        assert_eq!(l.acquire(0, 0, Cycle(0)), LockOutcome::Acquired { at: Cycle(0) });
+        assert_eq!(
+            l.acquire(0, 0, Cycle(0)),
+            LockOutcome::Acquired { at: Cycle(0) }
+        );
         assert_eq!(l.acquire(0, 1, Cycle(5)), LockOutcome::Queued);
         assert_eq!(l.acquire(0, 2, Cycle(6)), LockOutcome::Queued);
         assert_eq!(l.release(0, 0, Cycle(50)), Some((1, Cycle(50))));

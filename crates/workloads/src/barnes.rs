@@ -34,7 +34,11 @@ impl Barnes {
     /// Panics if `bodies` is zero.
     pub fn new(bodies: u64, iterations: u32, seed: u64) -> Barnes {
         assert!(bodies > 0, "need at least one body");
-        Barnes { bodies, iterations, seed }
+        Barnes {
+            bodies,
+            iterations,
+            seed,
+        }
     }
 }
 
@@ -124,11 +128,38 @@ impl Tree {
                 self.cells.push(Cell::new(half / 2.0));
                 self.cells[cell].children[oct] = nc as i32;
                 let mut sub = Vec::new();
-                self.insert(nc, child_center, half / 2.0, other, bodies[other].pos, bodies, &mut sub, depth + 1);
-                self.insert(nc, child_center, half / 2.0, body, pos, bodies, path, depth + 1);
+                self.insert(
+                    nc,
+                    child_center,
+                    half / 2.0,
+                    other,
+                    bodies[other].pos,
+                    bodies,
+                    &mut sub,
+                    depth + 1,
+                );
+                self.insert(
+                    nc,
+                    child_center,
+                    half / 2.0,
+                    body,
+                    pos,
+                    bodies,
+                    path,
+                    depth + 1,
+                );
             }
             c => {
-                self.insert(c as usize, child_center, half / 2.0, body, pos, bodies, path, depth + 1);
+                self.insert(
+                    c as usize,
+                    child_center,
+                    half / 2.0,
+                    body,
+                    pos,
+                    bodies,
+                    path,
+                    depth + 1,
+                );
             }
         }
     }
@@ -275,7 +306,11 @@ impl Workload for Barnes {
         let mut rng = SimRng::new(self.seed);
         let mut bodies: Vec<Body> = (0..n)
             .map(|_| Body {
-                pos: [rng.next_f64() - 0.5, rng.next_f64() - 0.5, rng.next_f64() - 0.5],
+                pos: [
+                    rng.next_f64() - 0.5,
+                    rng.next_f64() - 0.5,
+                    rng.next_f64() - 0.5,
+                ],
                 vel: [0.0; 3],
                 acc: [0.0; 3],
             })
@@ -383,7 +418,11 @@ mod tests {
         let mut rng = SimRng::new(5);
         let bodies: Vec<Body> = (0..200)
             .map(|_| Body {
-                pos: [rng.next_f64() - 0.5, rng.next_f64() - 0.5, rng.next_f64() - 0.5],
+                pos: [
+                    rng.next_f64() - 0.5,
+                    rng.next_f64() - 0.5,
+                    rng.next_f64() - 0.5,
+                ],
                 vel: [0.0; 3],
                 acc: [0.0; 3],
             })
@@ -409,7 +448,11 @@ mod tests {
         let mut rng = SimRng::new(6);
         let bodies: Vec<Body> = (0..256)
             .map(|_| Body {
-                pos: [rng.next_f64() - 0.5, rng.next_f64() - 0.5, rng.next_f64() - 0.5],
+                pos: [
+                    rng.next_f64() - 0.5,
+                    rng.next_f64() - 0.5,
+                    rng.next_f64() - 0.5,
+                ],
                 vel: [0.0; 3],
                 acc: [0.0; 3],
             })
@@ -428,7 +471,11 @@ mod tests {
         let mut rng = SimRng::new(7);
         let bodies: Vec<Body> = (0..64)
             .map(|_| Body {
-                pos: [rng.next_f64() - 0.5, rng.next_f64() - 0.5, rng.next_f64() - 0.5],
+                pos: [
+                    rng.next_f64() - 0.5,
+                    rng.next_f64() - 0.5,
+                    rng.next_f64() - 0.5,
+                ],
                 vel: [0.0; 3],
                 acc: [0.0; 3],
             })

@@ -299,10 +299,12 @@ mod tests {
 
     #[test]
     fn partition_handles_fewer_items_than_procs() {
-        let sizes: Vec<u64> = (0..8).map(|p| {
-            let r = partition(3, 8, p);
-            r.end - r.start
-        }).collect();
+        let sizes: Vec<u64> = (0..8)
+            .map(|p| {
+                let r = partition(3, 8, p);
+                r.end - r.start
+            })
+            .collect();
         assert_eq!(sizes.iter().sum::<u64>(), 3);
         assert!(sizes.iter().all(|&s| s <= 1));
     }

@@ -25,7 +25,10 @@ impl Fft {
     ///
     /// Panics unless `points` is a power of two ≥ 2.
     pub fn new(points: u64) -> Fft {
-        assert!(points.is_power_of_two() && points >= 2, "points must be a power of two");
+        assert!(
+            points.is_power_of_two() && points >= 2,
+            "points must be a power of two"
+        );
         Fft { points }
     }
 }

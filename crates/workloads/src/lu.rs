@@ -34,7 +34,11 @@ impl Lu {
     /// Panics unless `block` divides `n`.
     pub fn new(n: u64, block: u64) -> Lu {
         assert!(block > 0 && n.is_multiple_of(block), "block must divide n");
-        Lu { n, block, contiguous: false }
+        Lu {
+            n,
+            block,
+            contiguous: false,
+        }
     }
 
     /// The contiguous-blocks variant (each block occupies a contiguous
@@ -45,7 +49,11 @@ impl Lu {
     /// Panics unless `block` divides `n`.
     pub fn with_contiguous_blocks(n: u64, block: u64) -> Lu {
         assert!(block > 0 && n.is_multiple_of(block), "block must divide n");
-        Lu { n, block, contiguous: true }
+        Lu {
+            n,
+            block,
+            contiguous: true,
+        }
     }
 
     /// Address index of element (row `r`, col `c`) of block (`bi`,`bj`).

@@ -394,7 +394,9 @@ mod tests {
         let s = scenarios(8, 4, 64);
         assert_eq!(s.len(), 11);
         for sc in &s {
-            sc.setup.validate(&Geometry::default()).expect("setup valid");
+            sc.setup
+                .validate(&Geometry::default())
+                .expect("setup valid");
             sc.full.validate(&Geometry::default()).expect("full valid");
             assert!(
                 sc.full.total_ops() > sc.setup.total_ops(),

@@ -33,7 +33,12 @@ impl Mp3d {
     /// Panics if the particle count or grid is zero.
     pub fn new(particles: u64, iterations: u32, grid: u64, seed: u64) -> Mp3d {
         assert!(particles > 0 && grid > 0);
-        Mp3d { particles, iterations, grid, seed }
+        Mp3d {
+            particles,
+            iterations,
+            grid,
+            seed,
+        }
     }
 }
 
@@ -58,7 +63,13 @@ impl Workload for Mp3d {
         // Real particle state: position in [0, g) per axis, velocity
         // biased along +x (the wind-tunnel free stream).
         let mut pos: Vec<[f64; 3]> = (0..n)
-            .map(|_| [rng.next_f64() * g as f64, rng.next_f64() * g as f64, rng.next_f64() * g as f64])
+            .map(|_| {
+                [
+                    rng.next_f64() * g as f64,
+                    rng.next_f64() * g as f64,
+                    rng.next_f64() * g as f64,
+                ]
+            })
             .collect();
         let mut vel: Vec<[f64; 3]> = (0..n)
             .map(|_| {
@@ -166,7 +177,11 @@ mod tests {
                 }
             }
         }
-        assert!(distinct.len() > 100, "particles spread over many cells: {}", distinct.len());
+        assert!(
+            distinct.len() > 100,
+            "particles spread over many cells: {}",
+            distinct.len()
+        );
     }
 
     #[test]

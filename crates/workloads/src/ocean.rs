@@ -38,7 +38,10 @@ impl Workload for Ocean {
     }
 
     fn description(&self) -> String {
-        format!("Simulation of ocean currents, {d}x{d} ocean grid", d = self.dim)
+        format!(
+            "Simulation of ocean currents, {d}x{d} ocean grid",
+            d = self.dim
+        )
     }
 
     fn generate(&self, procs: usize) -> Trace {

@@ -30,7 +30,10 @@ impl Radix {
     ///
     /// Panics unless the radix is a power of two ≥ 2.
     pub fn new(keys: u64, radix: u64, seed: u64) -> Radix {
-        assert!(radix.is_power_of_two() && radix >= 2, "radix must be a power of two");
+        assert!(
+            radix.is_power_of_two() && radix >= 2,
+            "radix must be a power of two"
+        );
         Radix { keys, radix, seed }
     }
 }
@@ -54,7 +57,9 @@ impl Workload for Radix {
         let bits = r.trailing_zeros();
         let passes = 30u32.div_ceil(bits); // 30-bit keys
         let mut rng = SimRng::new(self.seed);
-        let mut data: Vec<u32> = (0..n).map(|_| (rng.next_u32() >> 2) & 0x3FFF_FFFF).collect();
+        let mut data: Vec<u32> = (0..n)
+            .map(|_| (rng.next_u32() >> 2) & 0x3FFF_FFFF)
+            .collect();
 
         let mut layout = Layout::new();
         let src = layout.array("radix-src", n, 4);
@@ -151,7 +156,9 @@ mod tests {
         // then verify the permutation described by the scatter is a sort.
         let w = Radix::new(512, 16, 7);
         let mut rng = SimRng::new(7);
-        let mut keys: Vec<u32> = (0..512).map(|_| (rng.next_u32() >> 2) & 0x3FFF_FFFF).collect();
+        let mut keys: Vec<u32> = (0..512)
+            .map(|_| (rng.next_u32() >> 2) & 0x3FFF_FFFF)
+            .collect();
         // The generator sorts via successive digit passes; emulate via
         // stable sort to compare multiset + final order by full key.
         let mut expect = keys.clone();

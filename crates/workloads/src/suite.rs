@@ -129,7 +129,16 @@ mod tests {
         let names: Vec<String> = AppId::ALL.iter().map(|a| a.to_string()).collect();
         assert_eq!(
             names,
-            vec!["Barnes", "FFT", "LU", "MP3D", "Ocean", "Radix", "Water-Nsq", "Water-Spa"]
+            vec![
+                "Barnes",
+                "FFT",
+                "LU",
+                "MP3D",
+                "Ocean",
+                "Radix",
+                "Water-Nsq",
+                "Water-Spa"
+            ]
         );
     }
 }

@@ -26,24 +26,48 @@ enum Kind {
 impl Synthetic {
     /// Uniformly random reads/writes (2:1) over `bytes` of shared data.
     pub fn uniform(procs_hint: usize, bytes: u64, refs_per_proc: usize) -> Synthetic {
-        Synthetic { kind: Kind::Uniform, procs_hint, bytes, refs_per_proc, seed: 12345 }
+        Synthetic {
+            kind: Kind::Uniform,
+            procs_hint,
+            bytes,
+            refs_per_proc,
+            seed: 12345,
+        }
     }
 
     /// Migratory sharing: the whole machine takes turns owning a hot
     /// region, writing it heavily — the pattern lazy home migration
     /// targets (paper §3.5).
     pub fn migratory(procs_hint: usize, bytes: u64, refs_per_proc: usize) -> Synthetic {
-        Synthetic { kind: Kind::Migratory, procs_hint, bytes, refs_per_proc, seed: 12345 }
+        Synthetic {
+            kind: Kind::Migratory,
+            procs_hint,
+            bytes,
+            refs_per_proc,
+            seed: 12345,
+        }
     }
 
     /// Processor 0 produces, everyone else consumes after a barrier.
     pub fn producer_consumer(procs_hint: usize, bytes: u64, refs_per_proc: usize) -> Synthetic {
-        Synthetic { kind: Kind::ProducerConsumer, procs_hint, bytes, refs_per_proc, seed: 12345 }
+        Synthetic {
+            kind: Kind::ProducerConsumer,
+            procs_hint,
+            bytes,
+            refs_per_proc,
+            seed: 12345,
+        }
     }
 
     /// Node-private streaming only (no coherence traffic at all).
     pub fn private_only(procs_hint: usize, bytes: u64, refs_per_proc: usize) -> Synthetic {
-        Synthetic { kind: Kind::PrivateOnly, procs_hint, bytes, refs_per_proc, seed: 12345 }
+        Synthetic {
+            kind: Kind::PrivateOnly,
+            procs_hint,
+            bytes,
+            refs_per_proc,
+            seed: 12345,
+        }
     }
 
     /// Overrides the RNG seed.

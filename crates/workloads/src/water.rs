@@ -78,7 +78,11 @@ impl WaterNsq {
     /// Panics if `molecules` is zero.
     pub fn new(molecules: u64, iterations: u32, seed: u64) -> WaterNsq {
         assert!(molecules > 0);
-        WaterNsq { molecules, iterations, seed }
+        WaterNsq {
+            molecules,
+            iterations,
+            seed,
+        }
     }
 }
 
@@ -173,7 +177,12 @@ impl WaterSpatial {
     /// Panics if any size is zero.
     pub fn new(molecules: u64, iterations: u32, cells: u64, seed: u64) -> WaterSpatial {
         assert!(molecules > 0 && cells > 0);
-        WaterSpatial { molecules, iterations, cells, seed }
+        WaterSpatial {
+            molecules,
+            iterations,
+            cells,
+            seed,
+        }
     }
 }
 
@@ -237,7 +246,13 @@ impl Workload for WaterSpatial {
                         let nx = cx as i64 + dx;
                         let ny = cy as i64 + dy;
                         let nz = cz as i64 + dz;
-                        if nx < 0 || ny < 0 || nz < 0 || nx >= g as i64 || ny >= g as i64 || nz >= g as i64 {
+                        if nx < 0
+                            || ny < 0
+                            || nz < 0
+                            || nx >= g as i64
+                            || ny >= g as i64
+                            || nz >= g as i64
+                        {
                             continue;
                         }
                         let nc = ((nz as u64 * g + ny as u64) * g + nx as u64) as usize;

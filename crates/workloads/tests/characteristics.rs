@@ -5,8 +5,8 @@
 
 use std::collections::HashSet;
 
-use prism_workloads::{suite, AppId, Scale};
 use prism_mem::trace::{Op, Trace};
+use prism_workloads::{suite, AppId, Scale};
 
 fn write_fraction(t: &Trace) -> f64 {
     let (mut reads, mut writes) = (0u64, 0u64);
@@ -107,10 +107,7 @@ fn load_is_reasonably_balanced() {
             AppId::WaterSpa => 12.0,
             _ => 3.0,
         };
-        assert!(
-            max / min.max(1.0) <= limit,
-            "{id}: imbalance {max}/{min}"
-        );
+        assert!(max / min.max(1.0) <= limit, "{id}: imbalance {max}/{min}");
     }
 }
 
@@ -156,8 +153,12 @@ fn locks_appear_only_in_water() {
 #[test]
 fn paper_scale_traces_are_substantially_larger() {
     for id in [AppId::Fft, AppId::Radix] {
-        let small = prism_workloads::app(id, Scale::Small).generate(8).total_refs();
-        let paper = prism_workloads::app(id, Scale::Paper).generate(8).total_refs();
+        let small = prism_workloads::app(id, Scale::Small)
+            .generate(8)
+            .total_refs();
+        let paper = prism_workloads::app(id, Scale::Paper)
+            .generate(8)
+            .total_refs();
         assert!(paper > 10 * small, "{id}: {small} -> {paper}");
     }
 }

@@ -9,7 +9,9 @@
 use prism::prelude::*;
 
 fn main() -> Result<(), SimError> {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "Ocean".to_string());
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "Ocean".to_string());
     let id = AppId::ALL
         .into_iter()
         .find(|a| a.to_string().eq_ignore_ascii_case(&which))

@@ -25,14 +25,20 @@ fn main() {
     lanes[2].push(Op::Write(VirtAddr(SHARED_BASE))); // proc 2 = node 1
     let trace = Trace {
         name: "firewall-demo".into(),
-        segments: vec![SegmentSpec { name: "s".into(), va_base: SHARED_BASE, bytes: 4096 }],
+        segments: vec![SegmentSpec {
+            name: "s".into(),
+            va_base: SHARED_BASE,
+            bytes: 4096,
+        }],
         lanes,
     };
     let mut machine = Machine::new(config.clone());
     machine.run(&trace);
 
     let gp = GlobalPage::new(Gsid(0), 0);
-    machine.restrict_page(NodeId(1), gp, Caps::Only(NodeSet::single(NodeId(0))));
+    machine
+        .restrict_page(NodeId(1), gp, Caps::Only(NodeSet::single(NodeId(0))))
+        .expect("node 1 mapped the page during the run");
     println!("node 1's copy of {gp} now only accepts accesses from node 0");
 
     match machine.inject_wild_write(NodeId(0), NodeId(1), gp) {
@@ -57,10 +63,17 @@ fn main() {
         }
         lanes.push(lane);
     }
-    let trace = Trace { name: "failure-demo".into(), segments: vec![], lanes };
+    let trace = Trace {
+        name: "failure-demo".into(),
+        segments: vec![],
+        lanes,
+    };
     let mut machine = Machine::new(config.clone());
     machine.fail_node(NodeId(0));
-    println!("\nnode 0 failed before the run ({} live processors remain)", machine.live_procs());
+    println!(
+        "\nnode 0 failed before the run ({} live processors remain)",
+        machine.live_procs()
+    );
     let report = machine.run(&trace);
     println!(
         "  run completed: {} references executed, {} processors dead, {} survived",

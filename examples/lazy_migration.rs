@@ -8,8 +8,8 @@
 //! cargo run --release --example lazy_migration
 //! ```
 
-use prism::prelude::*;
 use prism::kernel::migration::MigrationPolicy;
+use prism::prelude::*;
 
 fn main() -> Result<(), SimError> {
     let base = MachineConfig::default();
@@ -38,7 +38,10 @@ fn main() -> Result<(), SimError> {
         );
     }
     let gain = 1.0 - lazy.exec_cycles.as_u64() as f64 / fixed.exec_cycles.as_u64() as f64;
-    println!("\nlazy migration saved {:.1}% of execution time", gain * 100.0);
+    println!(
+        "\nlazy migration saved {:.1}% of execution time",
+        gain * 100.0
+    );
     println!(
         "({} requests were forwarded via static homes while client PIT\n\
          hints caught up — the price of *not* notifying clients eagerly)",

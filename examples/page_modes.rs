@@ -15,9 +15,9 @@
 //! ```
 
 use prism::machine::machine::Machine;
+use prism::mem::addr::VirtAddr;
 use prism::mem::mode::FrameMode;
 use prism::mem::trace::{Op, SegmentSpec, Trace, SHARED_BASE};
-use prism::mem::addr::VirtAddr;
 use prism::prelude::*;
 
 const REUSED_PAGES: u64 = 16;
@@ -49,8 +49,16 @@ fn workload(procs: usize) -> Trace {
     Trace {
         name: "two-personalities".into(),
         segments: vec![
-            SegmentSpec { name: "reused".into(), va_base: SHARED_BASE, bytes: REUSED_PAGES * 4096 },
-            SegmentSpec { name: "stream".into(), va_base: STREAM_BASE, bytes: STREAM_PAGES * 4096 },
+            SegmentSpec {
+                name: "reused".into(),
+                va_base: SHARED_BASE,
+                bytes: REUSED_PAGES * 4096,
+            },
+            SegmentSpec {
+                name: "stream".into(),
+                va_base: STREAM_BASE,
+                bytes: STREAM_PAGES * 4096,
+            },
         ],
         lanes,
     }
@@ -84,14 +92,25 @@ fn main() {
     // run — exactly how an application would annotate its regions.
     {
         // Prime the segment tables so the suggestion can resolve pages.
-        let empty = Trace { name: "attach".into(), segments: trace.segments.clone(), lanes: vec![vec![]; 8] };
+        let empty = Trace {
+            name: "attach".into(),
+            segments: trace.segments.clone(),
+            lanes: vec![vec![]; 8],
+        };
         machine.run(&empty);
     }
     machine.suggest_region_mode(STREAM_BASE, STREAM_PAGES * 4096, FrameMode::LaNuma);
     let mixed = machine.run(&trace);
 
-    println!("{:<14} {:>14} {:>12} {:>10}", "Config", "Exec (cycles)", "Remote", "Page-outs");
-    for (name, r) in [("all S-COMA", &scoma), ("all LA-NUMA", &lanuma), ("user mix", &mixed)] {
+    println!(
+        "{:<14} {:>14} {:>12} {:>10}",
+        "Config", "Exec (cycles)", "Remote", "Page-outs"
+    );
+    for (name, r) in [
+        ("all S-COMA", &scoma),
+        ("all LA-NUMA", &lanuma),
+        ("user mix", &mixed),
+    ] {
         println!(
             "{:<14} {:>14} {:>12} {:>10}",
             name,
@@ -102,5 +121,8 @@ fn main() {
     }
     let best_static = scoma.exec_cycles.min(lanuma.exec_cycles).as_u64() as f64;
     let gain = 1.0 - mixed.exec_cycles.as_u64() as f64 / best_static;
-    println!("\nuser-selected modes beat the best static configuration by {:.1}%", gain * 100.0);
+    println!(
+        "\nuser-selected modes beat the best static configuration by {:.1}%",
+        gain * 100.0
+    );
 }

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/capacity_sweep-5e158fc819cfd37f.d: crates/bench/src/bin/capacity_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcapacity_sweep-5e158fc819cfd37f.rmeta: crates/bench/src/bin/capacity_sweep.rs Cargo.toml
+
+crates/bench/src/bin/capacity_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

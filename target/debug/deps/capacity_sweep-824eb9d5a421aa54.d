@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/capacity_sweep-824eb9d5a421aa54.d: crates/bench/src/bin/capacity_sweep.rs
+
+/root/repo/target/debug/deps/capacity_sweep-824eb9d5a421aa54: crates/bench/src/bin/capacity_sweep.rs
+
+crates/bench/src/bin/capacity_sweep.rs:

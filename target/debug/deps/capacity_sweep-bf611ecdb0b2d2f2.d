@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/capacity_sweep-bf611ecdb0b2d2f2.d: crates/bench/src/bin/capacity_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcapacity_sweep-bf611ecdb0b2d2f2.rmeta: crates/bench/src/bin/capacity_sweep.rs Cargo.toml
+
+crates/bench/src/bin/capacity_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ccnuma_ablation-71e6be0f2260002d.d: crates/bench/src/bin/ccnuma_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libccnuma_ablation-71e6be0f2260002d.rmeta: crates/bench/src/bin/ccnuma_ablation.rs Cargo.toml
+
+crates/bench/src/bin/ccnuma_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

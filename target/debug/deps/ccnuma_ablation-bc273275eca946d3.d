@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ccnuma_ablation-bc273275eca946d3.d: crates/bench/src/bin/ccnuma_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libccnuma_ablation-bc273275eca946d3.rmeta: crates/bench/src/bin/ccnuma_ablation.rs Cargo.toml
+
+crates/bench/src/bin/ccnuma_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ccnuma_ablation-c8d7e9c26e63740a.d: crates/bench/src/bin/ccnuma_ablation.rs
+
+/root/repo/target/debug/deps/ccnuma_ablation-c8d7e9c26e63740a: crates/bench/src/bin/ccnuma_ablation.rs
+
+crates/bench/src/bin/ccnuma_ablation.rs:

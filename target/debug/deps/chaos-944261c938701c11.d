@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos-944261c938701c11.d: crates/machine/tests/chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos-944261c938701c11.rmeta: crates/machine/tests/chaos.rs Cargo.toml
+
+crates/machine/tests/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

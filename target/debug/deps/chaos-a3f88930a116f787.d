@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-a3f88930a116f787.d: crates/machine/tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-a3f88930a116f787: crates/machine/tests/chaos.rs
+
+crates/machine/tests/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/characteristics-1b92b75a14266b2f.d: crates/workloads/tests/characteristics.rs
+
+/root/repo/target/debug/deps/characteristics-1b92b75a14266b2f: crates/workloads/tests/characteristics.rs
+
+crates/workloads/tests/characteristics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/characteristics-2c6657f362ac4b8e.d: crates/workloads/tests/characteristics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcharacteristics-2c6657f362ac4b8e.rmeta: crates/workloads/tests/characteristics.rs Cargo.toml
+
+crates/workloads/tests/characteristics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coherence-425a405bb1a4ac4a.d: tests/coherence.rs
+
+/root/repo/target/debug/deps/coherence-425a405bb1a4ac4a: tests/coherence.rs
+
+tests/coherence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coherence-59b372a93f285d52.d: tests/coherence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoherence-59b372a93f285d52.rmeta: tests/coherence.rs Cargo.toml
+
+tests/coherence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/containment-268b64759e8ef6ee.d: tests/containment.rs
+
+/root/repo/target/debug/deps/containment-268b64759e8ef6ee: tests/containment.rs
+
+tests/containment.rs:

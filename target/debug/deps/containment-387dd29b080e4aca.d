@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/containment-387dd29b080e4aca.d: tests/containment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontainment-387dd29b080e4aca.rmeta: tests/containment.rs Cargo.toml
+
+tests/containment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

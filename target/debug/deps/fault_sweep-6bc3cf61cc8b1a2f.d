@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_sweep-6bc3cf61cc8b1a2f.d: crates/bench/src/bin/fault_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_sweep-6bc3cf61cc8b1a2f.rmeta: crates/bench/src/bin/fault_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fault_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

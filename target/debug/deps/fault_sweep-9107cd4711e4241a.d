@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_sweep-9107cd4711e4241a.d: crates/bench/src/bin/fault_sweep.rs
+
+/root/repo/target/debug/deps/fault_sweep-9107cd4711e4241a: crates/bench/src/bin/fault_sweep.rs
+
+crates/bench/src/bin/fault_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure7-0d737ef8550ca879.d: crates/bench/src/bin/figure7.rs
+
+/root/repo/target/debug/deps/figure7-0d737ef8550ca879: crates/bench/src/bin/figure7.rs
+
+crates/bench/src/bin/figure7.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure7-65dc637bcb4c0dac.d: crates/bench/src/bin/figure7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure7-65dc637bcb4c0dac.rmeta: crates/bench/src/bin/figure7.rs Cargo.toml
+
+crates/bench/src/bin/figure7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

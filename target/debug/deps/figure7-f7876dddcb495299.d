@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure7-f7876dddcb495299.d: crates/bench/src/bin/figure7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure7-f7876dddcb495299.rmeta: crates/bench/src/bin/figure7.rs Cargo.toml
+
+crates/bench/src/bin/figure7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

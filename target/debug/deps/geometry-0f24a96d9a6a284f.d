@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/geometry-0f24a96d9a6a284f.d: tests/geometry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgeometry-0f24a96d9a6a284f.rmeta: tests/geometry.rs Cargo.toml
+
+tests/geometry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/geometry-6397f84feee600cc.d: tests/geometry.rs
+
+/root/repo/target/debug/deps/geometry-6397f84feee600cc: tests/geometry.rs
+
+tests/geometry.rs:

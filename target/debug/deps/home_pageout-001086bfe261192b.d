@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/home_pageout-001086bfe261192b.d: tests/home_pageout.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhome_pageout-001086bfe261192b.rmeta: tests/home_pageout.rs Cargo.toml
+
+tests/home_pageout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

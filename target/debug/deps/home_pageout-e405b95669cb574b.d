@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/home_pageout-e405b95669cb574b.d: tests/home_pageout.rs
+
+/root/repo/target/debug/deps/home_pageout-e405b95669cb574b: tests/home_pageout.rs
+
+tests/home_pageout.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/latency-77cc322113c378ac.d: tests/latency.rs
+
+/root/repo/target/debug/deps/latency-77cc322113c378ac: tests/latency.rs
+
+tests/latency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/latency-d5065755776b1ddf.d: tests/latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblatency-d5065755776b1ddf.rmeta: tests/latency.rs Cargo.toml
+
+tests/latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/litmus-63eb04d1c9822594.d: tests/litmus.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblitmus-63eb04d1c9822594.rmeta: tests/litmus.rs Cargo.toml
+
+tests/litmus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/litmus-8502b306dce1f11b.d: tests/litmus.rs
+
+/root/repo/target/debug/deps/litmus-8502b306dce1f11b: tests/litmus.rs
+
+tests/litmus.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/migration-9200c581b82c7d33.d: tests/migration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmigration-9200c581b82c7d33.rmeta: tests/migration.rs Cargo.toml
+
+tests/migration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

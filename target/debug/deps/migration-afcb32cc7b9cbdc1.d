@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/migration-afcb32cc7b9cbdc1.d: tests/migration.rs
+
+/root/repo/target/debug/deps/migration-afcb32cc7b9cbdc1: tests/migration.rs
+
+tests/migration.rs:

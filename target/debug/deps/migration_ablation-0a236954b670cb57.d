@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/migration_ablation-0a236954b670cb57.d: crates/bench/src/bin/migration_ablation.rs
+
+/root/repo/target/debug/deps/migration_ablation-0a236954b670cb57: crates/bench/src/bin/migration_ablation.rs
+
+crates/bench/src/bin/migration_ablation.rs:

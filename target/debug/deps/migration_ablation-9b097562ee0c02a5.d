@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/migration_ablation-9b097562ee0c02a5.d: crates/bench/src/bin/migration_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmigration_ablation-9b097562ee0c02a5.rmeta: crates/bench/src/bin/migration_ablation.rs Cargo.toml
+
+crates/bench/src/bin/migration_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

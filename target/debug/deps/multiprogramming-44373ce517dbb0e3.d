@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multiprogramming-44373ce517dbb0e3.d: tests/multiprogramming.rs
+
+/root/repo/target/debug/deps/multiprogramming-44373ce517dbb0e3: tests/multiprogramming.rs
+
+tests/multiprogramming.rs:

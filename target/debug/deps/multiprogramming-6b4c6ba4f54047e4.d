@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multiprogramming-6b4c6ba4f54047e4.d: tests/multiprogramming.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmultiprogramming-6b4c6ba4f54047e4.rmeta: tests/multiprogramming.rs Cargo.toml
+
+tests/multiprogramming.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/page_modes-9744031711df3a84.d: tests/page_modes.rs
+
+/root/repo/target/debug/deps/page_modes-9744031711df3a84: tests/page_modes.rs
+
+tests/page_modes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/page_modes-ac27b10a8826963c.d: tests/page_modes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpage_modes-ac27b10a8826963c.rmeta: tests/page_modes.rs Cargo.toml
+
+tests/page_modes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paging_ablation-3110661ad17f15bf.d: crates/bench/src/bin/paging_ablation.rs
+
+/root/repo/target/debug/deps/paging_ablation-3110661ad17f15bf: crates/bench/src/bin/paging_ablation.rs
+
+crates/bench/src/bin/paging_ablation.rs:

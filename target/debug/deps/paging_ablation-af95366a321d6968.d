@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paging_ablation-af95366a321d6968.d: crates/bench/src/bin/paging_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaging_ablation-af95366a321d6968.rmeta: crates/bench/src/bin/paging_ablation.rs Cargo.toml
+
+crates/bench/src/bin/paging_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pit_ablation-c17ec67a3b14e7cf.d: crates/bench/src/bin/pit_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpit_ablation-c17ec67a3b14e7cf.rmeta: crates/bench/src/bin/pit_ablation.rs Cargo.toml
+
+crates/bench/src/bin/pit_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

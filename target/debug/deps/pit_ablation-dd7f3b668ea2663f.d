@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pit_ablation-dd7f3b668ea2663f.d: crates/bench/src/bin/pit_ablation.rs
+
+/root/repo/target/debug/deps/pit_ablation-dd7f3b668ea2663f: crates/bench/src/bin/pit_ablation.rs
+
+crates/bench/src/bin/pit_ablation.rs:

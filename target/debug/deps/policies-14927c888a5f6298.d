@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/policies-14927c888a5f6298.d: tests/policies.rs
+
+/root/repo/target/debug/deps/policies-14927c888a5f6298: tests/policies.rs
+
+tests/policies.rs:

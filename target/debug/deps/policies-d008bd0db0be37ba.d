@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/policies-d008bd0db0be37ba.d: tests/policies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpolicies-d008bd0db0be37ba.rmeta: tests/policies.rs Cargo.toml
+
+tests/policies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

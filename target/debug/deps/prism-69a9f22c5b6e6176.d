@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prism-69a9f22c5b6e6176.d: src/lib.rs
+
+/root/repo/target/debug/deps/prism-69a9f22c5b6e6176: src/lib.rs
+
+src/lib.rs:

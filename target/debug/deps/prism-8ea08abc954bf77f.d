@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prism-8ea08abc954bf77f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprism-8ea08abc954bf77f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

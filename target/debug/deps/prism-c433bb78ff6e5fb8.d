@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/prism-c433bb78ff6e5fb8.d: src/lib.rs
+
+/root/repo/target/debug/deps/libprism-c433bb78ff6e5fb8.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libprism-c433bb78ff6e5fb8.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/prism_bench-01c42e302e68ac43.d: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/microbench.rs crates/bench/src/suite_runner.rs crates/bench/src/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprism_bench-01c42e302e68ac43.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/microbench.rs crates/bench/src/suite_runner.rs crates/bench/src/tables.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/suite_runner.rs:
+crates/bench/src/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/prism_bench-1756f7c1196bd528.d: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/microbench.rs crates/bench/src/suite_runner.rs crates/bench/src/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprism_bench-1756f7c1196bd528.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/microbench.rs crates/bench/src/suite_runner.rs crates/bench/src/tables.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/suite_runner.rs:
+crates/bench/src/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

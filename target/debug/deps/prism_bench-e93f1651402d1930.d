@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prism_bench-e93f1651402d1930.d: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/microbench.rs crates/bench/src/suite_runner.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/prism_bench-e93f1651402d1930: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/microbench.rs crates/bench/src/suite_runner.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/suite_runner.rs:
+crates/bench/src/tables.rs:

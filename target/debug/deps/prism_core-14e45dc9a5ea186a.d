@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/prism_core-14e45dc9a5ea186a.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/experiment.rs crates/core/src/policy.rs crates/core/src/simulation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprism_core-14e45dc9a5ea186a.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/experiment.rs crates/core/src/policy.rs crates/core/src/simulation.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/experiment.rs:
+crates/core/src/policy.rs:
+crates/core/src/simulation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/prism_core-b76b0eb60767b081.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/experiment.rs crates/core/src/policy.rs crates/core/src/simulation.rs
+
+/root/repo/target/debug/deps/libprism_core-b76b0eb60767b081.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/experiment.rs crates/core/src/policy.rs crates/core/src/simulation.rs
+
+/root/repo/target/debug/deps/libprism_core-b76b0eb60767b081.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/experiment.rs crates/core/src/policy.rs crates/core/src/simulation.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/experiment.rs:
+crates/core/src/policy.rs:
+crates/core/src/simulation.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/prism_kernel-1f290c2c3ad52485.d: crates/kernel/src/lib.rs crates/kernel/src/ipc.rs crates/kernel/src/kernel.rs crates/kernel/src/migration.rs crates/kernel/src/page_cache.rs crates/kernel/src/policy.rs
+
+/root/repo/target/debug/deps/libprism_kernel-1f290c2c3ad52485.rlib: crates/kernel/src/lib.rs crates/kernel/src/ipc.rs crates/kernel/src/kernel.rs crates/kernel/src/migration.rs crates/kernel/src/page_cache.rs crates/kernel/src/policy.rs
+
+/root/repo/target/debug/deps/libprism_kernel-1f290c2c3ad52485.rmeta: crates/kernel/src/lib.rs crates/kernel/src/ipc.rs crates/kernel/src/kernel.rs crates/kernel/src/migration.rs crates/kernel/src/page_cache.rs crates/kernel/src/policy.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/ipc.rs:
+crates/kernel/src/kernel.rs:
+crates/kernel/src/migration.rs:
+crates/kernel/src/page_cache.rs:
+crates/kernel/src/policy.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/prism_kernel-5a7863f241a18965.d: crates/kernel/src/lib.rs crates/kernel/src/ipc.rs crates/kernel/src/kernel.rs crates/kernel/src/migration.rs crates/kernel/src/page_cache.rs crates/kernel/src/policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprism_kernel-5a7863f241a18965.rmeta: crates/kernel/src/lib.rs crates/kernel/src/ipc.rs crates/kernel/src/kernel.rs crates/kernel/src/migration.rs crates/kernel/src/page_cache.rs crates/kernel/src/policy.rs Cargo.toml
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/ipc.rs:
+crates/kernel/src/kernel.rs:
+crates/kernel/src/migration.rs:
+crates/kernel/src/page_cache.rs:
+crates/kernel/src/policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/prism_machine-c269e5bc12eb0ef9.d: crates/machine/src/lib.rs crates/machine/src/access.rs crates/machine/src/config.rs crates/machine/src/controller.rs crates/machine/src/failure.rs crates/machine/src/faults.rs crates/machine/src/machine.rs crates/machine/src/migrate.rs crates/machine/src/node.rs crates/machine/src/paging.rs crates/machine/src/remote.rs crates/machine/src/report.rs crates/machine/src/shadow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprism_machine-c269e5bc12eb0ef9.rmeta: crates/machine/src/lib.rs crates/machine/src/access.rs crates/machine/src/config.rs crates/machine/src/controller.rs crates/machine/src/failure.rs crates/machine/src/faults.rs crates/machine/src/machine.rs crates/machine/src/migrate.rs crates/machine/src/node.rs crates/machine/src/paging.rs crates/machine/src/remote.rs crates/machine/src/report.rs crates/machine/src/shadow.rs Cargo.toml
+
+crates/machine/src/lib.rs:
+crates/machine/src/access.rs:
+crates/machine/src/config.rs:
+crates/machine/src/controller.rs:
+crates/machine/src/failure.rs:
+crates/machine/src/faults.rs:
+crates/machine/src/machine.rs:
+crates/machine/src/migrate.rs:
+crates/machine/src/node.rs:
+crates/machine/src/paging.rs:
+crates/machine/src/remote.rs:
+crates/machine/src/report.rs:
+crates/machine/src/shadow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

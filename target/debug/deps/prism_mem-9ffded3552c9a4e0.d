@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/prism_mem-9ffded3552c9a4e0.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/directory.rs crates/mem/src/frames.rs crates/mem/src/mode.rs crates/mem/src/page_table.rs crates/mem/src/pit.rs crates/mem/src/tags.rs crates/mem/src/tlb.rs crates/mem/src/trace.rs crates/mem/src/trace_io.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprism_mem-9ffded3552c9a4e0.rmeta: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/directory.rs crates/mem/src/frames.rs crates/mem/src/mode.rs crates/mem/src/page_table.rs crates/mem/src/pit.rs crates/mem/src/tags.rs crates/mem/src/tlb.rs crates/mem/src/trace.rs crates/mem/src/trace_io.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/directory.rs:
+crates/mem/src/frames.rs:
+crates/mem/src/mode.rs:
+crates/mem/src/page_table.rs:
+crates/mem/src/pit.rs:
+crates/mem/src/tags.rs:
+crates/mem/src/tlb.rs:
+crates/mem/src/trace.rs:
+crates/mem/src/trace_io.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

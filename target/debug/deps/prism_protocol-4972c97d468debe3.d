@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prism_protocol-4972c97d468debe3.d: crates/protocol/src/lib.rs crates/protocol/src/dirproto.rs crates/protocol/src/firewall.rs crates/protocol/src/latency.rs crates/protocol/src/msg.rs
+
+/root/repo/target/debug/deps/prism_protocol-4972c97d468debe3: crates/protocol/src/lib.rs crates/protocol/src/dirproto.rs crates/protocol/src/firewall.rs crates/protocol/src/latency.rs crates/protocol/src/msg.rs
+
+crates/protocol/src/lib.rs:
+crates/protocol/src/dirproto.rs:
+crates/protocol/src/firewall.rs:
+crates/protocol/src/latency.rs:
+crates/protocol/src/msg.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/prism_sim-30454d6a99f38841.d: crates/sim/src/lib.rs crates/sim/src/cycle.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/sync.rs
+
+/root/repo/target/debug/deps/libprism_sim-30454d6a99f38841.rlib: crates/sim/src/lib.rs crates/sim/src/cycle.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/sync.rs
+
+/root/repo/target/debug/deps/libprism_sim-30454d6a99f38841.rmeta: crates/sim/src/lib.rs crates/sim/src/cycle.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/sync.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cycle.rs:
+crates/sim/src/resource.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/sync.rs:

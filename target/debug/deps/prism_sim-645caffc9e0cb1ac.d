@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/prism_sim-645caffc9e0cb1ac.d: crates/sim/src/lib.rs crates/sim/src/cycle.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/sync.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprism_sim-645caffc9e0cb1ac.rmeta: crates/sim/src/lib.rs crates/sim/src/cycle.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/sync.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/cycle.rs:
+crates/sim/src/resource.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/sync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/prism_workloads-902f0626fbf1209f.d: crates/workloads/src/lib.rs crates/workloads/src/barnes.rs crates/workloads/src/common.rs crates/workloads/src/fft.rs crates/workloads/src/lu.rs crates/workloads/src/microbench.rs crates/workloads/src/mp3d.rs crates/workloads/src/ocean.rs crates/workloads/src/radix.rs crates/workloads/src/suite.rs crates/workloads/src/synthetic.rs crates/workloads/src/water.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprism_workloads-902f0626fbf1209f.rmeta: crates/workloads/src/lib.rs crates/workloads/src/barnes.rs crates/workloads/src/common.rs crates/workloads/src/fft.rs crates/workloads/src/lu.rs crates/workloads/src/microbench.rs crates/workloads/src/mp3d.rs crates/workloads/src/ocean.rs crates/workloads/src/radix.rs crates/workloads/src/suite.rs crates/workloads/src/synthetic.rs crates/workloads/src/water.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/barnes.rs:
+crates/workloads/src/common.rs:
+crates/workloads/src/fft.rs:
+crates/workloads/src/lu.rs:
+crates/workloads/src/microbench.rs:
+crates/workloads/src/mp3d.rs:
+crates/workloads/src/ocean.rs:
+crates/workloads/src/radix.rs:
+crates/workloads/src/suite.rs:
+crates/workloads/src/synthetic.rs:
+crates/workloads/src/water.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

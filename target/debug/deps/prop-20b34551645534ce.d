@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-20b34551645534ce.d: crates/protocol/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-20b34551645534ce: crates/protocol/tests/prop.rs
+
+crates/protocol/tests/prop.rs:

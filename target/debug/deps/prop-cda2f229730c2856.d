@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-cda2f229730c2856.d: crates/protocol/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-cda2f229730c2856.rmeta: crates/protocol/tests/prop.rs Cargo.toml
+
+crates/protocol/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-db42048662bdbb82.d: crates/mem/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-db42048662bdbb82: crates/mem/tests/prop.rs
+
+crates/mem/tests/prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_machine-2c6e09fb17166519.d: tests/prop_machine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_machine-2c6e09fb17166519.rmeta: tests/prop_machine.rs Cargo.toml
+
+tests/prop_machine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_machine-8080fd3f18170afa.d: tests/prop_machine.rs
+
+/root/repo/target/debug/deps/prop_machine-8080fd3f18170afa: tests/prop_machine.rs
+
+tests/prop_machine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/renuma_ablation-456809b000d210fe.d: crates/bench/src/bin/renuma_ablation.rs
+
+/root/repo/target/debug/deps/renuma_ablation-456809b000d210fe: crates/bench/src/bin/renuma_ablation.rs
+
+crates/bench/src/bin/renuma_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/renuma_ablation-b7cd16ab40f5311f.d: crates/bench/src/bin/renuma_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/librenuma_ablation-b7cd16ab40f5311f.rmeta: crates/bench/src/bin/renuma_ablation.rs Cargo.toml
+
+crates/bench/src/bin/renuma_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

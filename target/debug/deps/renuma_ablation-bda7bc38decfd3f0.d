@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/renuma_ablation-bda7bc38decfd3f0.d: crates/bench/src/bin/renuma_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/librenuma_ablation-bda7bc38decfd3f0.rmeta: crates/bench/src/bin/renuma_ablation.rs Cargo.toml
+
+crates/bench/src/bin/renuma_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runner-7cb44329074bd62b.d: crates/bench/src/bin/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/librunner-7cb44329074bd62b.rmeta: crates/bench/src/bin/runner.rs Cargo.toml
+
+crates/bench/src/bin/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runner-945971f0cc19a3dd.d: crates/bench/src/bin/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/librunner-945971f0cc19a3dd.rmeta: crates/bench/src/bin/runner.rs Cargo.toml
+
+crates/bench/src/bin/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

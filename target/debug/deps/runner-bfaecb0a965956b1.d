@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runner-bfaecb0a965956b1.d: crates/bench/src/bin/runner.rs
+
+/root/repo/target/debug/deps/runner-bfaecb0a965956b1: crates/bench/src/bin/runner.rs
+
+crates/bench/src/bin/runner.rs:

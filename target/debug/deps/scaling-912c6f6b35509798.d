@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-912c6f6b35509798.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/scaling-912c6f6b35509798: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scenarios-38213649f9379414.d: crates/machine/tests/scenarios.rs
+
+/root/repo/target/debug/deps/scenarios-38213649f9379414: crates/machine/tests/scenarios.rs
+
+crates/machine/tests/scenarios.rs:

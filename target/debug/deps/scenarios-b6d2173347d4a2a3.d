@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scenarios-b6d2173347d4a2a3.d: crates/machine/tests/scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscenarios-b6d2173347d4a2a3.rmeta: crates/machine/tests/scenarios.rs Cargo.toml
+
+crates/machine/tests/scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stress-8901bc536b4d5f67.d: crates/machine/tests/stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstress-8901bc536b4d5f67.rmeta: crates/machine/tests/stress.rs Cargo.toml
+
+crates/machine/tests/stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

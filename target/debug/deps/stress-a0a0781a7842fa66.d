@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-a0a0781a7842fa66.d: crates/machine/tests/stress.rs
+
+/root/repo/target/debug/deps/stress-a0a0781a7842fa66: crates/machine/tests/stress.rs
+
+crates/machine/tests/stress.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/structures-6ab7de0c3e27f880.d: crates/bench/benches/structures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstructures-6ab7de0c3e27f880.rmeta: crates/bench/benches/structures.rs Cargo.toml
+
+crates/bench/benches/structures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

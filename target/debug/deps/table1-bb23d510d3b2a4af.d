@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-bb23d510d3b2a4af.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-bb23d510d3b2a4af: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-2a7982ce760626a6.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-2a7982ce760626a6: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-27f858500ca8cf4a.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-27f858500ca8cf4a: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-4fc284404758f710.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-4fc284404758f710: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

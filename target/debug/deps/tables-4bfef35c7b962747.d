@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-4bfef35c7b962747.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/tables-4bfef35c7b962747: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tables-8bedca30b5a02cba.d: crates/bench/src/bin/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtables-8bedca30b5a02cba.rmeta: crates/bench/src/bin/tables.rs Cargo.toml
+
+crates/bench/src/bin/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/warm_rerun-72e71ab8742a4d59.d: tests/warm_rerun.rs
+
+/root/repo/target/debug/deps/warm_rerun-72e71ab8742a4d59: tests/warm_rerun.rs
+
+tests/warm_rerun.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/warm_rerun-97671bcf1b0fe749.d: tests/warm_rerun.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwarm_rerun-97671bcf1b0fe749.rmeta: tests/warm_rerun.rs Cargo.toml
+
+tests/warm_rerun.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

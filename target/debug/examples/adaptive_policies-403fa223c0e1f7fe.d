@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adaptive_policies-403fa223c0e1f7fe.d: examples/adaptive_policies.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadaptive_policies-403fa223c0e1f7fe.rmeta: examples/adaptive_policies.rs Cargo.toml
+
+examples/adaptive_policies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

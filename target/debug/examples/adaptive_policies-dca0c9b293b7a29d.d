@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_policies-dca0c9b293b7a29d.d: examples/adaptive_policies.rs
+
+/root/repo/target/debug/examples/adaptive_policies-dca0c9b293b7a29d: examples/adaptive_policies.rs
+
+examples/adaptive_policies.rs:

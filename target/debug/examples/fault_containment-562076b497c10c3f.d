@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fault_containment-562076b497c10c3f.d: examples/fault_containment.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfault_containment-562076b497c10c3f.rmeta: examples/fault_containment.rs Cargo.toml
+
+examples/fault_containment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

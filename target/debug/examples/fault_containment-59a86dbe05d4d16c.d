@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_containment-59a86dbe05d4d16c.d: examples/fault_containment.rs
+
+/root/repo/target/debug/examples/fault_containment-59a86dbe05d4d16c: examples/fault_containment.rs
+
+examples/fault_containment.rs:

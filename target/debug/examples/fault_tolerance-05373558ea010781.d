@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_tolerance-05373558ea010781.d: examples/fault_tolerance.rs
+
+/root/repo/target/debug/examples/fault_tolerance-05373558ea010781: examples/fault_tolerance.rs
+
+examples/fault_tolerance.rs:

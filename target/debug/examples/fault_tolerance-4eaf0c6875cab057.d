@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fault_tolerance-4eaf0c6875cab057.d: examples/fault_tolerance.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfault_tolerance-4eaf0c6875cab057.rmeta: examples/fault_tolerance.rs Cargo.toml
+
+examples/fault_tolerance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

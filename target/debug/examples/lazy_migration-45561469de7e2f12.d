@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lazy_migration-45561469de7e2f12.d: examples/lazy_migration.rs
+
+/root/repo/target/debug/examples/lazy_migration-45561469de7e2f12: examples/lazy_migration.rs
+
+examples/lazy_migration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lazy_migration-bb6085c4eacf75c1.d: examples/lazy_migration.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblazy_migration-bb6085c4eacf75c1.rmeta: examples/lazy_migration.rs Cargo.toml
+
+examples/lazy_migration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

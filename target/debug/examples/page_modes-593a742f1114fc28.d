@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/page_modes-593a742f1114fc28.d: examples/page_modes.rs
+
+/root/repo/target/debug/examples/page_modes-593a742f1114fc28: examples/page_modes.rs
+
+examples/page_modes.rs:

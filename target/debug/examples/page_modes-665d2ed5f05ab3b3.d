@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/page_modes-665d2ed5f05ab3b3.d: examples/page_modes.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpage_modes-665d2ed5f05ab3b3.rmeta: examples/page_modes.rs Cargo.toml
+
+examples/page_modes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-123f387033f8a49b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-123f387033f8a49b: examples/quickstart.rs
+
+examples/quickstart.rs:

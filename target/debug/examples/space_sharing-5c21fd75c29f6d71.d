@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/space_sharing-5c21fd75c29f6d71.d: examples/space_sharing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libspace_sharing-5c21fd75c29f6d71.rmeta: examples/space_sharing.rs Cargo.toml
+
+examples/space_sharing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

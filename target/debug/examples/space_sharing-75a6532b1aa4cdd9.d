@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/space_sharing-75a6532b1aa4cdd9.d: examples/space_sharing.rs
+
+/root/repo/target/debug/examples/space_sharing-75a6532b1aa4cdd9: examples/space_sharing.rs
+
+examples/space_sharing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_replay-e7a8ac3bb3552755.d: examples/trace_replay.rs
+
+/root/repo/target/debug/examples/trace_replay-e7a8ac3bb3552755: examples/trace_replay.rs
+
+examples/trace_replay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/capacity_sweep-02243d3de12c903f.d: crates/bench/src/bin/capacity_sweep.rs
+
+/root/repo/target/release/deps/capacity_sweep-02243d3de12c903f: crates/bench/src/bin/capacity_sweep.rs
+
+crates/bench/src/bin/capacity_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/capacity_sweep-b20cd4995395e405.d: crates/bench/src/bin/capacity_sweep.rs
+
+/root/repo/target/release/deps/capacity_sweep-b20cd4995395e405: crates/bench/src/bin/capacity_sweep.rs
+
+crates/bench/src/bin/capacity_sweep.rs:

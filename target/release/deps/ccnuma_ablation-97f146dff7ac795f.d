@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ccnuma_ablation-97f146dff7ac795f.d: crates/bench/src/bin/ccnuma_ablation.rs
+
+/root/repo/target/release/deps/ccnuma_ablation-97f146dff7ac795f: crates/bench/src/bin/ccnuma_ablation.rs
+
+crates/bench/src/bin/ccnuma_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ccnuma_ablation-a85dc75981938b10.d: crates/bench/src/bin/ccnuma_ablation.rs
+
+/root/repo/target/release/deps/ccnuma_ablation-a85dc75981938b10: crates/bench/src/bin/ccnuma_ablation.rs
+
+crates/bench/src/bin/ccnuma_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos-62cadc64a5f7154f.d: crates/machine/tests/chaos.rs
+
+/root/repo/target/release/deps/chaos-62cadc64a5f7154f: crates/machine/tests/chaos.rs
+
+crates/machine/tests/chaos.rs:

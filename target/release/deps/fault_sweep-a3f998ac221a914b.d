@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_sweep-a3f998ac221a914b.d: crates/bench/src/bin/fault_sweep.rs
+
+/root/repo/target/release/deps/fault_sweep-a3f998ac221a914b: crates/bench/src/bin/fault_sweep.rs
+
+crates/bench/src/bin/fault_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_sweep-aaeb0755fb64615c.d: crates/bench/src/bin/fault_sweep.rs
+
+/root/repo/target/release/deps/fault_sweep-aaeb0755fb64615c: crates/bench/src/bin/fault_sweep.rs
+
+crates/bench/src/bin/fault_sweep.rs:

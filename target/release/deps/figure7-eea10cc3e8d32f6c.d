@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure7-eea10cc3e8d32f6c.d: crates/bench/src/bin/figure7.rs
+
+/root/repo/target/release/deps/figure7-eea10cc3e8d32f6c: crates/bench/src/bin/figure7.rs
+
+crates/bench/src/bin/figure7.rs:

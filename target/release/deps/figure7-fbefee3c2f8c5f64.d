@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure7-fbefee3c2f8c5f64.d: crates/bench/src/bin/figure7.rs
+
+/root/repo/target/release/deps/figure7-fbefee3c2f8c5f64: crates/bench/src/bin/figure7.rs
+
+crates/bench/src/bin/figure7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/migration_ablation-237ff8a648ed9494.d: crates/bench/src/bin/migration_ablation.rs
+
+/root/repo/target/release/deps/migration_ablation-237ff8a648ed9494: crates/bench/src/bin/migration_ablation.rs
+
+crates/bench/src/bin/migration_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/migration_ablation-32df56e37f5ab8b2.d: crates/bench/src/bin/migration_ablation.rs
+
+/root/repo/target/release/deps/migration_ablation-32df56e37f5ab8b2: crates/bench/src/bin/migration_ablation.rs
+
+crates/bench/src/bin/migration_ablation.rs:

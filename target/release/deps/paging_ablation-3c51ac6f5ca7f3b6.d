@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paging_ablation-3c51ac6f5ca7f3b6.d: crates/bench/src/bin/paging_ablation.rs
+
+/root/repo/target/release/deps/paging_ablation-3c51ac6f5ca7f3b6: crates/bench/src/bin/paging_ablation.rs
+
+crates/bench/src/bin/paging_ablation.rs:

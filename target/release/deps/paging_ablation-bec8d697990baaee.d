@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paging_ablation-bec8d697990baaee.d: crates/bench/src/bin/paging_ablation.rs
+
+/root/repo/target/release/deps/paging_ablation-bec8d697990baaee: crates/bench/src/bin/paging_ablation.rs
+
+crates/bench/src/bin/paging_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pit_ablation-26f143b41f1addaf.d: crates/bench/src/bin/pit_ablation.rs
+
+/root/repo/target/release/deps/pit_ablation-26f143b41f1addaf: crates/bench/src/bin/pit_ablation.rs
+
+crates/bench/src/bin/pit_ablation.rs:

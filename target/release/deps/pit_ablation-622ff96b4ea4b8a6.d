@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pit_ablation-622ff96b4ea4b8a6.d: crates/bench/src/bin/pit_ablation.rs
+
+/root/repo/target/release/deps/pit_ablation-622ff96b4ea4b8a6: crates/bench/src/bin/pit_ablation.rs
+
+crates/bench/src/bin/pit_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prism-311ab9057b54da62.d: src/lib.rs
+
+/root/repo/target/release/deps/prism-311ab9057b54da62: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/prism-40b211453e058102.d: src/lib.rs
+
+/root/repo/target/release/deps/libprism-40b211453e058102.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libprism-40b211453e058102.rmeta: src/lib.rs
+
+src/lib.rs:

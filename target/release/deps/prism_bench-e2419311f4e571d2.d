@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/prism_bench-e2419311f4e571d2.d: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/microbench.rs crates/bench/src/suite_runner.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/libprism_bench-e2419311f4e571d2.rlib: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/microbench.rs crates/bench/src/suite_runner.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/libprism_bench-e2419311f4e571d2.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/microbench.rs crates/bench/src/suite_runner.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/suite_runner.rs:
+crates/bench/src/tables.rs:

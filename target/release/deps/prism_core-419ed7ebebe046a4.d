@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/prism_core-419ed7ebebe046a4.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/experiment.rs crates/core/src/policy.rs crates/core/src/simulation.rs
+
+/root/repo/target/release/deps/prism_core-419ed7ebebe046a4: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/experiment.rs crates/core/src/policy.rs crates/core/src/simulation.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/experiment.rs:
+crates/core/src/policy.rs:
+crates/core/src/simulation.rs:

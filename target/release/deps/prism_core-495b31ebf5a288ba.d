@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/prism_core-495b31ebf5a288ba.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/experiment.rs crates/core/src/policy.rs crates/core/src/simulation.rs
+
+/root/repo/target/release/deps/libprism_core-495b31ebf5a288ba.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/experiment.rs crates/core/src/policy.rs crates/core/src/simulation.rs
+
+/root/repo/target/release/deps/libprism_core-495b31ebf5a288ba.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/experiment.rs crates/core/src/policy.rs crates/core/src/simulation.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/experiment.rs:
+crates/core/src/policy.rs:
+crates/core/src/simulation.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/prism_kernel-00e41f00da96cba6.d: crates/kernel/src/lib.rs crates/kernel/src/ipc.rs crates/kernel/src/kernel.rs crates/kernel/src/migration.rs crates/kernel/src/page_cache.rs crates/kernel/src/policy.rs
+
+/root/repo/target/release/deps/prism_kernel-00e41f00da96cba6: crates/kernel/src/lib.rs crates/kernel/src/ipc.rs crates/kernel/src/kernel.rs crates/kernel/src/migration.rs crates/kernel/src/page_cache.rs crates/kernel/src/policy.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/ipc.rs:
+crates/kernel/src/kernel.rs:
+crates/kernel/src/migration.rs:
+crates/kernel/src/page_cache.rs:
+crates/kernel/src/policy.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/prism_kernel-0d9966ec06b36c8d.d: crates/kernel/src/lib.rs crates/kernel/src/ipc.rs crates/kernel/src/kernel.rs crates/kernel/src/migration.rs crates/kernel/src/page_cache.rs crates/kernel/src/policy.rs
+
+/root/repo/target/release/deps/libprism_kernel-0d9966ec06b36c8d.rlib: crates/kernel/src/lib.rs crates/kernel/src/ipc.rs crates/kernel/src/kernel.rs crates/kernel/src/migration.rs crates/kernel/src/page_cache.rs crates/kernel/src/policy.rs
+
+/root/repo/target/release/deps/libprism_kernel-0d9966ec06b36c8d.rmeta: crates/kernel/src/lib.rs crates/kernel/src/ipc.rs crates/kernel/src/kernel.rs crates/kernel/src/migration.rs crates/kernel/src/page_cache.rs crates/kernel/src/policy.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/ipc.rs:
+crates/kernel/src/kernel.rs:
+crates/kernel/src/migration.rs:
+crates/kernel/src/page_cache.rs:
+crates/kernel/src/policy.rs:

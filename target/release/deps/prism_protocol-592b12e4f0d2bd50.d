@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/prism_protocol-592b12e4f0d2bd50.d: crates/protocol/src/lib.rs crates/protocol/src/dirproto.rs crates/protocol/src/firewall.rs crates/protocol/src/latency.rs crates/protocol/src/msg.rs
+
+/root/repo/target/release/deps/prism_protocol-592b12e4f0d2bd50: crates/protocol/src/lib.rs crates/protocol/src/dirproto.rs crates/protocol/src/firewall.rs crates/protocol/src/latency.rs crates/protocol/src/msg.rs
+
+crates/protocol/src/lib.rs:
+crates/protocol/src/dirproto.rs:
+crates/protocol/src/firewall.rs:
+crates/protocol/src/latency.rs:
+crates/protocol/src/msg.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/prism_protocol-db6eeb9cc266ef3e.d: crates/protocol/src/lib.rs crates/protocol/src/dirproto.rs crates/protocol/src/firewall.rs crates/protocol/src/latency.rs crates/protocol/src/msg.rs
+
+/root/repo/target/release/deps/libprism_protocol-db6eeb9cc266ef3e.rlib: crates/protocol/src/lib.rs crates/protocol/src/dirproto.rs crates/protocol/src/firewall.rs crates/protocol/src/latency.rs crates/protocol/src/msg.rs
+
+/root/repo/target/release/deps/libprism_protocol-db6eeb9cc266ef3e.rmeta: crates/protocol/src/lib.rs crates/protocol/src/dirproto.rs crates/protocol/src/firewall.rs crates/protocol/src/latency.rs crates/protocol/src/msg.rs
+
+crates/protocol/src/lib.rs:
+crates/protocol/src/dirproto.rs:
+crates/protocol/src/firewall.rs:
+crates/protocol/src/latency.rs:
+crates/protocol/src/msg.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/prism_sim-d2704c3b189fe262.d: crates/sim/src/lib.rs crates/sim/src/cycle.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/sync.rs
+
+/root/repo/target/release/deps/libprism_sim-d2704c3b189fe262.rlib: crates/sim/src/lib.rs crates/sim/src/cycle.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/sync.rs
+
+/root/repo/target/release/deps/libprism_sim-d2704c3b189fe262.rmeta: crates/sim/src/lib.rs crates/sim/src/cycle.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/sync.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cycle.rs:
+crates/sim/src/resource.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/sync.rs:

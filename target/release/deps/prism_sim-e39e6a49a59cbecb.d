@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/prism_sim-e39e6a49a59cbecb.d: crates/sim/src/lib.rs crates/sim/src/cycle.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/sync.rs
+
+/root/repo/target/release/deps/prism_sim-e39e6a49a59cbecb: crates/sim/src/lib.rs crates/sim/src/cycle.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/sync.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cycle.rs:
+crates/sim/src/resource.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/sync.rs:

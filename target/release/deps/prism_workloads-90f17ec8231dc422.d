@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/prism_workloads-90f17ec8231dc422.d: crates/workloads/src/lib.rs crates/workloads/src/barnes.rs crates/workloads/src/common.rs crates/workloads/src/fft.rs crates/workloads/src/lu.rs crates/workloads/src/microbench.rs crates/workloads/src/mp3d.rs crates/workloads/src/ocean.rs crates/workloads/src/radix.rs crates/workloads/src/suite.rs crates/workloads/src/synthetic.rs crates/workloads/src/water.rs
+
+/root/repo/target/release/deps/prism_workloads-90f17ec8231dc422: crates/workloads/src/lib.rs crates/workloads/src/barnes.rs crates/workloads/src/common.rs crates/workloads/src/fft.rs crates/workloads/src/lu.rs crates/workloads/src/microbench.rs crates/workloads/src/mp3d.rs crates/workloads/src/ocean.rs crates/workloads/src/radix.rs crates/workloads/src/suite.rs crates/workloads/src/synthetic.rs crates/workloads/src/water.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/barnes.rs:
+crates/workloads/src/common.rs:
+crates/workloads/src/fft.rs:
+crates/workloads/src/lu.rs:
+crates/workloads/src/microbench.rs:
+crates/workloads/src/mp3d.rs:
+crates/workloads/src/ocean.rs:
+crates/workloads/src/radix.rs:
+crates/workloads/src/suite.rs:
+crates/workloads/src/synthetic.rs:
+crates/workloads/src/water.rs:

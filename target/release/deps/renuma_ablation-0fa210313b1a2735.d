@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/renuma_ablation-0fa210313b1a2735.d: crates/bench/src/bin/renuma_ablation.rs
+
+/root/repo/target/release/deps/renuma_ablation-0fa210313b1a2735: crates/bench/src/bin/renuma_ablation.rs
+
+crates/bench/src/bin/renuma_ablation.rs:

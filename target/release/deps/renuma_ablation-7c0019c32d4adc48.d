@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/renuma_ablation-7c0019c32d4adc48.d: crates/bench/src/bin/renuma_ablation.rs
+
+/root/repo/target/release/deps/renuma_ablation-7c0019c32d4adc48: crates/bench/src/bin/renuma_ablation.rs
+
+crates/bench/src/bin/renuma_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/runner-6d975912098d690d.d: crates/bench/src/bin/runner.rs
+
+/root/repo/target/release/deps/runner-6d975912098d690d: crates/bench/src/bin/runner.rs
+
+crates/bench/src/bin/runner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/runner-f0211eefe69e1fe4.d: crates/bench/src/bin/runner.rs
+
+/root/repo/target/release/deps/runner-f0211eefe69e1fe4: crates/bench/src/bin/runner.rs
+
+crates/bench/src/bin/runner.rs:

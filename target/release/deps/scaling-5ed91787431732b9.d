@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scaling-5ed91787431732b9.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/release/deps/scaling-5ed91787431732b9: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

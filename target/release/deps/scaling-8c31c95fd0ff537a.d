@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scaling-8c31c95fd0ff537a.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/release/deps/scaling-8c31c95fd0ff537a: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

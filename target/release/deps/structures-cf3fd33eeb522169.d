@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/structures-cf3fd33eeb522169.d: crates/bench/benches/structures.rs
+
+/root/repo/target/release/deps/structures-cf3fd33eeb522169: crates/bench/benches/structures.rs
+
+crates/bench/benches/structures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-0824eaf46f5c269a.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-0824eaf46f5c269a: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

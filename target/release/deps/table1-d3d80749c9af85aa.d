@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-d3d80749c9af85aa.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-d3d80749c9af85aa: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-946309a83e739624.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-946309a83e739624: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-9b15feccf8ac939a.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-9b15feccf8ac939a: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-34f64120bdb3252d.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-34f64120bdb3252d: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

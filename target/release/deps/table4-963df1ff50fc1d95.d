@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-963df1ff50fc1d95.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-963df1ff50fc1d95: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-5f02ac69ba7f12eb.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-5f02ac69ba7f12eb: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-abf1e24ee9cbba3e.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-abf1e24ee9cbba3e: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

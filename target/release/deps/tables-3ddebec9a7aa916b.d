@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-3ddebec9a7aa916b.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/release/deps/tables-3ddebec9a7aa916b: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-595a6b8939194fc4.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/release/deps/tables-595a6b8939194fc4: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fault_containment-3f3b8d13c39f79f3.d: examples/fault_containment.rs
+
+/root/repo/target/release/examples/fault_containment-3f3b8d13c39f79f3: examples/fault_containment.rs
+
+examples/fault_containment.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fault_tolerance-eca9b5e7201a84b0.d: examples/fault_tolerance.rs
+
+/root/repo/target/release/examples/fault_tolerance-eca9b5e7201a84b0: examples/fault_tolerance.rs
+
+examples/fault_tolerance.rs:

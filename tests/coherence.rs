@@ -18,7 +18,11 @@ fn checked_config(policy: PolicyKind, capacity: Option<usize>) -> MachineConfig 
         .check_coherence(true)
         .build();
     cfg.policy = policy.page_policy();
-    cfg.page_cache_capacity = if policy.is_capacity_limited() { capacity } else { None };
+    cfg.page_cache_capacity = if policy.is_capacity_limited() {
+        capacity
+    } else {
+        None
+    };
     cfg
 }
 

@@ -17,7 +17,11 @@ fn shared_trace() -> Trace {
     lanes[2].push(Op::Write(VirtAddr(SHARED_BASE)));
     Trace {
         name: "map-one-page".into(),
-        segments: vec![SegmentSpec { name: "s".into(), va_base: SHARED_BASE, bytes: 4096 }],
+        segments: vec![SegmentSpec {
+            name: "s".into(),
+            va_base: SHARED_BASE,
+            bytes: 4096,
+        }],
         lanes,
     }
 }
@@ -30,11 +34,25 @@ fn wild_writes_are_rejected_by_capability_lists() {
     // Default capabilities allow everyone.
     assert!(m.inject_wild_write(NodeId(3), NodeId(1), gp).is_ok());
     // Restrict to node 0 only.
-    m.restrict_page(NodeId(1), gp, Caps::Only(NodeSet::single(NodeId(0))));
+    m.restrict_page(NodeId(1), gp, Caps::Only(NodeSet::single(NodeId(0))))
+        .unwrap();
     assert!(m.inject_wild_write(NodeId(0), NodeId(1), gp).is_ok());
     let violation = m.inject_wild_write(NodeId(3), NodeId(1), gp).unwrap_err();
     assert_eq!(violation.from, NodeId(3));
     assert!(violation.write);
+}
+
+#[test]
+fn restricting_an_unbound_page_reports_the_missing_binding() {
+    let mut m = Machine::new(config());
+    m.run(&shared_trace());
+    // Node 2 never mapped the page: there is no PIT entry to restrict.
+    let gp = GlobalPage::new(Gsid(0), 0);
+    let err = m
+        .restrict_page(NodeId(2), gp, Caps::Only(NodeSet::single(NodeId(0))))
+        .unwrap_err();
+    assert_eq!(err.node, NodeId(2));
+    assert_eq!(err.gpage, gp);
 }
 
 #[test]
@@ -44,7 +62,8 @@ fn unmapped_pages_cannot_be_hit_at_all() {
     // Node 2 never mapped the page: a wild write aimed at it has no
     // physical address to land on.
     let gp = GlobalPage::new(Gsid(0), 0);
-    assert!(m.inject_wild_write(NodeId(3), NodeId(2), gp).is_err());
+    let violation = m.inject_wild_write(NodeId(3), NodeId(2), gp).unwrap_err();
+    assert_eq!(violation.frame, None, "no frame exists for an unbound page");
 }
 
 #[test]
@@ -57,7 +76,11 @@ fn failed_node_kills_only_its_own_processors() {
         }
         lanes.push(lane);
     }
-    let trace = Trace { name: "private".into(), segments: vec![], lanes };
+    let trace = Trace {
+        name: "private".into(),
+        segments: vec![],
+        lanes,
+    };
     let mut m = Machine::new(config());
     m.fail_node(NodeId(2));
     assert!(m.node_failed(NodeId(2)));
@@ -80,7 +103,11 @@ fn touching_a_failed_home_kills_the_toucher_but_not_others() {
     }
     let trace = Trace {
         name: "mixed".into(),
-        segments: vec![SegmentSpec { name: "s".into(), va_base: SHARED_BASE, bytes: 4096 }],
+        segments: vec![SegmentSpec {
+            name: "s".into(),
+            va_base: SHARED_BASE,
+            bytes: 4096,
+        }],
         lanes,
     };
     let mut m = Machine::new(config());
@@ -106,12 +133,19 @@ fn barriers_release_survivors_when_a_participant_dies() {
     }
     let trace = Trace {
         name: "barrier-after-death".into(),
-        segments: vec![SegmentSpec { name: "s".into(), va_base: SHARED_BASE, bytes: 4096 }],
+        segments: vec![SegmentSpec {
+            name: "s".into(),
+            va_base: SHARED_BASE,
+            bytes: 4096,
+        }],
         lanes,
     };
     let mut m = Machine::new(config());
     m.fail_node(NodeId(0));
     let report = m.run(&trace);
     assert!(report.dead_procs >= 3);
-    assert_eq!(report.barrier_episodes, 1, "survivors completed the barrier");
+    assert_eq!(
+        report.barrier_episodes, 1,
+        "survivors completed the barrier"
+    );
 }

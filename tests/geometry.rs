@@ -32,7 +32,11 @@ fn random_trace(seed: u64, procs: usize, bytes: u64, refs: usize) -> Trace {
     }
     Trace {
         name: format!("geom-{seed}"),
-        segments: vec![SegmentSpec { name: "s".into(), va_base: SHARED_BASE, bytes }],
+        segments: vec![SegmentSpec {
+            name: "s".into(),
+            va_base: SHARED_BASE,
+            bytes,
+        }],
         lanes,
     }
 }
@@ -51,7 +55,11 @@ fn run_with(geometry: Geometry, policy: PolicyKind, cap: Option<usize>) -> prism
         .check_coherence(true)
         .build();
     cfg.policy = policy.page_policy();
-    cfg.page_cache_capacity = if policy.is_capacity_limited() { cap } else { None };
+    cfg.page_cache_capacity = if policy.is_capacity_limited() {
+        cap
+    } else {
+        None
+    };
     // Segment sizes must be page-aligned for the geometry: use a
     // page-multiple region.
     let bytes = 24 * geometry.page_bytes();

@@ -22,7 +22,11 @@ fn config() -> MachineConfig {
 fn one_page_trace(lanes: Vec<Vec<Op>>) -> Trace {
     Trace {
         name: "home-pageout".into(),
-        segments: vec![SegmentSpec { name: "s".into(), va_base: SHARED_BASE, bytes: 4096 }],
+        segments: vec![SegmentSpec {
+            name: "s".into(),
+            va_base: SHARED_BASE,
+            bytes: 4096,
+        }],
         lanes,
     }
 }
@@ -40,7 +44,9 @@ fn home_page_out_collects_dirty_data_and_resets_flags() {
     assert_eq!(r1.faults_contacting_home, 1);
 
     let gp = GlobalPage::new(Gsid(0), 0);
-    let t = m.home_page_out(gp, Cycle(1_000_000)).expect("page was resident");
+    let t = m
+        .home_page_out(gp, Cycle(1_000_000))
+        .expect("page was resident");
     assert!(t > Cycle(1_000_000));
     // Idempotence: the page is gone now.
     assert!(m.home_page_out(gp, t).is_none());

@@ -29,7 +29,11 @@ fn machine() -> Machine {
 fn two_lane_trace(a: Vec<Op>, b: Vec<Op>) -> Trace {
     Trace {
         name: "litmus".into(),
-        segments: vec![SegmentSpec { name: "s".into(), va_base: SHARED_BASE, bytes: 4096 }],
+        segments: vec![SegmentSpec {
+            name: "s".into(),
+            va_base: SHARED_BASE,
+            bytes: 4096,
+        }],
         lanes: vec![a, b],
     }
 }
@@ -46,7 +50,10 @@ fn message_passing_is_sequentially_consistent() {
     let writer = vec![Op::Write(X), Op::Write(Y), Op::Barrier(0)];
     let reader = vec![Op::Barrier(0), Op::Read(Y), Op::Read(X)];
     let report = machine().run(&two_lane_trace(writer, reader));
-    assert!(report.reads_checked >= 2, "both reads verified against latest writes");
+    assert!(
+        report.reads_checked >= 2,
+        "both reads verified against latest writes"
+    );
 }
 
 /// Store buffering (SB): P0 writes X reads Y; P1 writes Y reads X.
@@ -100,7 +107,11 @@ fn independent_reads_of_independent_writes() {
     ];
     let trace = Trace {
         name: "iriw".into(),
-        segments: vec![SegmentSpec { name: "s".into(), va_base: SHARED_BASE, bytes: 4096 }],
+        segments: vec![SegmentSpec {
+            name: "s".into(),
+            va_base: SHARED_BASE,
+            bytes: 4096,
+        }],
         lanes,
     };
     let report = Machine::new(cfg).run(&trace);
@@ -130,7 +141,11 @@ fn lock_protected_counter_is_race_free() {
     }
     let trace = Trace {
         name: "counter".into(),
-        segments: vec![SegmentSpec { name: "s".into(), va_base: SHARED_BASE, bytes: 4096 }],
+        segments: vec![SegmentSpec {
+            name: "s".into(),
+            va_base: SHARED_BASE,
+            bytes: 4096,
+        }],
         lanes,
     };
     let report = Machine::new(cfg).run(&trace);

@@ -32,7 +32,11 @@ fn hot_page_migrates_to_its_user() {
     }
     let trace = Trace {
         name: "hot-page".into(),
-        segments: vec![SegmentSpec { name: "s".into(), va_base: SHARED_BASE, bytes: 4096 }],
+        segments: vec![SegmentSpec {
+            name: "s".into(),
+            va_base: SHARED_BASE,
+            bytes: 4096,
+        }],
         lanes,
     };
     let report = Machine::new(migrating_config()).run(&trace);
@@ -65,7 +69,11 @@ fn stale_hints_are_forwarded_then_learned() {
     }
     let trace = Trace {
         name: "stale-hint".into(),
-        segments: vec![SegmentSpec { name: "s".into(), va_base: SHARED_BASE, bytes: 4096 }],
+        segments: vec![SegmentSpec {
+            name: "s".into(),
+            va_base: SHARED_BASE,
+            bytes: 4096,
+        }],
         lanes,
     };
     let report = Machine::new(migrating_config()).run(&trace);

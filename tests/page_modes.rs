@@ -2,8 +2,8 @@
 //! the §6 thesis that a mix of S-COMA and LA-NUMA pages beats both pure
 //! configurations).
 
-use prism::machine::machine::Machine;
 use prism::kernel::policy::PagePolicy;
+use prism::machine::machine::Machine;
 use prism::mem::addr::{GlobalPage, Gsid, NodeId, VirtAddr};
 use prism::mem::mode::FrameMode;
 use prism::mem::trace::{Op, SegmentSpec, Trace, SHARED_BASE};
@@ -29,7 +29,11 @@ fn one_page_trace(reader_lane: usize) -> Trace {
     }
     Trace {
         name: "one-page".into(),
-        segments: vec![SegmentSpec { name: "s".into(), va_base: SHARED_BASE, bytes: 4096 }],
+        segments: vec![SegmentSpec {
+            name: "s".into(),
+            va_base: SHARED_BASE,
+            bytes: 4096,
+        }],
         lanes,
     }
 }
@@ -49,7 +53,11 @@ fn lanuma_suggestion_overrides_scoma_policy() {
 
     let mut suggested = Machine::new(config(PagePolicy::Scoma, None));
     // Attach segments first so the suggestion can resolve the page.
-    let attach = Trace { name: "attach".into(), segments: trace.segments.clone(), lanes: vec![vec![]; 8] };
+    let attach = Trace {
+        name: "attach".into(),
+        segments: trace.segments.clone(),
+        lanes: vec![vec![]; 8],
+    };
     suggested.run(&attach);
     suggested.suggest_page_mode(NodeId(1), gp, FrameMode::LaNuma);
     let r = suggested.run(&trace);
@@ -65,7 +73,11 @@ fn scoma_suggestion_overrides_lanuma_policy() {
     let gp = GlobalPage::new(Gsid(0), 0);
     let trace = one_page_trace(2);
     let mut m = Machine::new(config(PagePolicy::Lanuma, None));
-    let attach = Trace { name: "attach".into(), segments: trace.segments.clone(), lanes: vec![vec![]; 8] };
+    let attach = Trace {
+        name: "attach".into(),
+        segments: trace.segments.clone(),
+        lanes: vec![vec![]; 8],
+    };
     m.run(&attach);
     m.suggest_page_mode(NodeId(1), gp, FrameMode::Scoma);
     let r = m.run(&trace);
@@ -103,8 +115,16 @@ fn user_mix_beats_both_static_configurations() {
     let trace = Trace {
         name: "mix".into(),
         segments: vec![
-            SegmentSpec { name: "reused".into(), va_base: SHARED_BASE, bytes: REUSED_PAGES * 4096 },
-            SegmentSpec { name: "stream".into(), va_base: STREAM_BASE, bytes: STREAM_PAGES * 4096 },
+            SegmentSpec {
+                name: "reused".into(),
+                va_base: SHARED_BASE,
+                bytes: REUSED_PAGES * 4096,
+            },
+            SegmentSpec {
+                name: "stream".into(),
+                va_base: STREAM_BASE,
+                bytes: STREAM_PAGES * 4096,
+            },
         ],
         lanes,
     };
@@ -114,7 +134,11 @@ fn user_mix_beats_both_static_configurations() {
     let lanuma = Machine::new(config(PagePolicy::Lanuma, cap)).run(&trace);
 
     let mut mixed = Machine::new(config(PagePolicy::Scoma, cap));
-    let attach = Trace { name: "attach".into(), segments: trace.segments.clone(), lanes: vec![vec![]; 8] };
+    let attach = Trace {
+        name: "attach".into(),
+        segments: trace.segments.clone(),
+        lanes: vec![vec![]; 8],
+    };
     mixed.run(&attach);
     mixed.suggest_region_mode(STREAM_BASE, STREAM_PAGES * 4096, FrameMode::LaNuma);
     let mixed = mixed.run(&trace);
@@ -131,7 +155,10 @@ fn user_mix_beats_both_static_configurations() {
         mixed.exec_cycles,
         lanuma.exec_cycles
     );
-    assert_eq!(mixed.page_outs, 0, "the stream no longer displaces the reused region");
+    assert_eq!(
+        mixed.page_outs, 0,
+        "the stream no longer displaces the reused region"
+    );
     assert!(mixed.reads_checked > 0);
 }
 

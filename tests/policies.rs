@@ -70,7 +70,10 @@ fn page_cache_capacity_is_respected() {
     // cumulative allocations - page-outs = live ≤ cap per node.
     for (i, node) in report.per_node.iter().enumerate() {
         let live = node.pool.scoma_client - node.kernel.page_outs;
-        assert!(live <= cap as u64, "node {i}: {live} live client frames > cap {cap}");
+        assert!(
+            live <= cap as u64,
+            "node {i}: {live} live client frames > cap {cap}"
+        );
     }
 }
 
@@ -86,7 +89,9 @@ fn lanuma_pays_capacity_misses_when_working_set_exceeds_l2() {
             let _ = pass;
             // Each processor sweeps its own 32 KiB slab (L2 is 4 KiB here).
             for line in 0..512u64 {
-                lane.push(Op::Read(VirtAddr(SHARED_BASE + (p as u64 * 512 + line) * 64)));
+                lane.push(Op::Read(VirtAddr(
+                    SHARED_BASE + (p as u64 * 512 + line) * 64,
+                )));
             }
         }
     }
@@ -117,12 +122,11 @@ fn lanuma_pays_capacity_misses_when_working_set_exceeds_l2() {
 #[test]
 fn report_accessors_are_consistent() {
     let w = workloads::Synthetic::uniform(8, 64 * 1024, 2_000);
-    let r = Simulation::new(base_config(), PolicyKind::Scoma).run(&w).unwrap();
+    let r = Simulation::new(base_config(), PolicyKind::Scoma)
+        .run(&w)
+        .unwrap();
     assert_eq!(r.network_accesses(), r.remote_misses + r.remote_upgrades);
-    assert_eq!(
-        r.total_faults(),
-        r.faults.0 + r.faults.1 + r.faults.2
-    );
+    assert_eq!(r.total_faults(), r.faults.0 + r.faults.1 + r.faults.2);
     assert!(r.frames_allocated > 0);
     assert!((0.0..=1.0).contains(&r.avg_utilization));
     let text = r.to_string();

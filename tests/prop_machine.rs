@@ -1,49 +1,34 @@
-//! Property-based tests over the full machine: random multiprocessor
+//! Randomized tests over the full machine: seeded random multiprocessor
 //! access patterns must stay coherent under every policy, and the
 //! simulation must be a deterministic function of its inputs.
-
-use proptest::prelude::*;
 
 use prism::machine::machine::Machine;
 use prism::mem::addr::VirtAddr;
 use prism::mem::trace::{private_va, Op, SegmentSpec, Trace, SHARED_BASE};
 use prism::prelude::*;
+use prism::sim::SimRng;
 
-/// A compact encodable op for proptest generation.
-#[derive(Clone, Copy, Debug)]
-enum GenOp {
-    Shared { off: u16, write: bool },
-    Private { off: u16 },
-    Compute(u8),
-}
-
-fn gen_op() -> impl Strategy<Value = GenOp> {
-    prop_oneof![
-        4 => (any::<u16>(), any::<bool>()).prop_map(|(off, write)| GenOp::Shared { off, write }),
-        1 => any::<u16>().prop_map(|off| GenOp::Private { off }),
-        1 => any::<u8>().prop_map(GenOp::Compute),
-    ]
-}
-
-fn build_trace(per_proc: &[Vec<GenOp>], shared_pages: u64) -> Trace {
+/// Builds a random 4-lane trace mixing shared reads/writes, private
+/// reads, and compute, ending in a barrier on each lane.
+fn random_trace(rng: &mut SimRng, max_ops: u64, shared_pages: u64) -> Trace {
     let bytes = shared_pages * 4096;
-    let lanes = per_proc
-        .iter()
-        .enumerate()
-        .map(|(p, ops)| {
-            let mut lane: Vec<Op> = ops
-                .iter()
-                .map(|op| match *op {
-                    GenOp::Shared { off, write } => {
-                        let va = VirtAddr(SHARED_BASE + off as u64 % bytes);
-                        if write {
+    let lanes = (0..4usize)
+        .map(|p| {
+            let len = rng.gen_range(1..max_ops);
+            let mut lane: Vec<Op> = (0..len)
+                .map(|_| match rng.gen_range(0..6) {
+                    // Shared accesses dominate (4/6), as in the original
+                    // weighted generator.
+                    0..=3 => {
+                        let va = VirtAddr(SHARED_BASE + rng.gen_range(0..bytes));
+                        if rng.gen_bool(0.5) {
                             Op::Write(va)
                         } else {
                             Op::Read(va)
                         }
                     }
-                    GenOp::Private { off } => Op::Read(private_va(p, off as u64)),
-                    GenOp::Compute(c) => Op::Compute(c as u32 + 1),
+                    4 => Op::Read(private_va(p, rng.gen_range(0..65536))),
+                    _ => Op::Compute(rng.gen_range(1..257) as u32),
                 })
                 .collect();
             lane.push(Op::Barrier(0));
@@ -52,7 +37,11 @@ fn build_trace(per_proc: &[Vec<GenOp>], shared_pages: u64) -> Trace {
         .collect();
     Trace {
         name: "prop".into(),
-        segments: vec![SegmentSpec { name: "s".into(), va_base: SHARED_BASE, bytes }],
+        segments: vec![SegmentSpec {
+            name: "s".into(),
+            va_base: SHARED_BASE,
+            bytes,
+        }],
         lanes,
     }
 }
@@ -73,48 +62,47 @@ fn config(policy: PolicyKind) -> MachineConfig {
     cfg
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Random access interleavings stay coherent (the shadow checker
-    /// panics on any read of stale data) with pathologically small
-    /// caches, TLBs, and page caches.
-    #[test]
-    fn random_traces_are_coherent_under_all_policies(
-        per_proc in prop::collection::vec(prop::collection::vec(gen_op(), 1..150), 4),
-    ) {
-        let trace = build_trace(&per_proc, 4);
+/// Random access interleavings stay coherent (the shadow checker
+/// panics on any read of stale data) with pathologically small
+/// caches, TLBs, and page caches.
+#[test]
+fn random_traces_are_coherent_under_all_policies() {
+    for seed in 0..24 {
+        let mut rng = SimRng::new(seed);
+        let trace = random_trace(&mut rng, 150, 4);
         for policy in PolicyKind::ALL {
             let report = Machine::new(config(policy)).run(&trace);
-            prop_assert!(report.reads_checked > 0 || report.total_refs == 0);
+            assert!(report.reads_checked > 0 || report.total_refs == 0);
         }
     }
+}
 
-    /// The simulator is a pure function: same trace, same report.
-    #[test]
-    fn simulation_is_a_pure_function(
-        per_proc in prop::collection::vec(prop::collection::vec(gen_op(), 1..100), 4),
-    ) {
-        let trace = build_trace(&per_proc, 4);
+/// The simulator is a pure function: same trace, same report.
+#[test]
+fn simulation_is_a_pure_function() {
+    for seed in 0..24 {
+        let mut rng = SimRng::new(seed);
+        let trace = random_trace(&mut rng, 100, 4);
         let a = Machine::new(config(PolicyKind::DynLru)).run(&trace);
         let b = Machine::new(config(PolicyKind::DynLru)).run(&trace);
-        prop_assert_eq!(a.exec_cycles, b.exec_cycles);
-        prop_assert_eq!(a.remote_misses, b.remote_misses);
-        prop_assert_eq!(a.page_outs, b.page_outs);
-        prop_assert_eq!(a.ledger.total(), b.ledger.total());
+        assert_eq!(a.exec_cycles, b.exec_cycles);
+        assert_eq!(a.remote_misses, b.remote_misses);
+        assert_eq!(a.page_outs, b.page_outs);
+        assert_eq!(a.ledger.total(), b.ledger.total());
     }
+}
 
-    /// Execution time is monotone in the latency model: making every
-    /// network message slower can never make the machine faster.
-    #[test]
-    fn slower_network_never_speeds_execution(
-        per_proc in prop::collection::vec(prop::collection::vec(gen_op(), 1..100), 4),
-    ) {
-        let trace = build_trace(&per_proc, 4);
+/// Execution time is monotone in the latency model: making every
+/// network message slower can never make the machine faster.
+#[test]
+fn slower_network_never_speeds_execution() {
+    for seed in 0..24 {
+        let mut rng = SimRng::new(seed);
+        let trace = random_trace(&mut rng, 100, 4);
         let fast = Machine::new(config(PolicyKind::Scoma)).run(&trace);
         let mut slow_cfg = config(PolicyKind::Scoma);
         slow_cfg.latency.net *= 4;
         let slow = Machine::new(slow_cfg).run(&trace);
-        prop_assert!(slow.exec_cycles >= fast.exec_cycles);
+        assert!(slow.exec_cycles >= fast.exec_cycles);
     }
 }

@@ -24,7 +24,11 @@ fn reads(lane: usize, lines: u64) -> Trace {
     }
     Trace {
         name: "reads".into(),
-        segments: vec![SegmentSpec { name: "s".into(), va_base: SHARED_BASE, bytes: 4096 }],
+        segments: vec![SegmentSpec {
+            name: "s".into(),
+            va_base: SHARED_BASE,
+            bytes: 4096,
+        }],
         lanes,
     }
 }
@@ -41,7 +45,11 @@ fn warm_rerun_reuses_mappings_and_caches() {
 
     let second = m.run(&reads(2, 32));
     // Statistics accumulate; no NEW faults happened.
-    assert_eq!(second.total_faults(), first_faults, "warm run adds no faults");
+    assert_eq!(
+        second.total_faults(),
+        first_faults,
+        "warm run adds no faults"
+    );
     let added = second.exec_cycles.as_u64() - first_cycles.as_u64();
     // 32 L1 hits ≈ 32 cycles, far below the cold run's cost.
     assert!(
@@ -64,8 +72,16 @@ fn segment_attachment_is_idempotent_and_extensible() {
     let trace = Trace {
         name: "extended".into(),
         segments: vec![
-            SegmentSpec { name: "s".into(), va_base: SHARED_BASE, bytes: 4096 },
-            SegmentSpec { name: "t".into(), va_base: SHARED_BASE + 8192, bytes: 4096 },
+            SegmentSpec {
+                name: "s".into(),
+                va_base: SHARED_BASE,
+                bytes: 4096,
+            },
+            SegmentSpec {
+                name: "t".into(),
+                va_base: SHARED_BASE + 8192,
+                bytes: 4096,
+            },
         ],
         lanes,
     };
@@ -84,7 +100,11 @@ fn conflicting_reattachment_panics() {
     m.run(&reads(2, 4));
     let trace = Trace {
         name: "conflict".into(),
-        segments: vec![SegmentSpec { name: "s".into(), va_base: SHARED_BASE, bytes: 8192 }],
+        segments: vec![SegmentSpec {
+            name: "s".into(),
+            va_base: SHARED_BASE,
+            bytes: 8192,
+        }],
         lanes: vec![Vec::new(); 8],
     };
     m.run(&trace);
@@ -102,7 +122,11 @@ fn barriers_reset_between_runs() {
                 lane.push(Op::Barrier(b));
             }
         }
-        Trace { name: "barriers".into(), segments: vec![], lanes }
+        Trace {
+            name: "barriers".into(),
+            segments: vec![],
+            lanes,
+        }
     };
     let r1 = m.run(&barrier_trace(3));
     assert_eq!(r1.barrier_episodes, 3);
