@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/capacity_sweep-7b12d0d20d75ab9b.d: crates/bench/src/bin/capacity_sweep.rs
+
+/root/repo/target/debug/deps/libcapacity_sweep-7b12d0d20d75ab9b.rmeta: crates/bench/src/bin/capacity_sweep.rs
+
+crates/bench/src/bin/capacity_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/capacity_sweep-be38de5bb35ee1be.d: crates/bench/src/bin/capacity_sweep.rs
+
+/root/repo/target/debug/deps/libcapacity_sweep-be38de5bb35ee1be.rmeta: crates/bench/src/bin/capacity_sweep.rs
+
+crates/bench/src/bin/capacity_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ccnuma_ablation-2ac8cd1d812dff5e.d: crates/bench/src/bin/ccnuma_ablation.rs
+
+/root/repo/target/debug/deps/libccnuma_ablation-2ac8cd1d812dff5e.rmeta: crates/bench/src/bin/ccnuma_ablation.rs
+
+crates/bench/src/bin/ccnuma_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ccnuma_ablation-33bde32f4615f131.d: crates/bench/src/bin/ccnuma_ablation.rs
+
+/root/repo/target/debug/deps/libccnuma_ablation-33bde32f4615f131.rmeta: crates/bench/src/bin/ccnuma_ablation.rs
+
+crates/bench/src/bin/ccnuma_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-55753e351e9b9906.d: crates/machine/tests/chaos.rs
+
+/root/repo/target/debug/deps/libchaos-55753e351e9b9906.rmeta: crates/machine/tests/chaos.rs
+
+crates/machine/tests/chaos.rs:

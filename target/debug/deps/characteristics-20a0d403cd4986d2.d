@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/characteristics-20a0d403cd4986d2.d: crates/workloads/tests/characteristics.rs
+
+/root/repo/target/debug/deps/libcharacteristics-20a0d403cd4986d2.rmeta: crates/workloads/tests/characteristics.rs
+
+crates/workloads/tests/characteristics.rs:

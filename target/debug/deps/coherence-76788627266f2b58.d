@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coherence-76788627266f2b58.d: tests/coherence.rs
+
+/root/repo/target/debug/deps/libcoherence-76788627266f2b58.rmeta: tests/coherence.rs
+
+tests/coherence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/containment-a530e388c21e3ea1.d: tests/containment.rs
+
+/root/repo/target/debug/deps/libcontainment-a530e388c21e3ea1.rmeta: tests/containment.rs
+
+tests/containment.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_sweep-115a4e5831de1611.d: crates/bench/src/bin/fault_sweep.rs
+
+/root/repo/target/debug/deps/libfault_sweep-115a4e5831de1611.rmeta: crates/bench/src/bin/fault_sweep.rs
+
+crates/bench/src/bin/fault_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_sweep-1846c4f756d8e6a0.d: crates/bench/src/bin/fault_sweep.rs
+
+/root/repo/target/debug/deps/libfault_sweep-1846c4f756d8e6a0.rmeta: crates/bench/src/bin/fault_sweep.rs
+
+crates/bench/src/bin/fault_sweep.rs:

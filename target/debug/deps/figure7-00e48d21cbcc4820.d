@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure7-00e48d21cbcc4820.d: crates/bench/src/bin/figure7.rs
+
+/root/repo/target/debug/deps/libfigure7-00e48d21cbcc4820.rmeta: crates/bench/src/bin/figure7.rs
+
+crates/bench/src/bin/figure7.rs:

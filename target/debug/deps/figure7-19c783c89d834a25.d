@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure7-19c783c89d834a25.d: crates/bench/src/bin/figure7.rs
+
+/root/repo/target/debug/deps/libfigure7-19c783c89d834a25.rmeta: crates/bench/src/bin/figure7.rs
+
+crates/bench/src/bin/figure7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/geometry-868f501b7f07fef5.d: tests/geometry.rs
+
+/root/repo/target/debug/deps/libgeometry-868f501b7f07fef5.rmeta: tests/geometry.rs
+
+tests/geometry.rs:

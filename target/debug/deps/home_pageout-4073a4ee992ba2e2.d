@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/home_pageout-4073a4ee992ba2e2.d: tests/home_pageout.rs
+
+/root/repo/target/debug/deps/libhome_pageout-4073a4ee992ba2e2.rmeta: tests/home_pageout.rs
+
+tests/home_pageout.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/latency-8e15cbdd2f91893c.d: tests/latency.rs
+
+/root/repo/target/debug/deps/liblatency-8e15cbdd2f91893c.rmeta: tests/latency.rs
+
+tests/latency.rs:

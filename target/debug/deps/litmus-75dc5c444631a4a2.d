@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/litmus-75dc5c444631a4a2.d: tests/litmus.rs
+
+/root/repo/target/debug/deps/liblitmus-75dc5c444631a4a2.rmeta: tests/litmus.rs
+
+tests/litmus.rs:

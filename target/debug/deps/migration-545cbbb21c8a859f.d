@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/migration-545cbbb21c8a859f.d: tests/migration.rs
+
+/root/repo/target/debug/deps/libmigration-545cbbb21c8a859f.rmeta: tests/migration.rs
+
+tests/migration.rs:

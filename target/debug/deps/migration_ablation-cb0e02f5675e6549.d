@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/migration_ablation-cb0e02f5675e6549.d: crates/bench/src/bin/migration_ablation.rs
+
+/root/repo/target/debug/deps/libmigration_ablation-cb0e02f5675e6549.rmeta: crates/bench/src/bin/migration_ablation.rs
+
+crates/bench/src/bin/migration_ablation.rs:

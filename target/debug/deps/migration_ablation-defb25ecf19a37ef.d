@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/migration_ablation-defb25ecf19a37ef.d: crates/bench/src/bin/migration_ablation.rs
+
+/root/repo/target/debug/deps/libmigration_ablation-defb25ecf19a37ef.rmeta: crates/bench/src/bin/migration_ablation.rs
+
+crates/bench/src/bin/migration_ablation.rs:

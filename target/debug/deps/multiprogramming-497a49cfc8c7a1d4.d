@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multiprogramming-497a49cfc8c7a1d4.d: tests/multiprogramming.rs
+
+/root/repo/target/debug/deps/libmultiprogramming-497a49cfc8c7a1d4.rmeta: tests/multiprogramming.rs
+
+tests/multiprogramming.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/page_modes-802a37545c5bde6f.d: tests/page_modes.rs
+
+/root/repo/target/debug/deps/libpage_modes-802a37545c5bde6f.rmeta: tests/page_modes.rs
+
+tests/page_modes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paging_ablation-016f6702816a30f4.d: crates/bench/src/bin/paging_ablation.rs
+
+/root/repo/target/debug/deps/libpaging_ablation-016f6702816a30f4.rmeta: crates/bench/src/bin/paging_ablation.rs
+
+crates/bench/src/bin/paging_ablation.rs:

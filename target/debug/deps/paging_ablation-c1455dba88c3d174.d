@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paging_ablation-c1455dba88c3d174.d: crates/bench/src/bin/paging_ablation.rs
+
+/root/repo/target/debug/deps/libpaging_ablation-c1455dba88c3d174.rmeta: crates/bench/src/bin/paging_ablation.rs
+
+crates/bench/src/bin/paging_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pit_ablation-39b9c6f3ebe31d8f.d: crates/bench/src/bin/pit_ablation.rs
+
+/root/repo/target/debug/deps/libpit_ablation-39b9c6f3ebe31d8f.rmeta: crates/bench/src/bin/pit_ablation.rs
+
+crates/bench/src/bin/pit_ablation.rs:

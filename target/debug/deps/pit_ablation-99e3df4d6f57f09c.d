@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pit_ablation-99e3df4d6f57f09c.d: crates/bench/src/bin/pit_ablation.rs
+
+/root/repo/target/debug/deps/libpit_ablation-99e3df4d6f57f09c.rmeta: crates/bench/src/bin/pit_ablation.rs
+
+crates/bench/src/bin/pit_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/policies-c9a8426baccfe445.d: tests/policies.rs
+
+/root/repo/target/debug/deps/libpolicies-c9a8426baccfe445.rmeta: tests/policies.rs
+
+tests/policies.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prism-1e34828a9a5a5e97.d: src/lib.rs
+
+/root/repo/target/debug/deps/libprism-1e34828a9a5a5e97.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prism-d6ce5d82077b833a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libprism-d6ce5d82077b833a.rmeta: src/lib.rs
+
+src/lib.rs:

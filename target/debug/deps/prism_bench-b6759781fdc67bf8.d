@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prism_bench-b6759781fdc67bf8.d: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/microbench.rs crates/bench/src/suite_runner.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libprism_bench-b6759781fdc67bf8.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/microbench.rs crates/bench/src/suite_runner.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/suite_runner.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prism_core-649d267091e551b7.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/experiment.rs crates/core/src/policy.rs crates/core/src/simulation.rs
+
+/root/repo/target/debug/deps/libprism_core-649d267091e551b7.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/experiment.rs crates/core/src/policy.rs crates/core/src/simulation.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/experiment.rs:
+crates/core/src/policy.rs:
+crates/core/src/simulation.rs:

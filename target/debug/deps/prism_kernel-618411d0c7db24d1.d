@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/prism_kernel-618411d0c7db24d1.d: crates/kernel/src/lib.rs crates/kernel/src/ipc.rs crates/kernel/src/kernel.rs crates/kernel/src/migration.rs crates/kernel/src/page_cache.rs crates/kernel/src/policy.rs
+
+/root/repo/target/debug/deps/libprism_kernel-618411d0c7db24d1.rmeta: crates/kernel/src/lib.rs crates/kernel/src/ipc.rs crates/kernel/src/kernel.rs crates/kernel/src/migration.rs crates/kernel/src/page_cache.rs crates/kernel/src/policy.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/ipc.rs:
+crates/kernel/src/kernel.rs:
+crates/kernel/src/migration.rs:
+crates/kernel/src/page_cache.rs:
+crates/kernel/src/policy.rs:

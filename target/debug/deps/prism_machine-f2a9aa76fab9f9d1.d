@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/prism_machine-f2a9aa76fab9f9d1.d: crates/machine/src/lib.rs crates/machine/src/access.rs crates/machine/src/config.rs crates/machine/src/controller.rs crates/machine/src/failure.rs crates/machine/src/faults.rs crates/machine/src/machine.rs crates/machine/src/migrate.rs crates/machine/src/node.rs crates/machine/src/paging.rs crates/machine/src/remote.rs crates/machine/src/report.rs crates/machine/src/shadow.rs
+
+/root/repo/target/debug/deps/libprism_machine-f2a9aa76fab9f9d1.rmeta: crates/machine/src/lib.rs crates/machine/src/access.rs crates/machine/src/config.rs crates/machine/src/controller.rs crates/machine/src/failure.rs crates/machine/src/faults.rs crates/machine/src/machine.rs crates/machine/src/migrate.rs crates/machine/src/node.rs crates/machine/src/paging.rs crates/machine/src/remote.rs crates/machine/src/report.rs crates/machine/src/shadow.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/access.rs:
+crates/machine/src/config.rs:
+crates/machine/src/controller.rs:
+crates/machine/src/failure.rs:
+crates/machine/src/faults.rs:
+crates/machine/src/machine.rs:
+crates/machine/src/migrate.rs:
+crates/machine/src/node.rs:
+crates/machine/src/paging.rs:
+crates/machine/src/remote.rs:
+crates/machine/src/report.rs:
+crates/machine/src/shadow.rs:

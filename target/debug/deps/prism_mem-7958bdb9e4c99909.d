@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/prism_mem-7958bdb9e4c99909.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/directory.rs crates/mem/src/frames.rs crates/mem/src/mode.rs crates/mem/src/page_table.rs crates/mem/src/pit.rs crates/mem/src/tags.rs crates/mem/src/tlb.rs crates/mem/src/trace.rs crates/mem/src/trace_io.rs
+
+/root/repo/target/debug/deps/libprism_mem-7958bdb9e4c99909.rmeta: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/directory.rs crates/mem/src/frames.rs crates/mem/src/mode.rs crates/mem/src/page_table.rs crates/mem/src/pit.rs crates/mem/src/tags.rs crates/mem/src/tlb.rs crates/mem/src/trace.rs crates/mem/src/trace_io.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/directory.rs:
+crates/mem/src/frames.rs:
+crates/mem/src/mode.rs:
+crates/mem/src/page_table.rs:
+crates/mem/src/pit.rs:
+crates/mem/src/tags.rs:
+crates/mem/src/tlb.rs:
+crates/mem/src/trace.rs:
+crates/mem/src/trace_io.rs:

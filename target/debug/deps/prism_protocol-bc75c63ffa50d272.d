@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prism_protocol-bc75c63ffa50d272.d: crates/protocol/src/lib.rs crates/protocol/src/dirproto.rs crates/protocol/src/firewall.rs crates/protocol/src/latency.rs crates/protocol/src/msg.rs
+
+/root/repo/target/debug/deps/libprism_protocol-bc75c63ffa50d272.rmeta: crates/protocol/src/lib.rs crates/protocol/src/dirproto.rs crates/protocol/src/firewall.rs crates/protocol/src/latency.rs crates/protocol/src/msg.rs
+
+crates/protocol/src/lib.rs:
+crates/protocol/src/dirproto.rs:
+crates/protocol/src/firewall.rs:
+crates/protocol/src/latency.rs:
+crates/protocol/src/msg.rs:

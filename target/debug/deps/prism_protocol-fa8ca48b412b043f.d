@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prism_protocol-fa8ca48b412b043f.d: crates/protocol/src/lib.rs crates/protocol/src/dirproto.rs crates/protocol/src/firewall.rs crates/protocol/src/latency.rs crates/protocol/src/msg.rs
+
+/root/repo/target/debug/deps/libprism_protocol-fa8ca48b412b043f.rmeta: crates/protocol/src/lib.rs crates/protocol/src/dirproto.rs crates/protocol/src/firewall.rs crates/protocol/src/latency.rs crates/protocol/src/msg.rs
+
+crates/protocol/src/lib.rs:
+crates/protocol/src/dirproto.rs:
+crates/protocol/src/firewall.rs:
+crates/protocol/src/latency.rs:
+crates/protocol/src/msg.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/prism_sim-133b2e9a3e04b9e3.d: crates/sim/src/lib.rs crates/sim/src/cycle.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/sync.rs
+
+/root/repo/target/debug/deps/libprism_sim-133b2e9a3e04b9e3.rmeta: crates/sim/src/lib.rs crates/sim/src/cycle.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/sync.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cycle.rs:
+crates/sim/src/resource.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/sync.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/prism_workloads-e4b17878cc91a636.d: crates/workloads/src/lib.rs crates/workloads/src/barnes.rs crates/workloads/src/common.rs crates/workloads/src/fft.rs crates/workloads/src/lu.rs crates/workloads/src/microbench.rs crates/workloads/src/mp3d.rs crates/workloads/src/ocean.rs crates/workloads/src/radix.rs crates/workloads/src/suite.rs crates/workloads/src/synthetic.rs crates/workloads/src/water.rs
+
+/root/repo/target/debug/deps/libprism_workloads-e4b17878cc91a636.rmeta: crates/workloads/src/lib.rs crates/workloads/src/barnes.rs crates/workloads/src/common.rs crates/workloads/src/fft.rs crates/workloads/src/lu.rs crates/workloads/src/microbench.rs crates/workloads/src/mp3d.rs crates/workloads/src/ocean.rs crates/workloads/src/radix.rs crates/workloads/src/suite.rs crates/workloads/src/synthetic.rs crates/workloads/src/water.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/barnes.rs:
+crates/workloads/src/common.rs:
+crates/workloads/src/fft.rs:
+crates/workloads/src/lu.rs:
+crates/workloads/src/microbench.rs:
+crates/workloads/src/mp3d.rs:
+crates/workloads/src/ocean.rs:
+crates/workloads/src/radix.rs:
+crates/workloads/src/suite.rs:
+crates/workloads/src/synthetic.rs:
+crates/workloads/src/water.rs:

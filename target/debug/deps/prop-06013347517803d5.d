@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-06013347517803d5.d: crates/mem/tests/prop.rs
+
+/root/repo/target/debug/deps/libprop-06013347517803d5.rmeta: crates/mem/tests/prop.rs
+
+crates/mem/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-d48c9190e3e23d2d.d: crates/protocol/tests/prop.rs
+
+/root/repo/target/debug/deps/libprop-d48c9190e3e23d2d.rmeta: crates/protocol/tests/prop.rs
+
+crates/protocol/tests/prop.rs:

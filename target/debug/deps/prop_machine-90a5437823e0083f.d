@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_machine-90a5437823e0083f.d: tests/prop_machine.rs
+
+/root/repo/target/debug/deps/libprop_machine-90a5437823e0083f.rmeta: tests/prop_machine.rs
+
+tests/prop_machine.rs:

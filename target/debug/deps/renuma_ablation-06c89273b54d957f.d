@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/renuma_ablation-06c89273b54d957f.d: crates/bench/src/bin/renuma_ablation.rs
+
+/root/repo/target/debug/deps/librenuma_ablation-06c89273b54d957f.rmeta: crates/bench/src/bin/renuma_ablation.rs
+
+crates/bench/src/bin/renuma_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/renuma_ablation-6cb8d859bff2d7ee.d: crates/bench/src/bin/renuma_ablation.rs
+
+/root/repo/target/debug/deps/librenuma_ablation-6cb8d859bff2d7ee.rmeta: crates/bench/src/bin/renuma_ablation.rs
+
+crates/bench/src/bin/renuma_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runner-5a2b21299d6b5861.d: crates/bench/src/bin/runner.rs
+
+/root/repo/target/debug/deps/librunner-5a2b21299d6b5861.rmeta: crates/bench/src/bin/runner.rs
+
+crates/bench/src/bin/runner.rs:

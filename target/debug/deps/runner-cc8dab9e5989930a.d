@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runner-cc8dab9e5989930a.d: crates/bench/src/bin/runner.rs
+
+/root/repo/target/debug/deps/librunner-cc8dab9e5989930a.rmeta: crates/bench/src/bin/runner.rs
+
+crates/bench/src/bin/runner.rs:

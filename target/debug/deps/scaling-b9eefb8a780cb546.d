@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-b9eefb8a780cb546.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/libscaling-b9eefb8a780cb546.rmeta: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

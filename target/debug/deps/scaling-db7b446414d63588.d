@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-db7b446414d63588.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/libscaling-db7b446414d63588.rmeta: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

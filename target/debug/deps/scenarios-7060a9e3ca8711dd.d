@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scenarios-7060a9e3ca8711dd.d: crates/machine/tests/scenarios.rs
+
+/root/repo/target/debug/deps/libscenarios-7060a9e3ca8711dd.rmeta: crates/machine/tests/scenarios.rs
+
+crates/machine/tests/scenarios.rs:

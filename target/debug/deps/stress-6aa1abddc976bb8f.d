@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-6aa1abddc976bb8f.d: crates/machine/tests/stress.rs
+
+/root/repo/target/debug/deps/libstress-6aa1abddc976bb8f.rmeta: crates/machine/tests/stress.rs
+
+crates/machine/tests/stress.rs:

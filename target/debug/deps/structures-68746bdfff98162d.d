@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/structures-68746bdfff98162d.d: crates/bench/benches/structures.rs
+
+/root/repo/target/debug/deps/libstructures-68746bdfff98162d.rmeta: crates/bench/benches/structures.rs
+
+crates/bench/benches/structures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-294e58c1fd0a4139.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-294e58c1fd0a4139.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-39989ea82d1f0ecf.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-39989ea82d1f0ecf.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

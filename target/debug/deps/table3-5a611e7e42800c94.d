@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-5a611e7e42800c94.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/libtable3-5a611e7e42800c94.rmeta: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

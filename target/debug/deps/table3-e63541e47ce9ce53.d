@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-e63541e47ce9ce53.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/libtable3-e63541e47ce9ce53.rmeta: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

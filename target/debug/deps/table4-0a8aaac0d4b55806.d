@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-0a8aaac0d4b55806.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/libtable4-0a8aaac0d4b55806.rmeta: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-68b57d3390a867c0.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/libtable4-68b57d3390a867c0.rmeta: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

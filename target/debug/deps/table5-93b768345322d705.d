@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-93b768345322d705.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/libtable5-93b768345322d705.rmeta: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-d2f09311840ba1aa.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/libtable5-d2f09311840ba1aa.rmeta: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-7cd4ed7c1dd61a85.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/libtables-7cd4ed7c1dd61a85.rmeta: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

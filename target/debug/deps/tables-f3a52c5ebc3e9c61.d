@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-f3a52c5ebc3e9c61.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/libtables-f3a52c5ebc3e9c61.rmeta: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

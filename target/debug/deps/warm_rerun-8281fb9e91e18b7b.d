@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/warm_rerun-8281fb9e91e18b7b.d: tests/warm_rerun.rs
+
+/root/repo/target/debug/deps/libwarm_rerun-8281fb9e91e18b7b.rmeta: tests/warm_rerun.rs
+
+tests/warm_rerun.rs:

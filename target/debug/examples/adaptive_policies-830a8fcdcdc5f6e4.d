@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_policies-830a8fcdcdc5f6e4.d: examples/adaptive_policies.rs
+
+/root/repo/target/debug/examples/libadaptive_policies-830a8fcdcdc5f6e4.rmeta: examples/adaptive_policies.rs
+
+examples/adaptive_policies.rs:

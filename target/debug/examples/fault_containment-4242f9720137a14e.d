@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_containment-4242f9720137a14e.d: examples/fault_containment.rs
+
+/root/repo/target/debug/examples/libfault_containment-4242f9720137a14e.rmeta: examples/fault_containment.rs
+
+examples/fault_containment.rs:

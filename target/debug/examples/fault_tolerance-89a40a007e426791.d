@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_tolerance-89a40a007e426791.d: examples/fault_tolerance.rs
+
+/root/repo/target/debug/examples/libfault_tolerance-89a40a007e426791.rmeta: examples/fault_tolerance.rs
+
+examples/fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lazy_migration-eea1ca3f4ad795f5.d: examples/lazy_migration.rs
+
+/root/repo/target/debug/examples/liblazy_migration-eea1ca3f4ad795f5.rmeta: examples/lazy_migration.rs
+
+examples/lazy_migration.rs:

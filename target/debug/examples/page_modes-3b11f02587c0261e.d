@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/page_modes-3b11f02587c0261e.d: examples/page_modes.rs
+
+/root/repo/target/debug/examples/libpage_modes-3b11f02587c0261e.rmeta: examples/page_modes.rs
+
+examples/page_modes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-206034f7e7dafd10.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-206034f7e7dafd10.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

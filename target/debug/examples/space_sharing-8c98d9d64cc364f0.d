@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/space_sharing-8c98d9d64cc364f0.d: examples/space_sharing.rs
+
+/root/repo/target/debug/examples/libspace_sharing-8c98d9d64cc364f0.rmeta: examples/space_sharing.rs
+
+examples/space_sharing.rs:

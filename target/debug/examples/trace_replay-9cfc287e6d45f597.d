@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_replay-9cfc287e6d45f597.d: examples/trace_replay.rs
+
+/root/repo/target/debug/examples/libtrace_replay-9cfc287e6d45f597.rmeta: examples/trace_replay.rs
+
+examples/trace_replay.rs:
