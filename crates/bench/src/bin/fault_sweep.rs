@@ -1,4 +1,5 @@
-//! Fault-tolerance sweep: message-loss probability × retry budget.
+//! Fault-tolerance sweep: message-loss probability × retry budget, plus
+//! the recovery machinery's cost sheet.
 //!
 //! Every lost or corrupted protocol message is retried with exponential
 //! backoff up to `RetryPolicy::max_attempts`; a message that exhausts
@@ -7,26 +8,80 @@
 //! while a handful of attempts absorbs even percent-level loss at a
 //! modest slowdown.
 //!
+//! A second section prices the crash-recovery machinery: a dirty dynamic
+//! home dies with and without write-back journaling, and a wedged
+//! Transit line is recovered by the watchdog. Everything is also written
+//! to `BENCH_fault.json` so the robustness metrics (recovered, stranded
+//! and abandoned lines; journal replay cycles) can be tracked run over
+//! run by machines, not just eyeballs.
+//!
 //! ```text
 //! cargo run --release -p prism-bench --bin fault_sweep
 //! ```
 
+use prism_core::kernel::migration::MigrationPolicy;
 use prism_core::machine::machine::Machine;
-use prism_core::machine::{FaultPlan, RetryPolicy};
-use prism_core::MachineConfig;
+use prism_core::machine::{FaultPlan, JournalPolicy, RetryPolicy};
+use prism_core::mem::addr::{NodeId, VirtAddr};
+use prism_core::mem::trace::{Op, SegmentSpec, Trace, SHARED_BASE};
+use prism_core::sim::Cycle;
+use prism_core::{MachineConfig, RunReport};
 use prism_workloads::{app, AppId, Scale};
 
 const DROP_RATES: [f64; 5] = [0.001, 0.005, 0.01, 0.02, 0.05];
 const BUDGETS: [u32; 5] = [1, 2, 3, 5, 8];
 const SEED: u64 = 0xFA117;
+const JSON_PATH: &str = "BENCH_fault.json";
 
 fn config(max_attempts: u32) -> MachineConfig {
-    let mut cfg = MachineConfig::builder().nodes(4).procs_per_node(2).build();
+    let mut cfg = MachineConfig::builder()
+        .nodes(4)
+        .procs_per_node(2)
+        .audit_interval(Some(50_000))
+        .build();
     cfg.retry = RetryPolicy {
         max_attempts,
         ..RetryPolicy::default()
     };
     cfg
+}
+
+/// One cell of the loss × budget grid.
+struct SweepCell {
+    drop_rate: f64,
+    budget: u32,
+    dead_procs: u64,
+    retries: u64,
+    slowdown_pct: f64,
+}
+
+/// The recovery counters a robustness trajectory wants to watch:
+/// how many dirty lines came back, how many were stranded for good,
+/// and how many transactions had to be abandoned outright.
+struct RecoveryCounts {
+    scenario: &'static str,
+    recovered: u64,
+    stranded: u64,
+    abandoned: u64,
+    replay_cycles: u64,
+    journal_records: u64,
+    dead_procs: u64,
+    audit_findings: u64,
+}
+
+impl RecoveryCounts {
+    fn from_report(scenario: &'static str, r: &RunReport) -> Self {
+        RecoveryCounts {
+            scenario,
+            recovered: r.fault.lines_recovered,
+            stranded: r.fault.lines_lost,
+            abandoned: r.fault.failover_refusals + r.fault.watchdog_kills,
+            replay_cycles: r.fault.journal_replay_cycles,
+            journal_records: r.fault.journal_records,
+            dead_procs: r.dead_procs,
+            audit_findings: r.audit.len() as u64,
+        }
+    }
 }
 
 fn main() {
@@ -36,24 +91,34 @@ fn main() {
     println!("Ocean/Small on 4 nodes x 2 procs; corruption rate = drop rate / 5; seed {SEED:#x}");
     println!("Cell: dead processors (fatal faults), or slowdown vs fault-free when all survive\n");
 
+    let mut cells = Vec::new();
+    for p in DROP_RATES {
+        for b in BUDGETS {
+            let mut m = Machine::new(config(b));
+            m.install_fault_plan(FaultPlan::new(SEED).link_faults(p, p / 5.0));
+            let r = m.run(&trace);
+            cells.push(SweepCell {
+                drop_rate: p,
+                budget: b,
+                dead_procs: r.dead_procs,
+                retries: r.fault.retries,
+                slowdown_pct: (r.exec_cycles.as_u64() as f64 / clean_cycles - 1.0) * 100.0,
+            });
+        }
+    }
+
     print!("{:<12}", "drop rate");
     for b in BUDGETS {
         print!(" {:>12}", format!("attempts={b}"));
     }
     println!();
-    for p in DROP_RATES {
-        print!("{:<12}", format!("{:.1}%", p * 100.0));
-        for b in BUDGETS {
-            let mut m = Machine::new(config(b));
-            m.install_fault_plan(FaultPlan::new(SEED).link_faults(p, p / 5.0));
-            let r = m.run(&trace);
-            let cell = if r.dead_procs > 0 {
-                format!("{} dead", r.dead_procs)
+    for row in cells.chunks(BUDGETS.len()) {
+        print!("{:<12}", format!("{:.1}%", row[0].drop_rate * 100.0));
+        for c in row {
+            let cell = if c.dead_procs > 0 {
+                format!("{} dead", c.dead_procs)
             } else {
-                format!(
-                    "+{:.2}%",
-                    (r.exec_cycles.as_u64() as f64 / clean_cycles - 1.0) * 100.0
-                )
+                format!("+{:.2}%", c.slowdown_pct)
             };
             print!(" {cell:>12}");
         }
@@ -68,20 +133,160 @@ fn main() {
         print!(" {:>12}", format!("attempts={b}"));
     }
     println!();
-    for p in DROP_RATES {
-        print!("{:<12}", format!("{:.1}%", p * 100.0));
-        for b in BUDGETS {
-            let mut m = Machine::new(config(b));
-            m.install_fault_plan(FaultPlan::new(SEED).link_faults(p, p / 5.0));
-            let r = m.run(&trace);
-            print!(" {:>12}", r.fault.retries);
+    for row in cells.chunks(BUDGETS.len()) {
+        print!("{:<12}", format!("{:.1}%", row[0].drop_rate * 100.0));
+        for c in row {
+            print!(" {:>12}", c.retries);
         }
         println!();
+    }
+
+    // ── Recovery cost: journaling, failover, and the watchdog ───────
+    let recovery = recovery_section(&trace);
+
+    let json = render_json(&cells, &recovery);
+    match std::fs::write(JSON_PATH, &json) {
+        Ok(()) => println!("\nwrote {JSON_PATH}"),
+        Err(e) => println!("\ncould not write {JSON_PATH}: {e}"),
     }
 
     println!(
         "\nWith one attempt every perturbed message is fatal; already the first\n\
          retry absorbs even 5% loss at these trace lengths, and the only cost\n\
-         is backoff time. The retry budget buys survival, not speed."
+         is backoff time. The retry budget buys survival, not speed — and the\n\
+         journal buys back the dirty lines that fail-stop used to strand."
     );
+}
+
+/// Run the three recovery scenarios and print their cost sheet:
+/// a dirty dynamic home dying without a journal (refusal), the same
+/// crash with eager journaling (replay), and a wedged Transit line
+/// recovered by the watchdog.
+fn recovery_section(app_trace: &Trace) -> Vec<RecoveryCounts> {
+    let mut cfg = config(RetryPolicy::default().max_attempts);
+    cfg.migration = Some(MigrationPolicy::default());
+    let dirty = dirty_failover_trace();
+    let healthy = Machine::new(cfg.clone()).run(&dirty);
+    let half = Cycle(healthy.exec_cycles.as_u64() / 2);
+
+    let mut m = Machine::new(cfg.clone());
+    m.install_fault_plan(FaultPlan::new(2).fail_node(NodeId(2), half));
+    let refused = m.run(&dirty);
+
+    let mut journal_cfg = cfg.clone();
+    journal_cfg.journal = JournalPolicy::eager();
+    let mut m = Machine::new(journal_cfg);
+    m.install_fault_plan(FaultPlan::new(2).fail_node(NodeId(2), half));
+    let replayed = m.run(&dirty);
+
+    let app_clean = Machine::new(cfg.clone()).run(app_trace);
+    let quarter = Cycle(app_clean.exec_cycles.as_u64() / 4);
+    let mut m = Machine::new(cfg);
+    m.install_fault_plan(FaultPlan::new(9).wedge_transit(NodeId(1), quarter));
+    let wedged = m.run(app_trace);
+
+    let rows = vec![
+        RecoveryCounts::from_report("dirty_failover_no_journal", &refused),
+        RecoveryCounts::from_report("dirty_failover_eager_journal", &replayed),
+        RecoveryCounts::from_report("transit_wedge_watchdog", &wedged),
+    ];
+
+    println!("\nRecovery cost (dirty home crash + wedged Transit line):");
+    println!(
+        "{:<30} {:>9} {:>9} {:>9} {:>13} {:>9}",
+        "scenario", "recovered", "stranded", "abandoned", "replay cycles", "dead"
+    );
+    for r in &rows {
+        println!(
+            "{:<30} {:>9} {:>9} {:>9} {:>13} {:>9}",
+            r.scenario, r.recovered, r.stranded, r.abandoned, r.replay_cycles, r.dead_procs
+        );
+    }
+    rows
+}
+
+/// Hand-rolled JSON (the workspace is dependency-free by design). All
+/// values are integers or exact short floats, so no escaping is needed.
+fn render_json(cells: &[SweepCell], recovery: &[RecoveryCounts]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"fault_sweep\",\n");
+    out.push_str(&format!(
+        "  \"workload\": \"ocean/small\",\n  \"seed\": {SEED},\n  \"link_sweep\": [\n"
+    ));
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"drop_rate\": {}, \"retry_budget\": {}, \"dead_procs\": {}, \
+             \"retries\": {}, \"slowdown_pct\": {:.3}}}{}\n",
+            c.drop_rate,
+            c.budget,
+            c.dead_procs,
+            c.retries,
+            c.slowdown_pct,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"recovery\": [\n");
+    for (i, r) in recovery.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"recovered_lines\": {}, \"stranded_lines\": {}, \
+             \"abandoned\": {}, \"journal_replay_cycles\": {}, \"journal_records\": {}, \
+             \"dead_procs\": {}, \"audit_findings\": {}}}{}\n",
+            r.scenario,
+            r.recovered,
+            r.stranded,
+            r.abandoned,
+            r.replay_cycles,
+            r.journal_records,
+            r.dead_procs,
+            r.audit_findings,
+            if i + 1 < recovery.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// One shared page (static home: node 0). Node 2's writes pull the
+/// dynamic home to node 2 via lazy migration; a final write phase
+/// leaves all 64 lines Modified in node 2's caches when it dies.
+fn dirty_failover_trace() -> Trace {
+    const LINES: u64 = 64; // 4 KiB page / 64 B lines
+    let read_all = |lane: &mut Vec<Op>| {
+        for l in 0..LINES {
+            lane.push(Op::Read(VirtAddr(SHARED_BASE + l * 64)));
+        }
+    };
+    let write_all = |lane: &mut Vec<Op>| {
+        for l in 0..LINES {
+            lane.push(Op::Write(VirtAddr(SHARED_BASE + l * 64)));
+        }
+    };
+    let barrier = |lanes: &mut Vec<Vec<Op>>, id: u32| {
+        for lane in lanes.iter_mut() {
+            lane.push(Op::Barrier(id));
+        }
+    };
+    let mut lanes: Vec<Vec<Op>> = (0..8).map(|_| Vec::new()).collect();
+    write_all(&mut lanes[4]); // node 2 faults the page in
+    barrier(&mut lanes, 0);
+    read_all(&mut lanes[2]); // node 1 downgrades node 2's dirty copies
+    barrier(&mut lanes, 1);
+    write_all(&mut lanes[4]); // node 2 re-upgrades; migration fires here
+    barrier(&mut lanes, 2);
+    write_all(&mut lanes[4]); // node 2, now home, dirties every line
+    barrier(&mut lanes, 3);
+    for lane in lanes.iter_mut() {
+        lane.push(Op::Compute(2_000_000)); // the failure lands in here
+    }
+    barrier(&mut lanes, 4);
+    read_all(&mut lanes[6]); // node 3 reads through the dead home
+
+    Trace {
+        name: "dirty-failover".into(),
+        segments: vec![SegmentSpec {
+            name: "page".into(),
+            va_base: SHARED_BASE,
+            bytes: 4096,
+        }],
+        lanes,
+    }
 }

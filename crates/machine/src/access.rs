@@ -77,6 +77,25 @@ impl Machine {
             sh.note_lid(n as u16, key, lid);
         }
 
+        // Write-back journaling: a dynamic home streams a version record
+        // for every dirty line to the static home, so a later failover
+        // can re-master the page from the journal (§5b). Only writes at
+        // a *migrated* home are journaled — data at the static home is
+        // already on its own durable memory.
+        if write && mode == FrameMode::Scoma && self.journal.is_some() {
+            if let Some(gp) = gpage {
+                let dyn_home = self.resolve_dyn_home(gp);
+                let stat = self.homes.static_home(gp);
+                if dyn_home.0 as usize == n && stat != dyn_home {
+                    t += Cycle(self.cfg.journal.record_cycles());
+                    self.post_send(n, stat.0 as usize, MsgKind::Journal, t);
+                    if let Some(j) = self.journal.as_mut() {
+                        j.record_line(gp, line, t);
+                    }
+                }
+            }
+        }
+
         // L1.
         if let Some(st) = self.nodes[n].procs[pi].l1.touch(key) {
             if !write {
@@ -225,6 +244,30 @@ impl Machine {
                     TagAction::FetchExclusive => {
                         self.remote_access(n, pi, frame, gp, line, key, lid, true, false, true, t)
                     }
+                    TagAction::Stall => {
+                        // A wedged transaction: the watchdog waits out the
+                        // deadline, repairs the tag from the directory's
+                        // truth, then the access re-dispatches. The
+                        // repaired tag is never Transit, so this recurses
+                        // at most once.
+                        let t = self.watchdog_stall(n, frame, line, t);
+                        if self.nodes[n].procs[pi].state == ProcState::Dead {
+                            return t;
+                        }
+                        self.node_level(
+                            n,
+                            pi,
+                            frame,
+                            mode,
+                            gpage,
+                            line,
+                            key,
+                            lid,
+                            write,
+                            has_shared_copy,
+                            t,
+                        )
+                    }
                 }
             }
             FrameMode::LaNuma => {
@@ -282,6 +325,9 @@ impl Machine {
                         let t = self
                             .remote_access(n, pi, frame, gp, line, key, lid, true, false, false, t);
                         self.maybe_reconvert_lanuma(n, pi, frame, gp, t)
+                    }
+                    TagAction::Stall => {
+                        unreachable!("LA-NUMA node state is never Transit")
                     }
                 }
             }
@@ -581,7 +627,7 @@ impl Machine {
             // static home; an unrecoverable page loses the writeback
             // (its directory state will refuse future readers).
             match self.try_home_failover(gpage, home, t) {
-                Some(h) => home = h,
+                Some(out) => home = out.new_home,
                 None => return,
             }
         }
@@ -635,7 +681,7 @@ impl Machine {
             .set_lanuma_tag(frame, line, prism_mem::tags::LineTag::Shared);
         if self.nodes[home].failed {
             match self.try_home_failover(gpage, home, t) {
-                Some(h) => home = h,
+                Some(out) => home = out.new_home,
                 None => return,
             }
         }

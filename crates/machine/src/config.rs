@@ -5,7 +5,7 @@ use prism_kernel::policy::PagePolicy;
 use prism_mem::addr::Geometry;
 use prism_protocol::latency::LatencyModel;
 
-use crate::faults::RetryPolicy;
+use crate::faults::{JournalPolicy, RetryPolicy};
 
 /// Static configuration of a simulated PRISM machine.
 ///
@@ -73,6 +73,15 @@ pub struct MachineConfig {
     /// Timeout/retry behavior for protocol messages under fault
     /// injection (unused unless a fault plan is installed).
     pub retry: RetryPolicy,
+    /// Home-memory write-back journaling: dynamic homes stream dirty-
+    /// line records to static homes so failover never strands data.
+    pub journal: JournalPolicy,
+    /// Cycles a line may sit in the Transit tag before the watchdog
+    /// declares its transaction dead and recovers it.
+    pub watchdog_deadline: u64,
+    /// Run the online coherence auditor every this many cycles
+    /// (`None` = only the end-of-run sweep when auditing is needed).
+    pub audit_interval: Option<u64>,
 }
 
 impl MachineConfig {
@@ -114,6 +123,13 @@ impl MachineConfig {
             self.retry.backoff >= 1,
             "retry backoff multiplier must be at least 1"
         );
+        assert!(
+            self.watchdog_deadline >= 1,
+            "watchdog deadline must be at least one cycle"
+        );
+        if let Some(n) = self.audit_interval {
+            assert!(n >= 1, "audit interval must be at least one cycle");
+        }
     }
 }
 
@@ -140,6 +156,9 @@ impl Default for MachineConfig {
             client_frame_hints_in_directory: false,
             renuma_threshold: 64,
             retry: RetryPolicy::default(),
+            journal: JournalPolicy::Off,
+            watchdog_deadline: 16_384,
+            audit_interval: None,
         }
     }
 }
@@ -201,6 +220,12 @@ impl MachineConfigBuilder {
         renuma_threshold: u64);
     setter!(/// Sets the message timeout/retry policy for fault injection.
         retry: RetryPolicy);
+    setter!(/// Sets the home-memory write-back journaling policy.
+        journal: JournalPolicy);
+    setter!(/// Sets the Transit-tag watchdog deadline in cycles.
+        watchdog_deadline: u64);
+    setter!(/// Runs the online coherence auditor every `v` cycles.
+        audit_interval: Option<u64>);
 
     /// Finishes the configuration.
     ///

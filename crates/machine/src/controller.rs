@@ -32,6 +32,11 @@ pub struct Controller {
     pub dir_cache: DirCache,
     /// Per-page coherence-traffic counters (migration hardware counters).
     pub traffic: HashMap<GlobalPage, PageTraffic>,
+    /// Watchdog bookkeeping: when each currently-Transit line entered
+    /// the `T` tag, keyed by (frame, line). Normal transactions are
+    /// atomic in the simulation, so entries only appear when a fault
+    /// wedges a transaction mid-flight.
+    transit_since: HashMap<(u32, u16), u64>,
 }
 
 impl Controller {
@@ -49,7 +54,40 @@ impl Controller {
             dir: Directory::new(),
             dir_cache: DirCache::new(dir_cache_entries, dir_cache_assoc),
             traffic: HashMap::new(),
+            transit_since: HashMap::new(),
         }
+    }
+
+    /// Notes that a line entered the Transit tag at cycle `at` (the
+    /// watchdog's deadline clock starts here).
+    pub fn note_transit(&mut self, frame: FrameNo, line: LineIdx, at: u64) {
+        self.transit_since.insert((frame.0, line.0), at);
+    }
+
+    /// Clears the watchdog clock for a recovered (or invalidated) line.
+    pub fn clear_transit(&mut self, frame: FrameNo, line: LineIdx) {
+        self.transit_since.remove(&(frame.0, line.0));
+    }
+
+    /// When the line entered Transit, if the watchdog is tracking it.
+    pub fn transit_entered_at(&self, frame: FrameNo, line: LineIdx) -> Option<u64> {
+        self.transit_since.get(&(frame.0, line.0)).copied()
+    }
+
+    /// All tracked Transit lines, sorted for deterministic iteration.
+    pub fn transit_lines(&self) -> Vec<(FrameNo, LineIdx, u64)> {
+        let mut v: Vec<(FrameNo, LineIdx, u64)> = self
+            .transit_since
+            .iter()
+            .map(|(&(f, l), &at)| (FrameNo(f), LineIdx(l), at))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of lines currently tracked as wedged in Transit.
+    pub fn transit_pending(&self) -> usize {
+        self.transit_since.len()
     }
 
     /// The node-level state of a line in an LA-NUMA frame
@@ -128,6 +166,25 @@ mod tests {
         assert!(!c.has_transit(FrameNo(2)));
         c.tags.set(FrameNo(2), LineIdx(1), LineTag::Transit);
         assert!(c.has_transit(FrameNo(2)));
+    }
+
+    #[test]
+    fn transit_bookkeeping_lifecycle() {
+        let mut c = Controller::new(8, 4, 64, 8);
+        assert_eq!(c.transit_pending(), 0);
+        c.note_transit(FrameNo(2), LineIdx(1), 100);
+        c.note_transit(FrameNo(1), LineIdx(3), 50);
+        assert_eq!(c.transit_pending(), 2);
+        assert_eq!(c.transit_entered_at(FrameNo(2), LineIdx(1)), Some(100));
+        assert_eq!(c.transit_entered_at(FrameNo(2), LineIdx(0)), None);
+        let lines = c.transit_lines();
+        assert_eq!(
+            lines,
+            vec![(FrameNo(1), LineIdx(3), 50), (FrameNo(2), LineIdx(1), 100)],
+            "sorted for determinism"
+        );
+        c.clear_transit(FrameNo(1), LineIdx(3));
+        assert_eq!(c.transit_pending(), 1);
     }
 
     #[test]

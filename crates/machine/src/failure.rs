@@ -123,6 +123,38 @@ impl Machine {
         }
     }
 
+    /// Corrupts a node's PIT binding for `gpage` in place: the entry's
+    /// dynamic-home hint is overwritten with `bogus` and its home-frame
+    /// hint is cleared, modeling a soft error in the PIT SRAM. The
+    /// damage is *not* repaired — the online coherence auditor
+    /// ([`crate::shadow::AuditFinding`]) is expected to report it as a
+    /// structured finding rather than the machine panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NoPitBinding`] if the node has no PIT binding for the
+    /// page (nothing is changed).
+    pub fn corrupt_pit_binding(
+        &mut self,
+        node: NodeId,
+        gpage: GlobalPage,
+        bogus: NodeId,
+    ) -> Result<(), NoPitBinding> {
+        let n = node.0 as usize;
+        let Some(frame) = self.nodes[n].controller.pit.frame_of(gpage) else {
+            return Err(NoPitBinding { node, gpage });
+        };
+        let entry = self.nodes[n]
+            .controller
+            .pit
+            .translate_mut(frame)
+            .expect("bound");
+        entry.dyn_home = bogus;
+        entry.home_frame_hint = None;
+        self.freport(|r| r.pit_corruptions += 1);
+        Ok(())
+    }
+
     /// Number of processors still able to execute.
     pub fn live_procs(&self) -> usize {
         self.nodes

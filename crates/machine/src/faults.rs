@@ -14,7 +14,9 @@
 //! machine produces bit-identical reports, so chaos tests can assert
 //! exact outcomes.
 
-use prism_mem::addr::NodeId;
+use std::collections::{HashMap, HashSet};
+
+use prism_mem::addr::{GlobalPage, LineIdx, NodeId};
 use prism_sim::{Cycle, SimRng};
 
 /// Bounded retry with exponential backoff for unacknowledged protocol
@@ -50,10 +52,142 @@ impl Default for RetryPolicy {
 impl RetryPolicy {
     /// Cycles spent waiting before the retry following failed attempt
     /// number `attempt` (1-based): `timeout_cycles * backoff^(attempt-1)`,
-    /// saturating.
+    /// saturating at `u64::MAX`.
+    ///
+    /// Edge semantics (intentional, covered by unit tests):
+    /// * `attempt = 0` is treated as attempt 1 — the subtraction
+    ///   saturates, so the first wait is always exactly
+    ///   `timeout_cycles` and never `timeout_cycles / backoff`.
+    /// * `backoff = 1` selects constant-timeout mode: every retry waits
+    ///   exactly `timeout_cycles`, regardless of the attempt number.
+    /// * Once the product overflows, every later attempt returns
+    ///   `u64::MAX` (the wait saturates rather than wrapping to a short
+    ///   — effectively zero — timeout).
     pub fn backoff_wait(&self, attempt: u32) -> u64 {
         self.timeout_cycles
             .saturating_mul(self.backoff.saturating_pow(attempt.saturating_sub(1)))
+    }
+}
+
+/// Policy governing home-memory write-back journaling (the durable
+/// redundancy that makes dynamic-home death fully survivable).
+///
+/// Under [`JournalPolicy::Eager`] a dynamic home that is not also the
+/// page's static home streams a version record back to the static home
+/// on every dirty-line update, and ships the whole page image when a
+/// migration moves the dynamic home. Home failover can then always
+/// re-master a dead dynamic home's pages from the journal instead of
+/// refusing when a dirty line is stranded on dead hardware.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum JournalPolicy {
+    /// No journaling: failover refuses pages whose only up-to-date line
+    /// copies died with the failed hardware (the containment-only
+    /// behavior).
+    #[default]
+    Off,
+    /// Stream every dirty-line update to the static home as it happens.
+    Eager {
+        /// Cycles charged on the writer's critical path per journal
+        /// record (sequence-number allocation + NI injection; the bulk
+        /// transfer itself is posted, not waited on).
+        record_cycles: u64,
+        /// Cycles charged per line replayed from the journal while the
+        /// static home re-masters a dead dynamic home's page.
+        replay_cycles_per_line: u64,
+    },
+}
+
+impl JournalPolicy {
+    /// Eager journaling with default cost parameters.
+    pub fn eager() -> JournalPolicy {
+        JournalPolicy::Eager {
+            record_cycles: 4,
+            replay_cycles_per_line: 24,
+        }
+    }
+
+    /// True when journaling is on.
+    pub fn enabled(&self) -> bool {
+        !matches!(self, JournalPolicy::Off)
+    }
+
+    /// Cycles charged per record on the writer's critical path.
+    pub(crate) fn record_cycles(&self) -> u64 {
+        match *self {
+            JournalPolicy::Off => 0,
+            JournalPolicy::Eager { record_cycles, .. } => record_cycles,
+        }
+    }
+
+    /// Cycles charged per line replayed at failover.
+    pub(crate) fn replay_cycles_per_line(&self) -> u64 {
+        match *self {
+            JournalPolicy::Off => 0,
+            JournalPolicy::Eager {
+                replay_cycles_per_line,
+                ..
+            } => replay_cycles_per_line,
+        }
+    }
+}
+
+/// The static-home-side journal: which lines of which pages have
+/// durable version records, and when they were written.
+///
+/// The simulator does not model data contents (the shadow checker holds
+/// versions); the journal tracks *coverage* — which dirty lines could be
+/// replayed if their dynamic home died — and timing for the lag tally.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Journal {
+    pages: HashMap<GlobalPage, PageJournal>,
+    /// Machine-lifetime record count (survives page retirement).
+    total_records: u64,
+}
+
+/// Journal state for one page.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct PageJournal {
+    /// Latest journaled record per line, by write cycle.
+    pub(crate) lines: HashMap<LineIdx, Cycle>,
+    /// When the last full-page image was checkpointed (migration).
+    pub(crate) image_at: Option<Cycle>,
+    /// Total records appended for this page (lines + images).
+    pub(crate) records: u64,
+}
+
+impl Journal {
+    /// Appends a dirty-line version record.
+    pub(crate) fn record_line(&mut self, gpage: GlobalPage, line: LineIdx, at: Cycle) {
+        let pj = self.pages.entry(gpage).or_default();
+        pj.lines.insert(line, at);
+        pj.records += 1;
+        self.total_records += 1;
+    }
+
+    /// Checkpoints a whole-page image (migration): the image supersedes
+    /// all per-line records, which are cleared.
+    pub(crate) fn checkpoint_page(&mut self, gpage: GlobalPage, at: Cycle) {
+        let pj = self.pages.entry(gpage).or_default();
+        pj.lines.clear();
+        pj.image_at = Some(at);
+        pj.records += 1;
+        self.total_records += 1;
+    }
+
+    /// The journal state for a page, if any records exist.
+    pub(crate) fn page(&self, gpage: GlobalPage) -> Option<&PageJournal> {
+        self.pages.get(&gpage)
+    }
+
+    /// Drops a page's journal (the page was re-mastered or released).
+    pub(crate) fn retire_page(&mut self, gpage: GlobalPage) {
+        self.pages.remove(&gpage);
+    }
+
+    /// Total records appended across the machine's lifetime (counts
+    /// records of pages whose journals were since retired).
+    pub(crate) fn total_records(&self) -> u64 {
+        self.total_records
     }
 }
 
@@ -111,6 +245,12 @@ pub enum ScheduledFaultKind {
     /// node (chosen deterministically from the plan's seed). The
     /// misdirected request recovers through static-home forwarding.
     CorruptPit(NodeId),
+    /// Wedge one line of a client S-COMA frame at the node in the `T`
+    /// (Transit) tag, as if the protocol transaction that set it died
+    /// mid-flight (requester crash or reply loss past the retry
+    /// budget). The line and frame are chosen deterministically from
+    /// the plan's seed; the transit watchdog must recover it.
+    WedgeTransit(NodeId),
 }
 
 /// A seeded, deterministic schedule of faults for one run.
@@ -223,6 +363,17 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules a wedged-Transit fault at `node` at cycle `at`: one
+    /// line of a client S-COMA frame is left stuck in the `T` tag.
+    pub fn wedge_transit(mut self, node: NodeId, at: Cycle) -> FaultPlan {
+        self.schedule.push(ScheduledFault {
+            at,
+            kind: ScheduledFaultKind::WedgeTransit(node),
+        });
+        self.schedule.sort_by_key(|f| f.at);
+        self
+    }
+
     /// The scheduled point faults, sorted by cycle.
     pub fn schedule(&self) -> &[ScheduledFault] {
         &self.schedule
@@ -275,6 +426,9 @@ pub(crate) struct FaultState {
     pub(crate) report: FaultReport,
     /// Index of the next unapplied entry of `plan.schedule`.
     pub(crate) next_event: usize,
+    /// Pages whose stranded dirty lines were already tallied as lost,
+    /// so repeated failover refusals count each line once.
+    pub(crate) lost_pages: HashSet<GlobalPage>,
 }
 
 impl FaultState {
@@ -287,6 +441,7 @@ impl FaultState {
             rng,
             report: FaultReport::default(),
             next_event: 0,
+            lost_pages: HashSet::new(),
         }
     }
 
@@ -338,6 +493,36 @@ pub struct FaultReport {
     pub contained_faults: u64,
     /// Faults that killed the requesting processor.
     pub fatal_faults: u64,
+    /// Dirty-line version records (and page images) journaled to static
+    /// homes under an eager [`JournalPolicy`].
+    pub journal_records: u64,
+    /// Cycles spent replaying journal records while re-mastering pages
+    /// of dead dynamic homes.
+    pub journal_replay_cycles: u64,
+    /// Summed age (record cycle to replay cycle) of every journal
+    /// record replayed at failover — the journal's staleness exposure.
+    pub journal_lag_cycles: u64,
+    /// Dirty lines recovered during failover (journal replay or
+    /// static-home cache intervention) that a journal-less machine
+    /// would have stranded.
+    pub lines_recovered: u64,
+    /// Dirty lines permanently lost: their only up-to-date copy died
+    /// with failed hardware and no journal record covered them.
+    pub lines_lost: u64,
+    /// Failover attempts refused because a page could not be safely
+    /// re-mastered (each refusal event counts, even for the same page).
+    pub failover_refusals: u64,
+    /// Lines wedged in the Transit tag by scheduled faults.
+    pub transit_wedges: u64,
+    /// Watchdog recoveries resolved by re-reading directory state from
+    /// a live home (escalation step 1: resend).
+    pub watchdog_resends: u64,
+    /// Watchdog recoveries that required re-mastering the page at the
+    /// static home first (escalation step 2: re-master via journal).
+    pub watchdog_remasters: u64,
+    /// Watchdog escalations that exhausted recovery and killed the
+    /// owning processor (escalation step 3).
+    pub watchdog_kills: u64,
 }
 
 impl FaultReport {
@@ -365,7 +550,32 @@ impl std::fmt::Display for FaultReport {
             self.node_failures,
             self.contained_faults,
             self.fatal_faults
-        )
+        )?;
+        let recovery_active = self.journal_records != 0
+            || self.lines_recovered != 0
+            || self.lines_lost != 0
+            || self.failover_refusals != 0
+            || self.transit_wedges != 0;
+        if recovery_active {
+            write!(
+                f,
+                "; recovery: {} journal records ({} replay cycles, \
+                 {} lag cycles), {} lines recovered / {} lost, \
+                 {} refusals, {} wedges ({} resends, {} remasters, \
+                 {} kills)",
+                self.journal_records,
+                self.journal_replay_cycles,
+                self.journal_lag_cycles,
+                self.lines_recovered,
+                self.lines_lost,
+                self.failover_refusals,
+                self.transit_wedges,
+                self.watchdog_resends,
+                self.watchdog_remasters,
+                self.watchdog_kills
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -393,6 +603,102 @@ mod tests {
             backoff: 3,
         };
         assert_eq!(p.backoff_wait(100), u64::MAX);
+    }
+
+    #[test]
+    fn backoff_attempt_zero_equals_attempt_one() {
+        // attempt is 1-based; 0 must not underflow the exponent and
+        // shrink the first wait below timeout_cycles.
+        let p = RetryPolicy {
+            max_attempts: 5,
+            timeout_cycles: 100,
+            backoff: 2,
+        };
+        assert_eq!(p.backoff_wait(0), p.backoff_wait(1));
+        assert_eq!(p.backoff_wait(0), 100);
+    }
+
+    #[test]
+    fn backoff_one_is_constant_timeout_mode() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            timeout_cycles: 512,
+            backoff: 1,
+        };
+        for attempt in [0, 1, 2, 7, u32::MAX] {
+            assert_eq!(p.backoff_wait(attempt), 512, "attempt {attempt}");
+        }
+    }
+
+    #[test]
+    fn backoff_saturates_at_extremes() {
+        // Saturating timeout: even attempt 1 already pins to u64::MAX.
+        let p = RetryPolicy {
+            max_attempts: 3,
+            timeout_cycles: u64::MAX,
+            backoff: 2,
+        };
+        assert_eq!(p.backoff_wait(1), u64::MAX);
+        assert_eq!(p.backoff_wait(u32::MAX), u64::MAX);
+        // Saturating exponent: backoff^(attempt-1) alone overflows.
+        let p = RetryPolicy {
+            max_attempts: 3,
+            timeout_cycles: 1,
+            backoff: u64::MAX,
+        };
+        assert_eq!(p.backoff_wait(1), 1);
+        assert_eq!(p.backoff_wait(2), u64::MAX);
+        assert_eq!(p.backoff_wait(3), u64::MAX);
+    }
+
+    #[test]
+    fn journal_policy_toggles() {
+        assert!(!JournalPolicy::Off.enabled());
+        assert!(JournalPolicy::eager().enabled());
+        assert_eq!(JournalPolicy::Off.record_cycles(), 0);
+        assert_eq!(JournalPolicy::Off.replay_cycles_per_line(), 0);
+        let e = JournalPolicy::Eager {
+            record_cycles: 7,
+            replay_cycles_per_line: 31,
+        };
+        assert_eq!(e.record_cycles(), 7);
+        assert_eq!(e.replay_cycles_per_line(), 31);
+    }
+
+    #[test]
+    fn journal_tracks_lines_and_checkpoints() {
+        let gp = GlobalPage::default();
+        let mut j = Journal::default();
+        assert!(j.page(gp).is_none());
+        j.record_line(gp, LineIdx(3), Cycle(10));
+        j.record_line(gp, LineIdx(3), Cycle(20)); // supersedes, still a record
+        j.record_line(gp, LineIdx(5), Cycle(30));
+        let pj = j.page(gp).unwrap();
+        assert_eq!(pj.lines.len(), 2);
+        assert_eq!(pj.lines[&LineIdx(3)], Cycle(20));
+        assert_eq!(pj.records, 3);
+        j.checkpoint_page(gp, Cycle(40));
+        let pj = j.page(gp).unwrap();
+        assert!(pj.lines.is_empty(), "image supersedes line records");
+        assert_eq!(pj.image_at, Some(Cycle(40)));
+        assert_eq!(j.total_records(), 4);
+        j.retire_page(gp);
+        assert!(j.page(gp).is_none());
+        assert_eq!(j.total_records(), 4, "lifetime count survives retire");
+    }
+
+    #[test]
+    fn wedge_transit_schedules_like_other_faults() {
+        let plan = FaultPlan::new(1)
+            .fail_node(NodeId(1), Cycle(500))
+            .wedge_transit(NodeId(2), Cycle(50));
+        let ats: Vec<u64> = plan.schedule().iter().map(|f| f.at.as_u64()).collect();
+        assert_eq!(ats, vec![50, 500]);
+        assert!(!plan.is_empty());
+        assert!(matches!(
+            plan.schedule()[0].kind,
+            ScheduledFaultKind::WedgeTransit(NodeId(2))
+        ));
     }
 
     #[test]
@@ -468,7 +774,16 @@ mod tests {
         let s = r.to_string();
         assert!(s.contains("3 retries"));
         assert!(s.contains("1 failovers"));
+        assert!(!s.contains("recovery:"), "quiet without recovery activity");
         assert!(r.any());
         assert!(!FaultReport::default().any());
+        let r = FaultReport {
+            journal_records: 64,
+            lines_recovered: 64,
+            ..FaultReport::default()
+        };
+        let s = r.to_string();
+        assert!(s.contains("64 journal records"));
+        assert!(s.contains("64 lines recovered"));
     }
 }

@@ -19,10 +19,15 @@
 //!   request forwarding.
 //! * `paging` — page faults, page-ins, client page-outs (paper §3.3).
 //! * `migrate` — dynamic-home migration (paper §3.5).
-//! * [`shadow`] — optional read-sees-latest-write verification.
+//! * [`shadow`] — optional read-sees-latest-write verification and the
+//!   online coherence auditor ([`shadow::AuditFinding`]).
 //! * `failure` — node-failure injection and wild-write containment.
 //! * [`faults`] — deterministic fault plans ([`faults::FaultPlan`]),
-//!   retry/backoff policy, and recovery accounting.
+//!   retry/backoff policy, write-back journaling
+//!   ([`faults::JournalPolicy`]), and recovery accounting.
+//! * `watchdog` — the transit-state watchdog: detects transactions
+//!   wedged in the Transit tag and escalates resend → re-master →
+//!   contained kill.
 //! * [`report`] — [`report::RunReport`].
 //!
 //! # Example
@@ -65,9 +70,11 @@ mod paging;
 mod remote;
 pub mod report;
 pub mod shadow;
+mod watchdog;
 
 pub use config::MachineConfig;
 pub use failure::NoPitBinding;
-pub use faults::{FaultPlan, FaultReport, RetryPolicy};
+pub use faults::{FaultPlan, FaultReport, JournalPolicy, RetryPolicy};
 pub use machine::Machine;
 pub use report::{NodeReport, RunReport};
+pub use shadow::{AuditFinding, AuditKind};

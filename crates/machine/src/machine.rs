@@ -5,7 +5,8 @@ use std::collections::HashMap;
 
 use prism_kernel::ipc::{GlobalIpc, HomeMap};
 use prism_kernel::kernel::{Kernel, KernelConfig};
-use prism_mem::addr::{FrameNo, GlobalPage, LineIdx, NodeId};
+use prism_mem::addr::{FrameNo, GlobalPage, LineIdx, NodeId, NodeSet};
+use prism_mem::tags::LineTag;
 use prism_mem::trace::{Op, Trace};
 use prism_protocol::msg::{MsgKind, TrafficLedger};
 use prism_sim::stats::Histogram;
@@ -14,11 +15,11 @@ use prism_sim::Cycle;
 
 use crate::config::MachineConfig;
 use crate::faults::{
-    DeliveryFailed, FaultPlan, FaultReport, FaultState, LinkVerdict, ScheduledFaultKind,
+    DeliveryFailed, FaultPlan, FaultReport, FaultState, Journal, LinkVerdict, ScheduledFaultKind,
 };
 use crate::node::{Node, ProcState};
 use crate::report::{NodeReport, RunReport};
-use crate::shadow::Shadow;
+use crate::shadow::{AuditFinding, Shadow};
 
 /// Internal counters accumulated during a run.
 #[derive(Clone, Debug)]
@@ -106,6 +107,19 @@ pub struct Machine {
     pub(crate) stats: MachineStats,
     pub(crate) shadow: Option<Shadow>,
     pub(crate) fault: Option<FaultState>,
+    /// Dirty-line coverage at static homes under an eager
+    /// [`crate::faults::JournalPolicy`] (`None` when journaling is off).
+    pub(crate) journal: Option<Journal>,
+    /// Findings accumulated by the online coherence auditor.
+    pub(crate) audit_findings: Vec<AuditFinding>,
+    /// Completed auditor sweeps.
+    pub(crate) audit_sweeps: u64,
+    /// Cycle the next periodic audit sweep is due (`u64::MAX` when off).
+    next_audit: u64,
+    /// Every node that has ever mastered a page (static home included):
+    /// the set of *legal* stale dynamic-home hints, letting the auditor
+    /// distinguish lazy-migration staleness from corruption.
+    pub(crate) former_homes: HashMap<GlobalPage, NodeSet>,
     workload_name: String,
 }
 
@@ -129,6 +143,8 @@ impl Machine {
             .collect();
         let total = cfg.total_procs();
         let shadow = cfg.check_coherence.then(Shadow::new);
+        let journal = cfg.journal.enabled().then(Journal::default);
+        let next_audit = cfg.audit_interval.unwrap_or(u64::MAX);
         Machine {
             cfg,
             nodes,
@@ -141,6 +157,11 @@ impl Machine {
             stats: MachineStats::default(),
             shadow,
             fault: None,
+            journal,
+            audit_findings: Vec::new(),
+            audit_sweeps: 0,
+            next_audit,
+            former_homes: HashMap::new(),
             workload_name: String::new(),
         }
     }
@@ -154,8 +175,14 @@ impl Machine {
     }
 
     /// The fault accounting so far (empty when no plan is installed).
+    /// Journal record counts come from the journal itself, so they are
+    /// reported even when journaling runs without a fault plan.
     pub fn fault_report(&self) -> FaultReport {
-        self.fault.as_ref().map(|f| f.report).unwrap_or_default()
+        let mut r = self.fault.as_ref().map(|f| f.report).unwrap_or_default();
+        if let Some(j) = self.journal.as_ref() {
+            r.journal_records = j.total_records();
+        }
+        r
     }
 
     /// Updates the fault report, if fault injection is active.
@@ -478,6 +505,9 @@ impl Machine {
                 ScheduledFaultKind::CorruptPit(node) => {
                     self.corrupt_pit_entry(node);
                 }
+                ScheduledFaultKind::WedgeTransit(node) => {
+                    self.wedge_transit_line(node, now);
+                }
             }
         }
     }
@@ -514,6 +544,53 @@ impl Machine {
             r.pit_corruptions += 1;
             r.contained_faults += 1;
         });
+    }
+
+    /// Wedges one line of a *client* S-COMA frame at `node` in the
+    /// Transit tag, as if the reply of an in-flight transaction was lost
+    /// after the tag transition was staged. Protocol transactions are
+    /// atomic in the simulation, so this is the only way `T` becomes
+    /// observable; the watchdog owns recovery.
+    fn wedge_transit_line(&mut self, node: NodeId, now: Cycle) {
+        let n = node.0 as usize;
+        if self.nodes[n].failed {
+            return;
+        }
+        let mut candidates: Vec<FrameNo> = self.nodes[n]
+            .controller
+            .pit
+            .iter()
+            .filter(|(f, e)| e.dyn_home != node && self.nodes[n].controller.tags.is_allocated(*f))
+            .map(|(f, _)| f)
+            .collect();
+        candidates.sort_by_key(|f| f.0);
+        let Some(state) = self.fault.as_mut() else {
+            return;
+        };
+        if candidates.is_empty() {
+            return;
+        }
+        let frame = candidates[state.rng.gen_index(candidates.len())];
+        // Prefer a line with a valid copy (models a lost downgrade or
+        // invalidation reply); fall back to line 0 (a lost fill).
+        let tags = &self.nodes[n].controller.tags;
+        let lpp = self.cfg.geometry.lines_per_page() as u16;
+        let mut lines: Vec<LineIdx> = (0..lpp)
+            .map(LineIdx)
+            .filter(|&l| matches!(tags.get(frame, l), LineTag::Exclusive | LineTag::Shared))
+            .collect();
+        if lines.is_empty() {
+            lines.push(LineIdx(0));
+        }
+        let line = lines[state.rng.gen_index(lines.len())];
+        state.report.transit_wedges += 1;
+        self.nodes[n]
+            .controller
+            .tags
+            .set(frame, line, LineTag::Transit);
+        self.nodes[n]
+            .controller
+            .note_transit(frame, line, now.as_u64());
     }
 
     /// Line-addressing helper: the node-local cache key of a line.
@@ -595,6 +672,14 @@ impl Machine {
             // executes, at a deterministic point of the interleaving.
             if self.fault.is_some() {
                 self.apply_fault_events(clock);
+                self.watchdog_sweep(clock);
+            }
+            // Periodic online audit sweeps run at the same deterministic
+            // points (between atomic protocol transactions).
+            if clock.as_u64() >= self.next_audit {
+                self.audit_sweep(clock);
+                let interval = self.cfg.audit_interval.expect("audit scheduled");
+                self.next_audit = clock.as_u64().saturating_add(interval.max(1));
             }
             // Execute a batch of operations while this processor remains
             // the earliest runnable one.
@@ -783,6 +868,12 @@ impl Machine {
                 l2m += s2.misses;
             }
         }
+        // Every audited run ends with a final structural sweep, so even
+        // short runs (or faults striking after the last periodic sweep)
+        // are checked.
+        if self.cfg.audit_interval.is_some() {
+            self.audit_sweep(exec);
+        }
         let mut per_node = Vec::with_capacity(self.nodes.len());
         let (mut frames, mut util_num) = (0u64, 0.0f64);
         let (mut f_priv, mut f_home, mut f_client, mut f_contact) = (0, 0, 0, 0);
@@ -856,6 +947,8 @@ impl Machine {
             per_node,
             reads_checked: self.shadow.as_ref().map(|s| s.reads_checked).unwrap_or(0),
             fault: self.fault_report(),
+            audit: self.audit_findings.clone(),
+            audit_sweeps: self.audit_sweeps,
         }
     }
 }

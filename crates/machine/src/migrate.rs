@@ -16,6 +16,17 @@ use prism_sim::Cycle;
 
 use crate::machine::Machine;
 
+/// Outcome of a successful [`Machine::try_home_failover`].
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct FailoverOutcome {
+    /// The page's new dynamic home (always the static home).
+    pub(crate) new_home: usize,
+    /// Cycles spent replaying journal records over the backing store
+    /// (charged to the first re-routed request; per-line counts are in
+    /// the fault report).
+    pub(crate) replay_cycles: u64,
+}
+
 impl Machine {
     /// Moves the dynamic home of `gpage` from node `old` to node `new`.
     ///
@@ -164,41 +175,77 @@ impl Machine {
             }
         }
 
-        // Publish the new dynamic home at the static home.
+        // Journal: a migration is a checkpoint. The bulk PageData
+        // transfer above refreshed the image the static home journals
+        // against, so accumulated per-line records are superseded; a
+        // page migrating *onto* its static home needs no journal at all.
+        if self.journal.is_some() {
+            if new == static_home {
+                if let Some(j) = self.journal.as_mut() {
+                    j.retire_page(gpage);
+                }
+            } else {
+                self.post_send(new, static_home, MsgKind::Journal, t);
+                if let Some(j) = self.journal.as_mut() {
+                    j.checkpoint_page(gpage, t);
+                }
+            }
+        }
+
+        // Publish the new dynamic home at the static home. The old home
+        // becomes a legal stale hint (clients heal lazily).
         self.dyn_homes.insert(gpage, NodeId(new as u16));
+        self.former_homes
+            .entry(gpage)
+            .or_default()
+            .insert(NodeId(old as u16));
         self.stats.migrations += 1;
     }
 
     /// Attempts to re-master `gpage` at its static home after its
     /// dynamic home `dead` failed (fault recovery, complementing the
-    /// lazy-migration machinery above). Succeeds — returning the new
-    /// home — only when the paper's containment invariant allows it:
+    /// lazy-migration machinery above). Succeeds — returning a
+    /// [`FailoverOutcome`] — when the paper's containment invariant
+    /// allows it:
     ///
     /// * the static home is a different, surviving node (it owns the
     ///   page's backing store, from which the image is restored);
     /// * the directory shows no line whose sole up-to-date copy is
     ///   unreachable — no line owned by a failed node or dirty at the
     ///   static home itself (the dead home can no longer accept its
-    ///   flush), and no line dirty in the dead home's own processor
-    ///   caches (node memory survives a failure; cache contents do
-    ///   not).
+    ///   flush);
+    /// * lines dirty in the dead home's own processor caches (node
+    ///   memory survives a failure; cache contents do not) are
+    ///   recoverable only under an eager
+    ///   [`crate::faults::JournalPolicy`]: the static home replays the
+    ///   streamed version records over its backing store. Without the
+    ///   journal, such a page is refused and its dirty lines are lost.
+    ///
+    /// Lines owned by a failed *client* are beyond any journal — their
+    /// sole copy died in that client's caches, never having passed
+    /// through the dynamic home — so they always refuse failover.
     ///
     /// On success the static home drops any (clean) client mapping it
     /// held, adopts the directory with itself scrubbed from the sharer
-    /// sets, and becomes the page's dynamic home; surviving clients keep
-    /// stale PIT entries that heal through forwarding, exactly as after
-    /// a migration.
+    /// sets, replays the journal, and becomes the page's dynamic home;
+    /// surviving clients keep stale PIT entries that heal through
+    /// forwarding, exactly as after a migration.
     pub(crate) fn try_home_failover(
         &mut self,
         gpage: GlobalPage,
         dead: usize,
         t: Cycle,
-    ) -> Option<usize> {
+    ) -> Option<FailoverOutcome> {
         let static_home = self.homes.static_home(gpage).0 as usize;
         if static_home == dead || self.nodes[static_home].failed {
+            self.record_refusal(gpage, 0);
             return None;
         }
         let lpp = self.cfg.geometry.lines_per_page();
+        let journal_on = self.cfg.journal.enabled();
+        // Line indices dirty only in the dead home's own caches — the
+        // class the journal exists for.
+        let mut journal_lines: Vec<u64> = Vec::new();
         {
             // The dead home's last directory state is recoverable (the
             // static home mirrors it with the backing store), but a line
@@ -206,27 +253,39 @@ impl Machine {
             // nowhere to flush — is unrecoverable: refuse, the access is
             // fatal.
             let pd = self.nodes[dead].controller.dir.page(gpage)?;
+            let mut stranded = 0u64;
             for l in 0..lpp {
                 if let LineDir::Owned(o) = pd.line(LineIdx(l as u16)) {
                     if self.nodes[o.0 as usize].failed || o.0 as usize == static_home {
-                        return None;
+                        stranded += 1;
                     }
                 }
             }
             // Home-self writes live as Modified lines in the dead home's
-            // own processor caches, not as Owned directory entries. Node
-            // memory survives a failure; cache contents die with the
-            // processors — a dirty line stranded there makes the memory
-            // image stale, so the page is unrecoverable.
+            // own processor caches, not as Owned directory entries. The
+            // memory image is stale for them; only the journal's records
+            // (streamed to the static home at write time) can restore
+            // them.
             let base_key = self.line_key(pd.home_frame, LineIdx(0));
-            for spi in 0..self.ppn() {
-                for l in 0..lpp as u64 {
+            for l in 0..lpp as u64 {
+                for spi in 0..self.ppn() {
                     let in_l1 = self.nodes[dead].procs[spi].l1.probe(base_key + l);
                     let in_l2 = self.nodes[dead].procs[spi].l2.probe(base_key + l);
                     if in_l1 == Some(LineState::Modified) || in_l2 == Some(LineState::Modified) {
-                        return None;
+                        journal_lines.push(l);
+                        break;
                     }
                 }
+            }
+            if stranded > 0 || (!journal_on && !journal_lines.is_empty()) {
+                let lost = stranded
+                    + if journal_on {
+                        0
+                    } else {
+                        journal_lines.len() as u64
+                    };
+                self.record_refusal(gpage, lost);
+                return None;
             }
         }
         if let Some(cp) = self.nodes[static_home].kernel.client_page(gpage) {
@@ -234,8 +293,14 @@ impl Machine {
                 .controller
                 .tags
                 .iter_frame(cp.frame)
-                .any(|(_, tag)| tag == LineTag::Exclusive);
-            if dirty_at_static {
+                .filter(|&(_, tag)| tag == LineTag::Exclusive)
+                .count() as u64;
+            if dirty_at_static > 0 {
+                // The static home's own dirty client copies survive in
+                // its caches, but the page cannot be re-mastered under
+                // them (the frame would change identity beneath live
+                // Modified lines): the application's data is stranded.
+                self.record_refusal(gpage, dirty_at_static);
                 return None;
             }
             // A clean client copy: retire it so the node can host the
@@ -326,24 +391,91 @@ impl Machine {
         self.nodes[static_home].controller.dir.adopt(gpage, pd);
 
         // Shadow: the backing-store image (the dead home's node copy)
-        // reappears at the static home. Lines owned by surviving clients
-        // keep their authority at those clients.
+        // reappears at the static home. Journal-covered lines take the
+        // version that only lived in the dead home's caches — that is
+        // what the streamed records preserve. Lines owned by surviving
+        // clients keep their authority at those clients; the dead
+        // processors' cached copies die with them.
         if self.shadow.is_some() {
             if let Some(vp) = self.shared_vpage_value(gpage) {
                 let lid_base =
                     vp << (self.cfg.geometry.page_log2() - self.cfg.geometry.line_log2());
+                let dead_procs = self.node_proc_range(dead);
                 for l in 0..lpp as u64 {
+                    let lid = lid_base + l;
                     if let Some(sh) = self.shadow.as_mut() {
-                        sh.copy_node_to_node(dead as u16, static_home as u16, lid_base + l);
-                        sh.drop_node(dead as u16, lid_base + l);
+                        if journal_lines.contains(&l) {
+                            let v = sh.freshest_at_node(dead as u16, dead_procs.clone(), lid);
+                            sh.set_node_copy(static_home as u16, lid, v);
+                        } else {
+                            sh.copy_node_to_node(dead as u16, static_home as u16, lid);
+                        }
+                        sh.drop_node(dead as u16, lid);
+                        for p in dead_procs.clone() {
+                            sh.drop_proc(p, lid);
+                        }
                     }
                 }
             }
         }
 
+        // Journal replay accounting: each recovered line costs a replay
+        // over the backing store; lag measures how far behind the crash
+        // its record was written.
+        let recovered = journal_lines.len() as u64;
+        let mut replay_cycles = 0u64;
+        if journal_on {
+            replay_cycles = recovered * self.cfg.journal.replay_cycles_per_line();
+            let now = t.as_u64();
+            let mut lag = 0u64;
+            if let Some(j) = self.journal.as_ref() {
+                if let Some(pj) = j.page(gpage) {
+                    for &l in &journal_lines {
+                        let rec = pj
+                            .lines
+                            .get(&LineIdx(l as u16))
+                            .copied()
+                            .or(pj.image_at)
+                            .map(|c| c.as_u64())
+                            .unwrap_or(now);
+                        lag += now.saturating_sub(rec);
+                    }
+                }
+            }
+            if let Some(j) = self.journal.as_mut() {
+                // The static home is the dynamic home again: journaling
+                // for this page stops until it migrates away.
+                j.retire_page(gpage);
+            }
+            self.freport(|r| {
+                r.lines_recovered += recovered;
+                r.journal_replay_cycles += replay_cycles;
+                r.journal_lag_cycles += lag;
+            });
+        }
+
         self.dyn_homes.insert(gpage, NodeId(static_home as u16));
+        self.former_homes
+            .entry(gpage)
+            .or_default()
+            .insert(NodeId(dead as u16));
         self.freport(|r| r.failovers += 1);
-        Some(static_home)
+        Some(FailoverOutcome {
+            new_home: static_home,
+            replay_cycles,
+        })
+    }
+
+    /// Accounts a refused failover. A page's unreachable dirty lines are
+    /// counted as lost once, however many accesses subsequently trip
+    /// over the refusal.
+    fn record_refusal(&mut self, gpage: GlobalPage, stranded: u64) {
+        if let Some(state) = self.fault.as_mut() {
+            state.report.failover_refusals += 1;
+            if stranded > 0 && state.lost_pages.insert(gpage) {
+                state.report.lines_lost += stranded;
+            }
+        }
     }
 
     /// Re-routes a request whose (believed) home is on a failed node:
@@ -378,21 +510,24 @@ impl Machine {
         let (target, recovered) = if !self.nodes[actual].failed {
             // A stale hint pointed at the failed node; the page already
             // lives elsewhere.
-            (actual, false)
+            (actual, None)
         } else {
-            (self.try_home_failover(gpage, actual, t)?, true)
+            let out = self.try_home_failover(gpage, actual, t)?;
+            (out.new_home, Some(out))
         };
         t = self.send(n, static_home, MsgKind::RetryReq, t);
         t = self.nodes[static_home]
             .engine
             .acquire(t, Cycle(lat.dispatch_occupancy))
             + Cycle(lat.dispatch);
-        if recovered {
-            // Restoring the page image from backing store is on the
-            // critical path of the first re-routed request.
+        if let Some(out) = recovered {
+            // Restoring the page image from backing store — plus any
+            // journal replay — is on the critical path of the first
+            // re-routed request.
             t += Cycle(
                 lat.home_pagein_service
-                    + lat.pageout_per_line * self.cfg.geometry.lines_per_page() as u64 / 4,
+                    + lat.pageout_per_line * self.cfg.geometry.lines_per_page() as u64 / 4
+                    + out.replay_cycles,
             );
         }
         if target != static_home {

@@ -9,6 +9,7 @@ use prism_sim::stats::Histogram;
 use prism_sim::Cycle;
 
 use crate::faults::FaultReport;
+use crate::shadow::AuditFinding;
 
 /// Per-node results.
 #[derive(Clone, Debug)]
@@ -119,6 +120,11 @@ pub struct RunReport {
     pub reads_checked: u64,
     /// Fault-injection accounting (all zero when no plan is installed).
     pub fault: FaultReport,
+    /// Structural inconsistencies found by the online coherence auditor
+    /// (empty when auditing is off or nothing was wrong).
+    pub audit: Vec<AuditFinding>,
+    /// Auditor sweeps completed (periodic plus the end-of-run sweep).
+    pub audit_sweeps: u64,
 }
 
 impl RunReport {
@@ -174,6 +180,14 @@ impl fmt::Display for RunReport {
         writeln!(f, "  messages {}", self.ledger.total())?;
         if self.fault.any() {
             writeln!(f, "  {}", self.fault)?;
+        }
+        if self.audit_sweeps > 0 {
+            writeln!(
+                f,
+                "  audit: {} sweeps, {} findings",
+                self.audit_sweeps,
+                self.audit.len()
+            )?;
         }
         write!(
             f,

@@ -13,8 +13,25 @@
 //! which is a stable global identity: shared segments attach at identical
 //! virtual addresses on every processor (paper §3.3) and private regions
 //! are disjoint per processor.
+//!
+//! This module also hosts the **online coherence auditor**
+//! ([`Machine::audit_sweep`]): a periodic structural sweep that
+//! cross-checks the directory, the fine-grain TESI tags, the PIT, and
+//! the write-back journal against each other, reporting
+//! [`AuditFinding`]s in the run report instead of panicking. The shadow
+//! checks *data versions* on the access path; the auditor checks
+//! *metadata structure* between accesses — together they cover both
+//! halves of the coherence state.
 
 use std::collections::HashMap;
+use std::fmt;
+
+use prism_mem::addr::{FrameNo, GlobalPage, LineIdx, NodeId};
+use prism_mem::directory::LineDir;
+use prism_mem::tags::LineTag;
+use prism_sim::Cycle;
+
+use crate::machine::Machine;
 
 /// The version-tracking state (enabled by
 /// [`crate::config::MachineConfig::check_coherence`]).
@@ -237,6 +254,327 @@ impl Shadow {
     /// The version a processor currently holds (0 if none).
     pub fn proc_version(&self, proc: u16, lid: u64) -> u64 {
         self.proc_copy.get(&(proc, lid)).copied().unwrap_or(0)
+    }
+}
+
+/// The class of structural inconsistency an audit sweep found.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AuditKind {
+    /// A home frame (directory-resident page) has no PIT entry.
+    MissingPitBinding,
+    /// A home frame's PIT entry names a different global page than the
+    /// directory that points at the frame.
+    PitPageMismatch,
+    /// A home frame's PIT entry does not name this node as the dynamic
+    /// home, yet the directory lives here.
+    PitHomeMismatch,
+    /// A PIT entry's static-home field disagrees with the global home
+    /// map (static homes never move).
+    StaticHomeMismatch,
+    /// A client PIT entry's dynamic-home hint names a node that was
+    /// never a home of the page — stale hints are legal (lazy
+    /// migration), fabricated ones are not.
+    IllegalDynHomeHint,
+    /// The static home's record of the current dynamic home points at a
+    /// node whose directory does not hold the page.
+    DynHomeMapMismatch,
+    /// A home frame's fine-grain tag claims a valid copy for a line the
+    /// directory says a remote node owns (or exclusivity while remote
+    /// sharers exist).
+    TagDirectoryMismatch,
+    /// A line sits in the Transit tag with no watchdog clock running —
+    /// nothing would ever recover it.
+    UntrackedTransit,
+    /// A dirty line at a migrated dynamic home has no covering journal
+    /// record: a failover here would silently lose it.
+    JournalBehind,
+}
+
+impl fmt::Display for AuditKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AuditKind::MissingPitBinding => "missing-pit-binding",
+            AuditKind::PitPageMismatch => "pit-page-mismatch",
+            AuditKind::PitHomeMismatch => "pit-home-mismatch",
+            AuditKind::StaticHomeMismatch => "static-home-mismatch",
+            AuditKind::IllegalDynHomeHint => "illegal-dyn-home-hint",
+            AuditKind::DynHomeMapMismatch => "dyn-home-map-mismatch",
+            AuditKind::TagDirectoryMismatch => "tag-directory-mismatch",
+            AuditKind::UntrackedTransit => "untracked-transit",
+            AuditKind::JournalBehind => "journal-behind",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One structural inconsistency reported by the online coherence
+/// auditor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AuditFinding {
+    /// Cycle of the sweep that (first) observed the inconsistency.
+    pub at: Cycle,
+    /// The node whose structures disagree.
+    pub node: NodeId,
+    /// The page involved, when one could be identified.
+    pub gpage: Option<GlobalPage>,
+    /// The inconsistency class.
+    pub kind: AuditKind,
+    /// Human-readable specifics (frame, line, the disagreeing values).
+    pub detail: String,
+}
+
+impl fmt::Display for AuditFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] node {} {}: {}",
+            self.at.as_u64(),
+            self.node.0,
+            self.kind,
+            self.detail
+        )
+    }
+}
+
+impl Machine {
+    /// One pass of the online coherence auditor: cross-checks, on every
+    /// live node, the directory against the PIT, the fine-grain tags,
+    /// the dynamic-home map, and the write-back journal. Findings are
+    /// accumulated (deduplicated across sweeps) into the run report —
+    /// the auditor observes and reports; it never panics and never
+    /// repairs.
+    pub(crate) fn audit_sweep(&mut self, now: Cycle) {
+        self.audit_sweeps += 1;
+        let mut found: Vec<(NodeId, Option<GlobalPage>, AuditKind, String)> = Vec::new();
+        for n in 0..self.cfg.nodes {
+            if self.nodes[n].failed {
+                continue;
+            }
+            self.audit_home_side(n, &mut found);
+            self.audit_client_side(n, &mut found);
+            self.audit_transit(n, &mut found);
+        }
+        for (node, gpage, kind, detail) in found {
+            let dup = self.audit_findings.iter().any(|f| {
+                f.node == node && f.gpage == gpage && f.kind == kind && f.detail == detail
+            });
+            if !dup {
+                self.audit_findings.push(AuditFinding {
+                    at: now,
+                    node,
+                    gpage,
+                    kind,
+                    detail,
+                });
+            }
+        }
+    }
+
+    /// Home-side checks: every page whose directory lives on node `n`.
+    fn audit_home_side(
+        &self,
+        n: usize,
+        found: &mut Vec<(NodeId, Option<GlobalPage>, AuditKind, String)>,
+    ) {
+        let me = NodeId(n as u16);
+        let ctl = &self.nodes[n].controller;
+        let mut pages: Vec<GlobalPage> = ctl.dir.iter().map(|(gp, _)| *gp).collect();
+        pages.sort_unstable();
+        for gp in pages {
+            let pd = ctl.dir.page(gp).expect("page just listed");
+            let frame = pd.home_frame;
+            // PIT binding backs the directory's frame.
+            match ctl.pit.translate(frame) {
+                None => {
+                    found.push((
+                        me,
+                        Some(gp),
+                        AuditKind::MissingPitBinding,
+                        format!("directory for {gp} points at unbound frame {frame}"),
+                    ));
+                    continue;
+                }
+                Some(e) => {
+                    if e.gpage != gp {
+                        found.push((
+                            me,
+                            Some(gp),
+                            AuditKind::PitPageMismatch,
+                            format!("frame {frame} PIT names {}, directory names {gp}", e.gpage),
+                        ));
+                    }
+                    if e.dyn_home != me {
+                        found.push((
+                            me,
+                            Some(gp),
+                            AuditKind::PitHomeMismatch,
+                            format!(
+                                "frame {frame} PIT dyn home {} but directory is local",
+                                e.dyn_home.0
+                            ),
+                        ));
+                    }
+                    let stat = self.homes.static_home(gp);
+                    if e.static_home != stat {
+                        found.push((
+                            me,
+                            Some(gp),
+                            AuditKind::StaticHomeMismatch,
+                            format!(
+                                "frame {frame} PIT static home {} vs home map {}",
+                                e.static_home.0, stat.0
+                            ),
+                        ));
+                    }
+                }
+            }
+            // The machine-wide dynamic-home record must point back here.
+            let resolved = self.resolve_dyn_home(gp);
+            if resolved != me {
+                found.push((
+                    me,
+                    Some(gp),
+                    AuditKind::DynHomeMapMismatch,
+                    format!("home map resolves {gp} to node {}", resolved.0),
+                ));
+            }
+            // Fine-grain tags against the directory (home frames only
+            // carry tags when allocated).
+            if ctl.tags.is_allocated(frame) {
+                for (li, tag) in ctl.tags.iter_frame(frame) {
+                    let bad = match pd.line(li) {
+                        // A remote owner means home memory is stale: the
+                        // home tag may not claim a valid copy.
+                        LineDir::Owned(o) if o != me => {
+                            matches!(tag, LineTag::Exclusive | LineTag::Shared)
+                        }
+                        // Remote sharers preclude home exclusivity.
+                        LineDir::Shared(ref s) if !s.is_empty() => tag == LineTag::Exclusive,
+                        _ => false,
+                    };
+                    if bad {
+                        found.push((
+                            me,
+                            Some(gp),
+                            AuditKind::TagDirectoryMismatch,
+                            format!("line {li} tag {tag:?} contradicts dir {:?}", pd.line(li)),
+                        ));
+                    }
+                }
+            }
+            self.audit_journal_coverage(n, gp, frame, found);
+        }
+    }
+
+    /// Journal check for one home page: every line still dirty in the
+    /// dynamic home's own caches must be covered by a journal record or
+    /// a checkpoint image, or a failover would lose it.
+    fn audit_journal_coverage(
+        &self,
+        n: usize,
+        gp: GlobalPage,
+        frame: FrameNo,
+        found: &mut Vec<(NodeId, Option<GlobalPage>, AuditKind, String)>,
+    ) {
+        let me = NodeId(n as u16);
+        let Some(j) = self.journal.as_ref() else {
+            return;
+        };
+        if self.homes.static_home(gp) == me {
+            return; // The static home journals nothing: its memory is the backing store.
+        }
+        let pj = j.page(gp);
+        for l in 0..self.cfg.geometry.lines_per_page() {
+            let li = LineIdx(l as u16);
+            let key = self.line_key(frame, li);
+            let dirty = (0..self.ppn()).any(|spi| {
+                self.nodes[n].procs[spi].l1.probe(key)
+                    == Some(prism_mem::cache::LineState::Modified)
+                    || self.nodes[n].procs[spi].l2.probe(key)
+                        == Some(prism_mem::cache::LineState::Modified)
+            });
+            let covered = pj.is_some_and(|pj| pj.lines.contains_key(&li) || pj.image_at.is_some());
+            if dirty && !covered {
+                found.push((
+                    me,
+                    Some(gp),
+                    AuditKind::JournalBehind,
+                    format!("line {li} dirty at migrated home with no journal record"),
+                ));
+            }
+        }
+    }
+
+    /// Client-side checks: every PIT entry on node `n`.
+    fn audit_client_side(
+        &self,
+        n: usize,
+        found: &mut Vec<(NodeId, Option<GlobalPage>, AuditKind, String)>,
+    ) {
+        let me = NodeId(n as u16);
+        let ctl = &self.nodes[n].controller;
+        let mut entries: Vec<(FrameNo, &prism_mem::pit::PitEntry)> = ctl.pit.iter().collect();
+        entries.sort_unstable_by_key(|(f, _)| f.0);
+        for (frame, e) in entries {
+            let gp = e.gpage;
+            let stat = self.homes.static_home(gp);
+            if e.static_home != stat {
+                found.push((
+                    me,
+                    Some(gp),
+                    AuditKind::StaticHomeMismatch,
+                    format!(
+                        "frame {frame} PIT static home {} vs home map {}",
+                        e.static_home.0, stat.0
+                    ),
+                ));
+            }
+            // A hint may lag (lazy migration heals it on the next
+            // forward), but it must name a node that *was* a home.
+            let hint = e.dyn_home;
+            let legal = hint == stat
+                || hint == self.resolve_dyn_home(gp)
+                || self.former_homes.get(&gp).is_some_and(|s| s.contains(hint));
+            if !legal {
+                found.push((
+                    me,
+                    Some(gp),
+                    AuditKind::IllegalDynHomeHint,
+                    format!(
+                        "frame {frame} hints dyn home {} (never a home of {gp})",
+                        hint.0
+                    ),
+                ));
+            }
+        }
+    }
+
+    /// Transit check: every line wedged in `T` must have a watchdog
+    /// clock running, or nothing would ever recover it.
+    fn audit_transit(
+        &self,
+        n: usize,
+        found: &mut Vec<(NodeId, Option<GlobalPage>, AuditKind, String)>,
+    ) {
+        let me = NodeId(n as u16);
+        let ctl = &self.nodes[n].controller;
+        for f in 0..self.cfg.frames_per_node {
+            let frame = FrameNo(f as u32);
+            if !ctl.tags.is_allocated(frame) || !ctl.tags.has_transit(frame) {
+                continue;
+            }
+            let gp = ctl.pit.translate(frame).map(|e| e.gpage);
+            for (li, tag) in ctl.tags.iter_frame(frame) {
+                if tag == LineTag::Transit && ctl.transit_entered_at(frame, li).is_none() {
+                    found.push((
+                        me,
+                        gp,
+                        AuditKind::UntrackedTransit,
+                        format!("frame {frame} line {li} in Transit with no deadline clock"),
+                    ));
+                }
+            }
+        }
     }
 }
 

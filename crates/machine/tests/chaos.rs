@@ -9,17 +9,21 @@
 use prism_kernel::migration::MigrationPolicy;
 use prism_machine::config::MachineConfig;
 use prism_machine::machine::Machine;
-use prism_machine::FaultPlan;
-use prism_mem::addr::{NodeId, VirtAddr};
+use prism_machine::{AuditKind, FaultPlan, JournalPolicy};
+use prism_mem::addr::{GlobalPage, Gsid, NodeId, VirtAddr};
 use prism_mem::trace::{Op, SegmentSpec, Trace, SHARED_BASE};
 use prism_sim::Cycle;
 use prism_workloads::{app, AppId, Scale};
 
+/// Every chaos test runs the online coherence auditor: structural
+/// inconsistencies between directory, tags, PIT, and journal surface as
+/// findings in the report instead of silent corruption.
 fn config() -> MachineConfig {
     MachineConfig::builder()
         .nodes(4)
         .procs_per_node(2)
         .check_coherence(true)
+        .audit_interval(Some(50_000))
         .build()
 }
 
@@ -59,6 +63,9 @@ fn every_splash_app_survives_transient_link_faults() {
         assert!(faulty.fault.contained_faults > 0);
         // Recovery costs time: the perturbed run cannot be faster.
         assert!(faulty.exec_cycles >= clean.exec_cycles);
+        // Link faults never damage coherence *structure*.
+        assert!(faulty.audit_sweeps > 0, "{id}: auditor never ran");
+        assert!(faulty.audit.is_empty(), "{id}: {:?}", faulty.audit);
     }
 }
 
@@ -267,6 +274,307 @@ fn static_home_remasters_pages_of_a_dead_dynamic_home() {
     );
     assert_eq!(m.live_procs(), 6);
     assert!(report.reads_checked > 0);
+    assert!(report.audit.is_empty(), "{:?}", report.audit);
+}
+
+/// Like [`failover_trace`], but node 2 writes the whole page again
+/// *after* the migration settled, so it dies holding every line of the
+/// page Modified in its processor caches — the exact state PR-era
+/// failover had to refuse.
+fn dirty_failover_trace() -> Trace {
+    const LINES: u64 = 64;
+    let read_all = |lane: &mut Vec<Op>| {
+        for l in 0..LINES {
+            lane.push(Op::Read(VirtAddr(SHARED_BASE + l * 64)));
+        }
+    };
+    let write_all = |lane: &mut Vec<Op>| {
+        for l in 0..LINES {
+            lane.push(Op::Write(VirtAddr(SHARED_BASE + l * 64)));
+        }
+    };
+    let barrier = |lanes: &mut Vec<Vec<Op>>, id: u32| {
+        for lane in lanes.iter_mut() {
+            lane.push(Op::Barrier(id));
+        }
+    };
+
+    let mut lanes: Vec<Vec<Op>> = (0..8).map(|_| Vec::new()).collect();
+    // Phases 1-3 as in `failover_trace`: build node 2's dominance until
+    // the dynamic home migrates there.
+    write_all(&mut lanes[4]);
+    barrier(&mut lanes, 0);
+    read_all(&mut lanes[2]);
+    barrier(&mut lanes, 1);
+    write_all(&mut lanes[4]);
+    barrier(&mut lanes, 2);
+    // Phase 4: node 2, now the dynamic home, dirties the whole page
+    // again. These writes hit its own home frame and stay Modified in
+    // its caches — under journaling each streams a version record to
+    // the static home.
+    write_all(&mut lanes[4]);
+    barrier(&mut lanes, 3);
+    // Compute pad: node 2 dies in here, caches and all.
+    for lane in lanes.iter_mut() {
+        lane.push(Op::Compute(2_000_000));
+    }
+    barrier(&mut lanes, 4);
+    // Phase 5: node 3 reads the page, forcing recovery.
+    read_all(&mut lanes[6]);
+
+    Trace {
+        name: "dirty-failover".into(),
+        segments: vec![SegmentSpec {
+            name: "page".into(),
+            va_base: SHARED_BASE,
+            bytes: 4096,
+        }],
+        lanes,
+    }
+}
+
+/// The tentpole scenario: a dynamic home dies with the whole page dirty
+/// in its processor caches. Without journaling the failover refuses and
+/// the page's dirty lines are lost (the PR-era containment behavior);
+/// with an eager journal the static home replays the streamed records
+/// and re-masters the page with zero stranded lines, at an exactly
+/// accounted replay cost.
+#[test]
+fn journal_remasters_dirty_pages_refused_without_it() {
+    let mut cfg = config();
+    cfg.migration = Some(MigrationPolicy::default());
+    let trace = dirty_failover_trace();
+
+    let clean = Machine::new(cfg.clone()).run(&trace);
+    assert_eq!(clean.dead_procs, 0);
+    assert!(clean.migrations >= 1, "the dynamic home must migrate");
+    let half = Cycle(clean.exec_cycles.as_u64() / 2);
+
+    // Without the journal: the refusal path of the original failover.
+    let mut m = Machine::new(cfg.clone());
+    m.install_fault_plan(FaultPlan::new(2).fail_node(NodeId(2), half));
+    let refused = m.run(&trace);
+    assert_eq!(refused.fault.node_failures, 1);
+    assert!(
+        refused.fault.failover_refusals >= 1,
+        "a dirty page must refuse failover without a journal"
+    );
+    assert_eq!(refused.fault.lines_recovered, 0);
+    assert_eq!(
+        refused.fault.lines_lost, 64,
+        "every line of the page died with node 2's caches"
+    );
+    assert!(
+        refused.fault.fatal_faults >= 1,
+        "the post-failure reader cannot be saved"
+    );
+    assert!(refused.dead_procs > 2, "the reader died with the page");
+
+    // With the journal: the same crash recovers completely.
+    cfg.journal = JournalPolicy::eager();
+    let mut m = Machine::new(cfg);
+    m.install_fault_plan(FaultPlan::new(2).fail_node(NodeId(2), half));
+    let recovered = m.run(&trace);
+    assert_eq!(recovered.fault.node_failures, 1);
+    assert!(recovered.fault.failovers >= 1, "failover must succeed");
+    assert_eq!(recovered.fault.failover_refusals, 0);
+    assert_eq!(
+        recovered.fault.lines_lost, 0,
+        "zero stranded lines under journaling"
+    );
+    assert_eq!(
+        recovered.fault.lines_recovered, 64,
+        "every dirty line re-mastered from the journal"
+    );
+    assert_eq!(
+        recovered.fault.journal_replay_cycles,
+        64 * 24,
+        "replay cost is per recovered line"
+    );
+    assert!(
+        recovered.fault.journal_records >= 64,
+        "each dirty line streamed at least one record"
+    );
+    assert!(
+        recovered.fault.journal_lag_cycles > 0,
+        "records were written before the crash"
+    );
+    assert_eq!(recovered.fault.fatal_faults, 0, "nobody else dies");
+    assert_eq!(
+        recovered.dead_procs, 2,
+        "only the failed node's processors die"
+    );
+    assert!(recovered.reads_checked > 0);
+    // The shadow checker verified the replayed lines were current, and
+    // the auditor saw a structurally consistent machine throughout.
+    assert!(recovered.audit.is_empty(), "{:?}", recovered.audit);
+    // Recovery is visible in the ledger: journal traffic flowed.
+    assert!(recovered.ledger.total() > 0);
+}
+
+/// A transaction wedged in the Transit tag is detected by the watchdog
+/// and recovered within the deadline by the first escalation step
+/// (resend): the directory still knows the truth, the tag is repaired,
+/// nobody dies, and the run completes every reference.
+#[test]
+fn watchdog_recovers_wedged_transit_line_by_resend() {
+    let trace = app(AppId::Ocean, Scale::Small).generate(8);
+    let clean = Machine::new(config()).run(&trace);
+    let half = Cycle(clean.exec_cycles.as_u64() / 2);
+
+    let mut m = Machine::new(config());
+    m.install_fault_plan(FaultPlan::new(9).wedge_transit(NodeId(1), half));
+    let report = m.run(&trace);
+
+    assert_eq!(
+        report.fault.transit_wedges, 1,
+        "the plan wedged exactly one line"
+    );
+    assert_eq!(
+        report.fault.watchdog_resends, 1,
+        "the first rung of the escalation ladder recovers it"
+    );
+    assert_eq!(report.fault.watchdog_remasters, 0);
+    assert_eq!(report.fault.watchdog_kills, 0);
+    assert_eq!(report.fault.fatal_faults, 0);
+    assert_eq!(report.dead_procs, 0, "a wedge is not a death sentence");
+    assert_eq!(report.total_refs, clean.total_refs, "references lost");
+    assert!(report.reads_checked > 0);
+    // The repaired tag agrees with the directory; no Transit line is
+    // left without a deadline clock.
+    assert!(report.audit.is_empty(), "{:?}", report.audit);
+}
+
+/// The full recovery machinery — journaling, watchdog, failover, audit
+/// — is bit-identically deterministic: same seed, same FaultReport,
+/// same timing.
+#[test]
+fn recovery_machinery_is_deterministic() {
+    let mut cfg = config();
+    cfg.migration = Some(MigrationPolicy::default());
+    cfg.journal = JournalPolicy::eager();
+    let trace = dirty_failover_trace();
+    let probe = Machine::new(cfg.clone()).run(&trace);
+    let half = Cycle(probe.exec_cycles.as_u64() / 2);
+    let quarter = Cycle(probe.exec_cycles.as_u64() / 4);
+
+    let run = |seed: u64| {
+        let mut m = Machine::new(cfg.clone());
+        m.install_fault_plan(
+            FaultPlan::new(seed)
+                .link_faults(0.01, 0.002)
+                .wedge_transit(NodeId(1), quarter)
+                .fail_node(NodeId(2), half),
+        );
+        m.run(&trace)
+    };
+    let a = run(21);
+    let b = run(21);
+    assert_eq!(a.fault, b.fault, "identical seeds, identical recovery");
+    assert_eq!(a.exec_cycles, b.exec_cycles);
+    assert_eq!(a.ledger.total(), b.ledger.total());
+    assert_eq!(a.audit, b.audit);
+    assert!(
+        a.fault.lines_recovered > 0 || a.fault.failover_refusals > 0,
+        "the scenario exercised the recovery path"
+    );
+
+    let c = run(22);
+    assert_ne!(a.fault, c.fault, "different seeds perturb differently");
+}
+
+/// A corrupted PIT entry is *reported*, not panicked over: the online
+/// auditor flags the scrambled binding on both a client and the home
+/// node as structured findings.
+#[test]
+fn auditor_reports_corrupted_pit_bindings() {
+    const LINES: u64 = 64;
+    let mut lanes: Vec<Vec<Op>> = (0..8).map(|_| Vec::new()).collect();
+    for l in 0..LINES {
+        lanes[0].push(Op::Write(VirtAddr(SHARED_BASE + l * 64)));
+    }
+    for lane in lanes.iter_mut() {
+        lane.push(Op::Barrier(0));
+    }
+    for l in 0..LINES {
+        lanes[2].push(Op::Read(VirtAddr(SHARED_BASE + l * 64)));
+    }
+    let trace = Trace {
+        name: "bind".into(),
+        segments: vec![SegmentSpec {
+            name: "page".into(),
+            va_base: SHARED_BASE,
+            bytes: 4096,
+        }],
+        lanes: lanes.clone(),
+    };
+    // A second, access-free trace: the corruption must be found by the
+    // auditor's sweep, not healed as a side effect of forwarding.
+    let idle = Trace {
+        name: "idle".into(),
+        segments: trace.segments.clone(),
+        lanes: (0..8).map(|_| vec![Op::Compute(200_000)]).collect(),
+    };
+
+    let mut m = Machine::new(config());
+    let first = m.run(&trace);
+    assert!(first.audit.is_empty(), "{:?}", first.audit);
+
+    let gp = GlobalPage::new(Gsid(0), 0);
+    // Client node 1 gets a hint pointing at a node that was never a
+    // home; the home node 0's own binding is scrambled too.
+    m.corrupt_pit_binding(NodeId(1), gp, NodeId(3)).unwrap();
+    m.corrupt_pit_binding(NodeId(0), gp, NodeId(3)).unwrap();
+    let report = m.run(&idle);
+
+    assert!(report.audit_sweeps > 0);
+    assert!(
+        report
+            .audit
+            .iter()
+            .any(|f| f.node == NodeId(1) && f.kind == AuditKind::IllegalDynHomeHint),
+        "client corruption not reported: {:?}",
+        report.audit
+    );
+    assert!(
+        report
+            .audit
+            .iter()
+            .any(|f| f.node == NodeId(0) && f.kind == AuditKind::PitHomeMismatch),
+        "home corruption not reported: {:?}",
+        report.audit
+    );
+    for f in &report.audit {
+        assert_eq!(f.gpage, Some(gp), "findings identify the page");
+    }
+}
+
+/// Fault-free journaled runs audit clean: journaling and auditing are
+/// pure observers — same results, zero findings, and the journal's
+/// record stream is visible in the report.
+#[test]
+fn fault_free_journaled_run_audits_clean() {
+    let mut cfg = config();
+    cfg.migration = Some(MigrationPolicy::default());
+    cfg.journal = JournalPolicy::eager();
+    let trace = dirty_failover_trace();
+
+    let plain = {
+        let mut c = config();
+        c.migration = Some(MigrationPolicy::default());
+        Machine::new(c).run(&trace)
+    };
+    let journaled = Machine::new(cfg).run(&trace);
+
+    assert_eq!(journaled.dead_procs, 0);
+    assert_eq!(journaled.total_refs, plain.total_refs);
+    assert!(journaled.audit_sweeps > 0, "auditor never ran");
+    assert!(journaled.audit.is_empty(), "{:?}", journaled.audit);
+    assert!(
+        journaled.fault.journal_records >= 64,
+        "phase-4 writes at the migrated home must stream records"
+    );
+    assert_eq!(plain.fault.journal_records, 0, "no journal, no records");
 }
 
 /// Link faults and a permanent failure together: the retry machinery

@@ -21,6 +21,7 @@ fn machine(policy: PagePolicy) -> Machine {
             .l2_bytes(32 * 1024)
             .policy(policy)
             .check_coherence(true)
+            .audit_interval(Some(50_000))
             .build(),
     )
 }
@@ -288,6 +289,7 @@ fn migration_forwarding_messages_are_counted() {
             min_traffic: 32,
             dominance: 0.5,
         }))
+        .audit_interval(Some(50_000))
         .build();
     cfg.policy = PagePolicy::Lanuma;
     let r = Machine::new(cfg).run(&trace(lanes));
@@ -327,6 +329,7 @@ fn dyn_both_reconversion_emits_a_pageout_cost_not_messages_to_self() {
         .page_cache_capacity(Some(0)) // force LA-NUMA first
         .renuma_threshold(8)
         .check_coherence(true)
+        .audit_interval(Some(50_000))
         .build();
     cfg.policy = PagePolicy::DynBoth;
     let r = Machine::new(cfg).run(&trace(lanes));

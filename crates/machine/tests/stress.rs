@@ -70,6 +70,7 @@ fn tiny_machine(policy: PagePolicy, cap: Option<usize>) -> Machine {
             .policy(policy)
             .page_cache_capacity(cap)
             .check_coherence(true)
+            .audit_interval(Some(50_000))
             .build(),
     )
 }
@@ -204,6 +205,7 @@ fn migration_moves_hot_pages_and_stays_coherent() {
             min_traffic: 64,
             dominance: 0.5,
         }))
+        .audit_interval(Some(50_000))
         .build();
     let report = Machine::new(cfg).run(&trace);
     assert!(
@@ -256,6 +258,7 @@ fn dyn_both_reconverts_reuse_pages_and_stays_coherent() {
         .page_cache_capacity(Some(4))
         .check_coherence(true)
         .renuma_threshold(8)
+        .audit_interval(Some(50_000))
         .build();
     cfg.policy = PagePolicy::DynBoth;
     let report = Machine::new(cfg).run(&trace);

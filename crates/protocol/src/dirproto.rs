@@ -209,14 +209,20 @@ pub enum TagAction {
     FetchExclusive,
     /// Upgrade a shared copy to exclusive (tag `S`, write).
     Upgrade,
+    /// The line is in the `T` (Transit) tag: a protocol transaction is
+    /// still outstanding. The access must wait for it to complete (or
+    /// for the watchdog to recover the line if the transaction died).
+    Stall,
 }
 
 /// Decides the controller action for an access to a line in an
 /// S-COMA-mode frame, from its fine-grain tag.
 ///
-/// In the atomic-transaction simulation the `T` (Transit) tag cannot be
-/// observed by another access, so it maps to `Proceed` (the retried bus
-/// transaction would find the final state).
+/// In the atomic-transaction simulation the `T` (Transit) tag is only
+/// observable when a fault wedged a transaction mid-flight (the
+/// requester died, or its reply was lost past the retry budget). An
+/// access that finds `T` must [`TagAction::Stall`] until the transit
+/// watchdog recovers the line.
 pub fn tag_action(tag: LineTag, write: bool) -> TagAction {
     match (tag, write) {
         (LineTag::Exclusive, _) => TagAction::Proceed,
@@ -224,7 +230,7 @@ pub fn tag_action(tag: LineTag, write: bool) -> TagAction {
         (LineTag::Shared, true) => TagAction::Upgrade,
         (LineTag::Invalid, false) => TagAction::FetchShared,
         (LineTag::Invalid, true) => TagAction::FetchExclusive,
-        (LineTag::Transit, _) => TagAction::Proceed,
+        (LineTag::Transit, _) => TagAction::Stall,
     }
 }
 
@@ -422,7 +428,8 @@ mod tests {
             tag_action(LineTag::Invalid, true),
             TagAction::FetchExclusive
         );
-        assert_eq!(tag_action(LineTag::Transit, true), TagAction::Proceed);
+        assert_eq!(tag_action(LineTag::Transit, true), TagAction::Stall);
+        assert_eq!(tag_action(LineTag::Transit, false), TagAction::Stall);
     }
 
     /// Exhaustive sanity sweep: the new directory state never lists the

@@ -56,11 +56,16 @@ pub enum MsgKind {
     /// Retransmission of a request that was lost or Nack'd, or a
     /// re-issued request after a home failover.
     RetryReq,
+    /// Dirty-line version record (or page image at migration) streamed
+    /// from a dynamic home back to the static home under an eager
+    /// `JournalPolicy`, so the static home can re-master the page after
+    /// the dynamic home dies.
+    Journal,
 }
 
 impl MsgKind {
     /// All message kinds, for iteration in reports.
-    pub const ALL: [MsgKind; 20] = [
+    pub const ALL: [MsgKind; 21] = [
         MsgKind::ReadReq,
         MsgKind::WriteReq,
         MsgKind::DataReply,
@@ -81,6 +86,7 @@ impl MsgKind {
         MsgKind::LockRelease,
         MsgKind::Nack,
         MsgKind::RetryReq,
+        MsgKind::Journal,
     ];
 
     fn index(self) -> usize {
@@ -94,7 +100,11 @@ impl MsgKind {
     pub fn carries_data(&self) -> bool {
         matches!(
             self,
-            MsgKind::DataReply | MsgKind::Writeback | MsgKind::PageData | MsgKind::PageInReply
+            MsgKind::DataReply
+                | MsgKind::Writeback
+                | MsgKind::PageData
+                | MsgKind::PageInReply
+                | MsgKind::Journal
         )
     }
 }
@@ -120,7 +130,7 @@ impl fmt::Display for MsgKind {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct TrafficLedger {
-    counts: [u64; 20],
+    counts: [u64; 21],
     total: u64,
     self_messages: u64,
 }
@@ -202,6 +212,7 @@ mod tests {
     fn data_carrying_kinds() {
         assert!(MsgKind::DataReply.carries_data());
         assert!(MsgKind::PageData.carries_data());
+        assert!(MsgKind::Journal.carries_data());
         assert!(!MsgKind::ReadReq.carries_data());
         assert!(!MsgKind::InvalAck.carries_data());
         assert!(!MsgKind::Nack.carries_data());

@@ -16,6 +16,7 @@ fn checked_config(policy: PolicyKind, capacity: Option<usize>) -> MachineConfig 
         .l2_assoc(2)
         .tlb_entries(16)
         .check_coherence(true)
+        .audit_interval(Some(50_000))
         .build();
     cfg.policy = policy.page_policy();
     cfg.page_cache_capacity = if policy.is_capacity_limited() {
@@ -44,6 +45,15 @@ fn splash_suite_is_coherent_under_all_policies() {
                 report.total_refs,
                 trace.total_refs() as u64,
                 "{id}/{policy}: all references executed"
+            );
+            assert!(
+                report.audit_sweeps > 0,
+                "{id}/{policy}: auditor did not run"
+            );
+            assert!(
+                report.audit.is_empty(),
+                "{id}/{policy}: structural findings on a fault-free run: {:?}",
+                report.audit
             );
         }
     }

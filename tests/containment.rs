@@ -8,7 +8,11 @@ use prism::mem::trace::{private_va, Op, SegmentSpec, Trace, SHARED_BASE};
 use prism::prelude::*;
 
 fn config() -> MachineConfig {
-    MachineConfig::builder().nodes(4).procs_per_node(2).build()
+    MachineConfig::builder()
+        .nodes(4)
+        .procs_per_node(2)
+        .audit_interval(Some(50_000))
+        .build()
 }
 
 fn shared_trace() -> Trace {

@@ -53,6 +53,7 @@ fn run_with(geometry: Geometry, policy: PolicyKind, cap: Option<usize>) -> prism
         .l2_assoc(2)
         .tlb_entries(8)
         .check_coherence(true)
+        .audit_interval(Some(50_000))
         .build();
     cfg.policy = policy.page_policy();
     cfg.page_cache_capacity = if policy.is_capacity_limited() {

@@ -22,6 +22,7 @@ fn machine() -> Machine {
             .nodes(2)
             .procs_per_node(1)
             .check_coherence(true)
+            .audit_interval(Some(50_000))
             .build(),
     )
 }
@@ -98,6 +99,7 @@ fn independent_reads_of_independent_writes() {
         .nodes(4)
         .procs_per_node(1)
         .check_coherence(true)
+        .audit_interval(Some(50_000))
         .build();
     let lanes = vec![
         vec![Op::Write(X), Op::Barrier(0)],
@@ -127,6 +129,7 @@ fn lock_protected_counter_is_race_free() {
         .nodes(4)
         .procs_per_node(2)
         .check_coherence(true)
+        .audit_interval(Some(50_000))
         .build();
     let mut lanes = Vec::new();
     for _ in 0..8 {

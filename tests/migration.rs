@@ -18,6 +18,7 @@ fn migrating_config() -> MachineConfig {
             min_traffic: 32,
             dominance: 0.5,
         }))
+        .audit_interval(Some(50_000))
         .build()
 }
 
@@ -42,6 +43,9 @@ fn hot_page_migrates_to_its_user() {
     let report = Machine::new(migrating_config()).run(&trace);
     assert!(report.migrations >= 1, "the page should migrate");
     assert!(report.reads_checked > 0 || report.total_refs > 0);
+    // The auditor cross-checks directory/PIT/tag structure after the
+    // home moved — migration must leave no inconsistency behind.
+    assert!(report.audit.is_empty(), "{:?}", report.audit);
 }
 
 /// After migration, a third node's stale PIT hint routes its request via

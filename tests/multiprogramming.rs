@@ -15,6 +15,7 @@ fn config() -> MachineConfig {
         .l1_bytes(1024)
         .l2_bytes(4096)
         .check_coherence(true)
+        .audit_interval(Some(50_000))
         .build()
 }
 

@@ -17,6 +17,7 @@ fn config(policy: PagePolicy, cap: Option<usize>) -> MachineConfig {
         .l2_bytes(4096)
         .page_cache_capacity(cap)
         .check_coherence(true)
+        .audit_interval(Some(50_000))
         .build();
     c.policy = policy;
     c

@@ -11,6 +11,7 @@ fn base_config() -> MachineConfig {
         .l1_bytes(1024)
         .l2_bytes(4096)
         .tlb_entries(16)
+        .audit_interval(Some(50_000))
         .build()
 }
 

@@ -56,6 +56,7 @@ fn config(policy: PolicyKind) -> MachineConfig {
         .l2_assoc(2)
         .tlb_entries(4)
         .check_coherence(true)
+        .audit_interval(Some(50_000))
         .build();
     cfg.policy = policy.page_policy();
     cfg.page_cache_capacity = policy.is_capacity_limited().then_some(3);

@@ -14,6 +14,7 @@ fn config() -> MachineConfig {
         .nodes(4)
         .procs_per_node(2)
         .check_coherence(true)
+        .audit_interval(Some(50_000))
         .build()
 }
 
