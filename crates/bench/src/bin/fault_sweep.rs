@@ -31,7 +31,7 @@ use prism_workloads::{app, AppId, Scale};
 const DROP_RATES: [f64; 5] = [0.001, 0.005, 0.01, 0.02, 0.05];
 const BUDGETS: [u32; 5] = [1, 2, 3, 5, 8];
 const SEED: u64 = 0xFA117;
-const JSON_PATH: &str = "BENCH_fault.json";
+const JSON_FILE: &str = "BENCH_fault.json";
 
 fn config(max_attempts: u32) -> MachineConfig {
     let mut cfg = MachineConfig::builder()
@@ -145,10 +145,7 @@ fn main() {
     let recovery = recovery_section(&trace);
 
     let json = render_json(&cells, &recovery);
-    match std::fs::write(JSON_PATH, &json) {
-        Ok(()) => println!("\nwrote {JSON_PATH}"),
-        Err(e) => println!("\ncould not write {JSON_PATH}: {e}"),
-    }
+    prism_bench::write_bench_json(JSON_FILE, &json);
 
     println!(
         "\nWith one attempt every perturbed message is fatal; already the first\n\

@@ -1,10 +1,38 @@
 //! Scalability sweep: the same workload on machines of 1–16 nodes.
 //! PRISM's design goal is scalability through localized memory
 //! management; this regenerates the speedup curve for one application
-//! under S-COMA and LA-NUMA page modes.
+//! under S-COMA and LA-NUMA page modes, recording simulated cycles and
+//! host wall-clock per machine size.
+//!
+//! A second section races the engine's two run-loop schedulers — the
+//! default binary-heap ready queue against the O(P) linear-scan
+//! baseline — on the 8-node / 32-processor machine. The golden
+//! determinism tests prove the two produce identical reports, so the
+//! wall-clock gap is pure scheduler overhead.
+//!
+//! Everything is also written to `BENCH_scaling.json` (see
+//! `prism_bench::bench_out` for where it lands).
 
+use std::time::Instant;
+
+use prism_core::machine::machine::Machine;
+use prism_core::machine::SchedulerKind;
 use prism_core::{MachineConfig, PolicyKind, Simulation};
 use prism_workloads::{app, AppId, Scale};
+
+const JSON_FILE: &str = "BENCH_scaling.json";
+
+/// Scheduler A/B geometry: 8 nodes × 4 processors = 32 procs.
+const AB_NODES: usize = 8;
+const AB_TIMING_RUNS: u32 = 3;
+
+struct SizeRow {
+    nodes: usize,
+    scoma_cycles: u64,
+    lanuma_cycles: u64,
+    scoma_wall_ms: f64,
+    lanuma_wall_ms: f64,
+}
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "FFT".to_string());
@@ -12,15 +40,27 @@ fn main() {
         .into_iter()
         .find(|a| a.to_string().eq_ignore_ascii_case(&which))
         .unwrap_or(AppId::Fft);
-    let workload = app(id, Scale::Paper);
+    let scale = match std::env::args().nth(2).as_deref() {
+        Some("small") => Scale::Small,
+        _ => Scale::Paper,
+    };
+    let workload = app(id, scale);
     println!(
         "scaling {} across machine sizes (4 processors per node)",
         id
     );
     println!(
-        "{:>6} {:>6} {:>16} {:>16} {:>9} {:>9}",
-        "nodes", "procs", "SCOMA cycles", "LANUMA cycles", "SCOMA ×", "LANUMA ×"
+        "{:>6} {:>6} {:>16} {:>16} {:>9} {:>9} {:>10} {:>10}",
+        "nodes",
+        "procs",
+        "SCOMA cycles",
+        "LANUMA cycles",
+        "SCOMA ×",
+        "LANUMA ×",
+        "SCOMA ms",
+        "LANUMA ms"
     );
+    let mut rows: Vec<SizeRow> = Vec::new();
     let mut base: Option<(u64, u64)> = None;
     for nodes in [1usize, 2, 4, 8, 16] {
         let cfg = MachineConfig::builder()
@@ -28,22 +68,112 @@ fn main() {
             .procs_per_node(4)
             .build();
         let trace = workload.generate(cfg.total_procs());
+        let wall = Instant::now();
         let scoma = Simulation::new(cfg.clone(), PolicyKind::Scoma)
             .run_trace(&trace)
             .expect("scoma run");
+        let scoma_wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+        let wall = Instant::now();
         let lanuma = Simulation::new(cfg, PolicyKind::Lanuma)
             .run_trace(&trace)
             .expect("lanuma run");
+        let lanuma_wall_ms = wall.elapsed().as_secs_f64() * 1e3;
         let (s, l) = (scoma.exec_cycles.as_u64(), lanuma.exec_cycles.as_u64());
         let (s0, l0) = *base.get_or_insert((s, l));
         println!(
-            "{:>6} {:>6} {:>16} {:>16} {:>9.2} {:>9.2}",
+            "{:>6} {:>6} {:>16} {:>16} {:>9.2} {:>9.2} {:>10.1} {:>10.1}",
             nodes,
             nodes * 4,
             s,
             l,
             s0 as f64 / s as f64,
-            l0 as f64 / l as f64
+            l0 as f64 / l as f64,
+            scoma_wall_ms,
+            lanuma_wall_ms
         );
+        rows.push(SizeRow {
+            nodes,
+            scoma_cycles: s,
+            lanuma_cycles: l,
+            scoma_wall_ms,
+            lanuma_wall_ms,
+        });
     }
+
+    let (heap_ms, linear_ms) = scheduler_ab(workload.as_ref());
+    let speedup_pct = (linear_ms / heap_ms - 1.0) * 100.0;
+    println!(
+        "\nscheduler A/B at {} nodes / {} procs (best of {} runs):",
+        AB_NODES,
+        AB_NODES * 4,
+        AB_TIMING_RUNS
+    );
+    println!("  heap ready queue : {heap_ms:>8.1} ms");
+    println!("  linear scan      : {linear_ms:>8.1} ms");
+    println!("  heap is {speedup_pct:.1}% faster wall-clock (identical reports by construction)");
+
+    prism_bench::write_bench_json(JSON_FILE, &render_json(id, &rows, heap_ms, linear_ms));
+}
+
+/// Times the heap vs linear-scan run loop on the same trace and config,
+/// returning best-of-N wall milliseconds for each. Uses `Machine`
+/// directly so only `cfg.scheduler` differs between the arms.
+fn scheduler_ab(workload: &dyn prism_workloads::Workload) -> (f64, f64) {
+    let cfg = |kind: SchedulerKind| {
+        let mut c = MachineConfig::builder()
+            .nodes(AB_NODES)
+            .procs_per_node(4)
+            .build();
+        c.scheduler = kind;
+        c
+    };
+    let trace = workload.generate(AB_NODES * 4);
+    let time = |kind: SchedulerKind| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..AB_TIMING_RUNS {
+            let mut m = Machine::new(cfg(kind));
+            let wall = Instant::now();
+            let report = m.run(&trace);
+            let ms = wall.elapsed().as_secs_f64() * 1e3;
+            assert!(report.total_refs > 0);
+            best = best.min(ms);
+        }
+        best
+    };
+    // Interleave-free ordering: all heap runs, then all linear runs —
+    // any host warm-up penalizes the heap arm, not the baseline.
+    let heap = time(SchedulerKind::Heap);
+    let linear = time(SchedulerKind::LinearScan);
+    (heap, linear)
+}
+
+fn render_json(id: AppId, rows: &[SizeRow], heap_ms: f64, linear_ms: f64) -> String {
+    let mut o = String::from("{\n");
+    o.push_str(&format!("  \"workload\": \"{id}\",\n"));
+    o.push_str("  \"procs_per_node\": 4,\n  \"sizes\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        o.push_str(&format!(
+            "    {{\"nodes\": {}, \"procs\": {}, \"scoma_cycles\": {}, \"lanuma_cycles\": {}, \
+             \"scoma_wall_ms\": {:.3}, \"lanuma_wall_ms\": {:.3}}}{}\n",
+            r.nodes,
+            r.nodes * 4,
+            r.scoma_cycles,
+            r.lanuma_cycles,
+            r.scoma_wall_ms,
+            r.lanuma_wall_ms,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    o.push_str("  ],\n");
+    o.push_str(&format!(
+        "  \"scheduler_ab\": {{\"nodes\": {}, \"procs\": {}, \"heap_wall_ms\": {:.3}, \
+         \"linear_wall_ms\": {:.3}, \"heap_speedup_pct\": {:.2}}}\n",
+        AB_NODES,
+        AB_NODES * 4,
+        heap_ms,
+        linear_ms,
+        (linear_ms / heap_ms - 1.0) * 100.0
+    ));
+    o.push('}');
+    o
 }

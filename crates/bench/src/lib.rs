@@ -29,8 +29,10 @@
 
 pub mod cli;
 pub mod microbench;
+pub mod out;
 pub mod suite_runner;
 pub mod tables;
 
 pub use microbench::{run_table1, Table1Row};
+pub use out::{bench_out, write_bench_json};
 pub use suite_runner::{run_suite, SuiteRun};

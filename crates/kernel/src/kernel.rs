@@ -123,6 +123,21 @@ pub struct KernelStats {
     pub conversions_to_scoma: u64,
 }
 
+impl KernelStats {
+    /// Accumulates another kernel's counters into this one — the stat
+    /// hook machine-wide report aggregation subscribes per-node kernels
+    /// through.
+    pub fn absorb(&mut self, other: &KernelStats) {
+        self.faults_private += other.faults_private;
+        self.faults_home += other.faults_home;
+        self.faults_client += other.faults_client;
+        self.faults_contacting_home += other.faults_contacting_home;
+        self.page_outs += other.page_outs;
+        self.conversions_to_lanuma += other.conversions_to_lanuma;
+        self.conversions_to_scoma += other.conversions_to_scoma;
+    }
+}
+
 /// One node's kernel.
 ///
 /// The kernel is *passive with respect to time*: it never advances clocks

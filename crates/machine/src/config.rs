@@ -7,6 +7,23 @@ use prism_protocol::latency::LatencyModel;
 
 use crate::faults::{JournalPolicy, RetryPolicy};
 
+/// Which ready-queue implementation drives the run loop.
+///
+/// Both produce identical simulation results (the golden determinism
+/// test locks this); they differ only in host wall-clock cost. The
+/// linear scan is kept as the A/B baseline for scheduler benchmarks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Binary-heap ready queue: `O(log P)` pick with a deterministic
+    /// `(clock, proc)` tie-break; fault/watchdog/audit sweeps run as
+    /// scheduled control events instead of per-pick checks.
+    #[default]
+    Heap,
+    /// The original `O(P)` scan over all processors at every pick, with
+    /// fault/watchdog/audit checks re-evaluated each iteration.
+    LinearScan,
+}
+
 /// Static configuration of a simulated PRISM machine.
 ///
 /// The default models the paper's evaluation platform (§4.1): 8 SMP nodes
@@ -82,6 +99,9 @@ pub struct MachineConfig {
     /// Run the online coherence auditor every this many cycles
     /// (`None` = only the end-of-run sweep when auditing is needed).
     pub audit_interval: Option<u64>,
+    /// Ready-queue implementation for the run loop (results are
+    /// identical either way; this is a host-performance knob).
+    pub scheduler: SchedulerKind,
 }
 
 impl MachineConfig {
@@ -159,6 +179,7 @@ impl Default for MachineConfig {
             journal: JournalPolicy::Off,
             watchdog_deadline: 16_384,
             audit_interval: None,
+            scheduler: SchedulerKind::Heap,
         }
     }
 }
@@ -226,6 +247,8 @@ impl MachineConfigBuilder {
         watchdog_deadline: u64);
     setter!(/// Runs the online coherence auditor every `v` cycles.
         audit_interval: Option<u64>);
+    setter!(/// Selects the run-loop ready-queue implementation.
+        scheduler: SchedulerKind);
 
     /// Finishes the configuration.
     ///

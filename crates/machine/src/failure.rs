@@ -15,6 +15,7 @@ use prism_protocol::firewall::{self, FirewallViolation};
 
 use crate::machine::Machine;
 use crate::node::ProcState;
+use crate::obs::Ctr;
 
 /// A page-capability operation named a page the node has no PIT binding
 /// for.
@@ -102,7 +103,7 @@ impl Machine {
         let Some(frame) = self.nodes[v].controller.pit.frame_of(gpage) else {
             // No binding: the physical address names nothing at the
             // victim; the access cannot touch memory at all.
-            self.stats.firewall_rejections += 1;
+            self.obs.incr(Ctr::FirewallRejections);
             return Err(FirewallViolation {
                 from,
                 frame: None,
@@ -117,7 +118,7 @@ impl Machine {
         match firewall::check(&entry, frame, from, true) {
             Ok(()) => Ok(()),
             Err(violation) => {
-                self.stats.firewall_rejections += 1;
+                self.obs.incr(Ctr::FirewallRejections);
                 Err(violation)
             }
         }

@@ -423,7 +423,6 @@ pub(crate) struct DeliveryFailed;
 pub(crate) struct FaultState {
     pub(crate) plan: FaultPlan,
     pub(crate) rng: SimRng,
-    pub(crate) report: FaultReport,
     /// Index of the next unapplied entry of `plan.schedule`.
     pub(crate) next_event: usize,
     /// Pages whose stranded dirty lines were already tallied as lost,
@@ -439,7 +438,6 @@ impl FaultState {
         FaultState {
             plan,
             rng,
-            report: FaultReport::default(),
             next_event: 0,
             lost_pages: HashSet::new(),
         }

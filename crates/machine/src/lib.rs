@@ -7,18 +7,38 @@
 //! and a deterministic run loop that drives workload traces through the
 //! whole stack.
 //!
-//! The crate is organized by concern:
+//! The crate is organized as three engine layers over the node model
+//! (see DESIGN.md §5c):
 //!
-//! * [`config`] — [`config::MachineConfig`] and its builder.
-//! * [`machine`] — [`machine::Machine`]: setup, the run loop, barriers
-//!   and locks, and report finalization.
+//! 1. **Scheduling** — `sched`: the binary-heap ready queue that picks
+//!    the earliest-clock processor in O(log P) and folds fault,
+//!    watchdog, and audit sweeps into the same event stream.
+//! 2. **Transactions** — [`txn`]: reified protocol transactions (local
+//!    fill pipelines, the remote-access state machine, migration), with
+//!    `access`/`remote` reduced to thin drivers.
+//! 3. **Observability** — [`obs`]: the event bus every layer reports
+//!    into (dense counters, latency histograms, a structural-event
+//!    ring), from which [`report::RunReport`] is assembled.
+//!
+//! Modules by concern:
+//!
+//! * [`config`] — [`config::MachineConfig`] and its builder, including
+//!   [`config::SchedulerKind`].
+//! * [`machine`] — [`machine::Machine`]: setup, placement, barriers
+//!   and locks, and the public `run`/`run_jobs` entry points.
+//! * `sched` — the heap scheduler and the run loop (both heap and
+//!   linear-scan baselines).
+//! * [`obs`] — counters, histograms, and the [`obs::ObsEvent`] ring.
+//! * [`txn`] — protocol transactions: local fills, the remote-access
+//!   state machine ([`txn::remote_txn`]), and page migration.
 //! * `access` — the per-reference path: TLB → page table → L1 → L2 →
 //!   mode-dispatched node-level action (paper Figure 4).
 //! * `remote` — the inter-node directory protocol execution with
 //!   timing, invalidation fan-out, firewall checks, and lazy-migration
 //!   request forwarding.
+//! * `net` — message timing: NI occupancy, wire latency, and
+//!   fault-aware reliable delivery.
 //! * `paging` — page faults, page-ins, client page-outs (paper §3.3).
-//! * `migrate` — dynamic-home migration (paper §3.5).
 //! * [`shadow`] — optional read-sees-latest-write verification and the
 //!   online coherence auditor ([`shadow::AuditFinding`]).
 //! * `failure` — node-failure injection and wild-write containment.
@@ -64,17 +84,21 @@ mod controller;
 mod failure;
 pub mod faults;
 pub mod machine;
-mod migrate;
+mod net;
 pub mod node;
+pub mod obs;
 mod paging;
 mod remote;
 pub mod report;
+mod sched;
 pub mod shadow;
+pub mod txn;
 mod watchdog;
 
-pub use config::MachineConfig;
+pub use config::{MachineConfig, SchedulerKind};
 pub use failure::NoPitBinding;
 pub use faults::{FaultPlan, FaultReport, JournalPolicy, RetryPolicy};
 pub use machine::Machine;
+pub use obs::ObsEvent;
 pub use report::{NodeReport, RunReport};
 pub use shadow::{AuditFinding, AuditKind};

@@ -1,69 +1,36 @@
-//! The machine: node assembly, deterministic run loop, and
-//! synchronization handling.
+//! The machine: node assembly, workload loading, and job composition.
+//!
+//! The `Machine` itself is deliberately thin — a container of nodes plus
+//! the cross-node state (homes, barriers, locks, shadow, fault plan) —
+//! with the engine split into three layers:
+//!
+//! * [`crate::sched`] — the deterministic run loop: a binary-heap ready
+//!   queue picks the earliest runnable processor, and fault/watchdog/
+//!   audit sweeps fire as scheduled control events.
+//! * [`crate::txn`] — protocol transactions (local fills, remote
+//!   misses, migrations, failovers) as typed pipelines driven by
+//!   `access`/`remote`.
+//! * [`crate::obs`] — the event bus all statistics, fault accounting,
+//!   and audit findings flow through; [`crate::report`] snapshots it
+//!   into a [`RunReport`].
 
 use std::collections::HashMap;
 
 use prism_kernel::ipc::{GlobalIpc, HomeMap};
 use prism_kernel::kernel::{Kernel, KernelConfig};
-use prism_mem::addr::{FrameNo, GlobalPage, LineIdx, NodeId, NodeSet};
-use prism_mem::tags::LineTag;
-use prism_mem::trace::{Op, Trace};
-use prism_protocol::msg::{MsgKind, TrafficLedger};
-use prism_sim::stats::Histogram;
-use prism_sim::sync::{BarrierOutcome, BarrierSet, LockOutcome, LockSet};
+use prism_mem::addr::{GlobalPage, NodeId, NodeSet};
+use prism_mem::trace::Trace;
+use prism_protocol::msg::TrafficLedger;
+use prism_sim::sync::{BarrierSet, LockSet};
 use prism_sim::Cycle;
 
 use crate::config::MachineConfig;
-use crate::faults::{
-    DeliveryFailed, FaultPlan, FaultReport, FaultState, Journal, LinkVerdict, ScheduledFaultKind,
-};
+use crate::faults::{FaultPlan, FaultReport, FaultState, Journal};
 use crate::node::{Node, ProcState};
-use crate::report::{NodeReport, RunReport};
-use crate::shadow::{AuditFinding, Shadow};
-
-/// Internal counters accumulated during a run.
-#[derive(Clone, Debug)]
-pub(crate) struct MachineStats {
-    pub total_refs: u64,
-    pub remote_misses: u64,
-    pub remote_upgrades: u64,
-    pub local_fills: u64,
-    pub sibling_fills: u64,
-    pub page_out_lines: u64,
-    pub home_page_outs: u64,
-    pub invalidations: u64,
-    pub remote_writebacks: u64,
-    pub migrations: u64,
-    pub forwards: u64,
-    pub firewall_rejections: u64,
-    pub dead_procs: u64,
-    pub local_fill_latency: Histogram,
-    pub remote_fetch_latency: Histogram,
-    pub fault_latency: Histogram,
-}
-
-impl Default for MachineStats {
-    fn default() -> MachineStats {
-        MachineStats {
-            total_refs: 0,
-            remote_misses: 0,
-            remote_upgrades: 0,
-            local_fills: 0,
-            sibling_fills: 0,
-            page_out_lines: 0,
-            home_page_outs: 0,
-            invalidations: 0,
-            remote_writebacks: 0,
-            migrations: 0,
-            forwards: 0,
-            firewall_rejections: 0,
-            dead_procs: 0,
-            local_fill_latency: Histogram::new("local-fill"),
-            remote_fetch_latency: Histogram::new("remote-fetch"),
-            fault_latency: Histogram::new("page-fault"),
-        }
-    }
-}
+use crate::obs::{EventBus, ObsEvent};
+use crate::report::RunReport;
+use crate::sched::Sched;
+use crate::shadow::Shadow;
 
 /// A simulated PRISM machine.
 ///
@@ -104,23 +71,23 @@ pub struct Machine {
     pub(crate) ipc: GlobalIpc,
     pub(crate) homes: HomeMap,
     pub(crate) ledger: TrafficLedger,
-    pub(crate) stats: MachineStats,
+    /// The observability bus: counters, latency histograms, fault
+    /// accounting, audit findings, and the structural event ring.
+    pub(crate) obs: EventBus,
+    /// The heap scheduler's ready queue and control-event queue.
+    pub(crate) sched: Sched,
     pub(crate) shadow: Option<Shadow>,
     pub(crate) fault: Option<FaultState>,
     /// Dirty-line coverage at static homes under an eager
     /// [`crate::faults::JournalPolicy`] (`None` when journaling is off).
     pub(crate) journal: Option<Journal>,
-    /// Findings accumulated by the online coherence auditor.
-    pub(crate) audit_findings: Vec<AuditFinding>,
-    /// Completed auditor sweeps.
-    pub(crate) audit_sweeps: u64,
     /// Cycle the next periodic audit sweep is due (`u64::MAX` when off).
-    next_audit: u64,
+    pub(crate) next_audit: u64,
     /// Every node that has ever mastered a page (static home included):
     /// the set of *legal* stale dynamic-home hints, letting the auditor
     /// distinguish lazy-migration staleness from corruption.
     pub(crate) former_homes: HashMap<GlobalPage, NodeSet>,
-    workload_name: String,
+    pub(crate) workload_name: String,
 }
 
 impl Machine {
@@ -154,12 +121,11 @@ impl Machine {
             ipc: GlobalIpc::new(),
             homes,
             ledger: TrafficLedger::new(),
-            stats: MachineStats::default(),
+            obs: EventBus::new(),
+            sched: Sched::default(),
             shadow,
             fault: None,
             journal,
-            audit_findings: Vec::new(),
-            audit_sweeps: 0,
             next_audit,
             former_homes: HashMap::new(),
             workload_name: String::new(),
@@ -172,24 +138,39 @@ impl Machine {
     /// appears in the next run's [`RunReport`].
     pub fn install_fault_plan(&mut self, plan: FaultPlan) {
         self.fault = Some(FaultState::new(plan));
+        self.obs.fault = FaultReport::default();
     }
 
     /// The fault accounting so far (empty when no plan is installed).
     /// Journal record counts come from the journal itself, so they are
     /// reported even when journaling runs without a fault plan.
     pub fn fault_report(&self) -> FaultReport {
-        let mut r = self.fault.as_ref().map(|f| f.report).unwrap_or_default();
+        let mut r = if self.fault.is_some() {
+            self.obs.fault
+        } else {
+            FaultReport::default()
+        };
         if let Some(j) = self.journal.as_ref() {
             r.journal_records = j.total_records();
         }
         r
     }
 
-    /// Updates the fault report, if fault injection is active.
+    /// Updates the fault accounting on the event bus, if fault injection
+    /// is active. The gate matters: recovery paths (e.g. `fail_node`
+    /// called directly by tests) must not fabricate a fault report on
+    /// machines without a plan.
     pub(crate) fn freport(&mut self, f: impl FnOnce(&mut FaultReport)) {
-        if let Some(state) = self.fault.as_mut() {
-            f(&mut state.report);
+        if self.fault.is_some() {
+            f(&mut self.obs.fault);
         }
+    }
+
+    /// Structural events retained on the observability bus (node
+    /// failures, migrations, failovers, watchdog recoveries, audit
+    /// sweeps), oldest first.
+    pub fn recent_events(&self) -> Vec<(Cycle, ObsEvent)> {
+        self.obs.recent()
     }
 
     /// The latency multiplier a slow-node episode imposes on `node` at
@@ -223,50 +204,8 @@ impl Machine {
         base..base + self.ppn() as u16
     }
 
-    /// Kills a processor (fault containment): it stops executing, its
-    /// application is considered terminated, and its synchronization
-    /// footprint is cleaned up so survivors are not deadlocked — it is
-    /// withdrawn from all barriers (releasing any now-complete episode)
-    /// and its held locks pass to the next waiters.
-    pub(crate) fn kill_proc(&mut self, n: usize, pi: usize) {
-        if self.nodes[n].procs[pi].state == ProcState::Dead {
-            return;
-        }
-        self.nodes[n].procs[pi].state = ProcState::Dead;
-        self.stats.dead_procs += 1;
-        let flat = self.flat(n, pi);
-        let now = self.nodes[n].procs[pi].clock;
-        let group = self.barrier_group_of(flat);
-        if self.barrier_groups[group].1.participants() > 1 {
-            for outcome in self.barrier_groups[group].1.remove_participant(flat) {
-                if let BarrierOutcome::Release {
-                    waiters,
-                    release_at,
-                } = outcome
-                {
-                    for w in waiters {
-                        let (wn, wpi) = self.split_flat(w);
-                        let wp = &mut self.nodes[wn].procs[wpi];
-                        if wp.state == ProcState::Blocked {
-                            wp.clock = release_at;
-                            wp.state = ProcState::Ready;
-                        }
-                    }
-                }
-            }
-        }
-        for (_lock, next, grant) in self.locks.release_all_held_by(flat, now) {
-            let (wn, wpi) = self.split_flat(next);
-            let wp = &mut self.nodes[wn].procs[wpi];
-            if wp.state == ProcState::Blocked {
-                wp.clock = grant + Cycle(self.cfg.latency.sync_op);
-                wp.state = ProcState::Ready;
-            }
-        }
-    }
-
     /// Processors in `range` that can still execute.
-    fn live_in_range(&self, range: std::ops::Range<usize>) -> usize {
+    pub(crate) fn live_in_range(&self, range: std::ops::Range<usize>) -> usize {
         range
             .filter(|&flat| {
                 let (n, pi) = self.split_flat(flat);
@@ -357,244 +296,12 @@ impl Machine {
             .unwrap_or_else(|| self.homes.static_home(gpage))
     }
 
-    /// Sends a message: NI occupancy at both ends plus wire latency.
-    /// Returns the delivery time. `from == to` is a node-local step and
-    /// costs nothing.
-    pub(crate) fn send(&mut self, from: usize, to: usize, kind: MsgKind, t: Cycle) -> Cycle {
-        if from == to {
-            return t;
-        }
-        let lat = self.cfg.latency;
-        // NIs are pipelined: occupancy limits throughput, the full NI
-        // latency is charged additively.
-        let t1 = self.nodes[from].ni.acquire(t, Cycle(lat.ni_occupancy)) + Cycle(lat.ni);
-        let t2 = t1 + Cycle(lat.net);
-        let t3 = self.nodes[to].ni.acquire(t2, Cycle(lat.ni_occupancy)) + Cycle(lat.ni);
-        self.ledger
-            .record(kind, NodeId(from as u16), NodeId(to as u16));
-        t3
-    }
-
-    /// Posts a message whose completion nobody waits on (overlapped
-    /// invalidations, posted writebacks): reserves NI occupancy and
-    /// records it, without returning a delivery time.
-    pub(crate) fn post_send(&mut self, from: usize, to: usize, kind: MsgKind, t: Cycle) {
-        if from == to {
-            return;
-        }
-        let lat = self.cfg.latency;
-        let arrive =
-            self.nodes[from].ni.acquire(t, Cycle(lat.ni_occupancy)) + Cycle(lat.ni + lat.net);
-        self.nodes[to].ni.acquire(arrive, Cycle(lat.ni_occupancy));
-        self.ledger
-            .record(kind, NodeId(from as u16), NodeId(to as u16));
-    }
-
-    /// Sends a request whose delivery is subject to the installed fault
-    /// plan, retrying under the configured [`crate::faults::RetryPolicy`].
-    ///
-    /// * A **dropped** message costs the sender its NI occupancy, then a
-    ///   timeout + exponential-backoff wait before the retransmission.
-    /// * A **corrupted** message is delivered, Nack'd by the receiver,
-    ///   and retransmitted immediately.
-    /// * With no plan installed this is exactly [`Machine::send`].
-    ///
-    /// Returns the delivery time of the first intact copy, or
-    /// [`DeliveryFailed`] once `max_attempts` transmissions have all
-    /// been lost or corrupted (the caller kills the requester).
-    pub(crate) fn send_reliable(
-        &mut self,
-        from: usize,
-        to: usize,
-        kind: MsgKind,
-        t: Cycle,
-    ) -> Result<Cycle, DeliveryFailed> {
-        if from == to {
-            return Ok(t);
-        }
-        if self.fault.is_none() {
-            return Ok(self.send(from, to, kind, t));
-        }
-        let policy = self.cfg.retry;
-        let lat = self.cfg.latency;
-        let mut t = t;
-        let mut perturbed = false;
-        for attempt in 1..=policy.max_attempts {
-            let kind_now = if attempt == 1 {
-                kind
-            } else {
-                MsgKind::RetryReq
-            };
-            let verdict = self
-                .fault
-                .as_mut()
-                .map(|f| f.link_verdict(t))
-                .unwrap_or(LinkVerdict::Deliver);
-            match verdict {
-                LinkVerdict::Deliver => {
-                    let delivered = self.send(from, to, kind_now, t);
-                    if perturbed {
-                        self.freport(|r| r.contained_faults += 1);
-                    }
-                    return Ok(delivered);
-                }
-                LinkVerdict::Drop => {
-                    perturbed = true;
-                    // The message left the sender's NI and vanished; the
-                    // requester notices only when the reply timeout
-                    // expires, then backs off before retransmitting.
-                    self.nodes[from].ni.acquire(t, Cycle(lat.ni_occupancy));
-                    self.ledger
-                        .record(kind_now, NodeId(from as u16), NodeId(to as u16));
-                    let wait = policy.backoff_wait(attempt);
-                    let last = attempt == policy.max_attempts;
-                    self.freport(|r| {
-                        r.dropped_messages += 1;
-                        r.timeouts += 1;
-                        r.backoff_cycles += wait;
-                        if !last {
-                            r.retries += 1;
-                        }
-                    });
-                    t += Cycle(wait);
-                }
-                LinkVerdict::Corrupt => {
-                    perturbed = true;
-                    // Delivered, but the payload fails its checksum at
-                    // the receiver, which Nacks; the sender retries as
-                    // soon as the Nack arrives.
-                    let arrived = self.send(from, to, kind_now, t);
-                    let nacked = self.send(to, from, MsgKind::Nack, arrived + Cycle(lat.dispatch));
-                    let last = attempt == policy.max_attempts;
-                    self.freport(|r| {
-                        r.corrupted_messages += 1;
-                        r.nacks += 1;
-                        if !last {
-                            r.retries += 1;
-                        }
-                    });
-                    t = nacked + Cycle(lat.dispatch);
-                }
-            }
-        }
-        Err(DeliveryFailed)
-    }
-
-    /// Applies every scheduled fault whose time has come. Called from the
-    /// run loop before executing the earliest runnable processor, so
-    /// faults strike at deterministic points of the interleaving.
-    pub(crate) fn apply_fault_events(&mut self, now: Cycle) {
-        loop {
-            let Some(state) = self.fault.as_mut() else {
-                return;
-            };
-            let Some(&ev) = state.plan.schedule().get(state.next_event) else {
-                return;
-            };
-            if ev.at > now {
-                return;
-            }
-            state.next_event += 1;
-            match ev.kind {
-                ScheduledFaultKind::FailNode(node) => {
-                    if !self.nodes[node.0 as usize].failed {
-                        self.fail_node(node);
-                        self.freport(|r| r.node_failures += 1);
-                    }
-                }
-                ScheduledFaultKind::CorruptPit(node) => {
-                    self.corrupt_pit_entry(node);
-                }
-                ScheduledFaultKind::WedgeTransit(node) => {
-                    self.wedge_transit_line(node, now);
-                }
-            }
-        }
-    }
-
-    /// Scrambles the dynamic-home field of one *client* PIT entry at
-    /// `node` (chosen deterministically from the plan's RNG). The next
-    /// request through the entry is misdirected and recovers via the
-    /// static-home forwarding path, so the fault is contained.
-    fn corrupt_pit_entry(&mut self, node: NodeId) {
-        let n = node.0 as usize;
-        // Client entries only: corrupting where this node *is* the home
-        // would model directory loss, which is the fail-node case.
-        let mut candidates: Vec<FrameNo> = self.nodes[n]
-            .controller
-            .pit
-            .iter()
-            .filter(|(_, e)| e.dyn_home != node)
-            .map(|(f, _)| f)
-            .collect();
-        candidates.sort_by_key(|f| f.0);
-        let Some(state) = self.fault.as_mut() else {
-            return;
-        };
-        if candidates.is_empty() {
-            return;
-        }
-        let frame = candidates[state.rng.gen_index(candidates.len())];
-        let bogus = NodeId(state.rng.gen_index(self.cfg.nodes) as u16);
-        if let Some(e) = self.nodes[n].controller.pit.translate_mut(frame) {
-            e.dyn_home = bogus;
-            e.home_frame_hint = None;
-        }
-        self.freport(|r| {
-            r.pit_corruptions += 1;
-            r.contained_faults += 1;
-        });
-    }
-
-    /// Wedges one line of a *client* S-COMA frame at `node` in the
-    /// Transit tag, as if the reply of an in-flight transaction was lost
-    /// after the tag transition was staged. Protocol transactions are
-    /// atomic in the simulation, so this is the only way `T` becomes
-    /// observable; the watchdog owns recovery.
-    fn wedge_transit_line(&mut self, node: NodeId, now: Cycle) {
-        let n = node.0 as usize;
-        if self.nodes[n].failed {
-            return;
-        }
-        let mut candidates: Vec<FrameNo> = self.nodes[n]
-            .controller
-            .pit
-            .iter()
-            .filter(|(f, e)| e.dyn_home != node && self.nodes[n].controller.tags.is_allocated(*f))
-            .map(|(f, _)| f)
-            .collect();
-        candidates.sort_by_key(|f| f.0);
-        let Some(state) = self.fault.as_mut() else {
-            return;
-        };
-        if candidates.is_empty() {
-            return;
-        }
-        let frame = candidates[state.rng.gen_index(candidates.len())];
-        // Prefer a line with a valid copy (models a lost downgrade or
-        // invalidation reply); fall back to line 0 (a lost fill).
-        let tags = &self.nodes[n].controller.tags;
-        let lpp = self.cfg.geometry.lines_per_page() as u16;
-        let mut lines: Vec<LineIdx> = (0..lpp)
-            .map(LineIdx)
-            .filter(|&l| matches!(tags.get(frame, l), LineTag::Exclusive | LineTag::Shared))
-            .collect();
-        if lines.is_empty() {
-            lines.push(LineIdx(0));
-        }
-        let line = lines[state.rng.gen_index(lines.len())];
-        state.report.transit_wedges += 1;
-        self.nodes[n]
-            .controller
-            .tags
-            .set(frame, line, LineTag::Transit);
-        self.nodes[n]
-            .controller
-            .note_transit(frame, line, now.as_u64());
-    }
-
     /// Line-addressing helper: the node-local cache key of a line.
-    pub(crate) fn line_key(&self, frame: FrameNo, line: LineIdx) -> u64 {
+    pub(crate) fn line_key(
+        &self,
+        frame: prism_mem::addr::FrameNo,
+        line: prism_mem::addr::LineIdx,
+    ) -> u64 {
         frame.0 as u64 * self.cfg.geometry.lines_per_page() as u64 + line.0 as u64
     }
 
@@ -646,72 +353,6 @@ impl Machine {
         self.finalize_report()
     }
 
-    fn run_loop(&mut self, trace: &Trace) {
-        loop {
-            // Earliest runnable processor (deterministic tie-break on id).
-            let mut best: Option<(Cycle, usize)> = None;
-            let mut bound = Cycle::NEVER;
-            for flat in 0..self.cfg.total_procs() {
-                let (n, pi) = self.split_flat(flat);
-                let p = &self.nodes[n].procs[pi];
-                if p.state == ProcState::Ready {
-                    match best {
-                        None => best = Some((p.clock, flat)),
-                        Some((c, _)) if p.clock < c => {
-                            bound = bound.min(c);
-                            best = Some((p.clock, flat));
-                        }
-                        Some(_) => bound = bound.min(p.clock),
-                    }
-                }
-            }
-            let Some((clock, flat)) = best else {
-                break;
-            };
-            // Scheduled faults strike before the processor at their cycle
-            // executes, at a deterministic point of the interleaving.
-            if self.fault.is_some() {
-                self.apply_fault_events(clock);
-                self.watchdog_sweep(clock);
-            }
-            // Periodic online audit sweeps run at the same deterministic
-            // points (between atomic protocol transactions).
-            if clock.as_u64() >= self.next_audit {
-                self.audit_sweep(clock);
-                let interval = self.cfg.audit_interval.expect("audit scheduled");
-                self.next_audit = clock.as_u64().saturating_add(interval.max(1));
-            }
-            // Execute a batch of operations while this processor remains
-            // the earliest runnable one.
-            for _ in 0..256 {
-                let (n, pi) = self.split_flat(flat);
-                if self.nodes[n].procs[pi].state != ProcState::Ready {
-                    break;
-                }
-                let pc = self.nodes[n].procs[pi].pc;
-                let Some(&op) = trace.lanes[flat].get(pc) else {
-                    self.nodes[n].procs[pi].state = ProcState::Finished;
-                    break;
-                };
-                let is_sync = matches!(op, Op::Barrier(_) | Op::Lock(_) | Op::Unlock(_));
-                self.exec_op(flat, op);
-                if is_sync || self.nodes[n].procs[pi].clock > bound {
-                    break;
-                }
-            }
-        }
-        // Everyone must be Finished or Dead; anything Blocked means the
-        // trace deadlocked.
-        for flat in 0..self.cfg.total_procs() {
-            let (n, pi) = self.split_flat(flat);
-            let st = self.nodes[n].procs[pi].state;
-            assert!(
-                st == ProcState::Finished || st == ProcState::Dead,
-                "processor {flat} ended in state {st:?}: trace deadlock"
-            );
-        }
-    }
-
     /// Runs several independent jobs side by side on this machine
     /// (space sharing): each job's lanes occupy a contiguous block of
     /// processors, its segments are relocated to a private range of the
@@ -760,195 +401,5 @@ impl Machine {
             .collect();
         self.run_loop(&combined);
         self.finalize_report()
-    }
-
-    fn exec_op(&mut self, flat: usize, op: Op) {
-        let (n, pi) = self.split_flat(flat);
-        match op {
-            Op::Compute(c) => {
-                self.nodes[n].procs[pi].clock += Cycle(c as u64);
-                self.nodes[n].procs[pi].pc += 1;
-            }
-            Op::Read(va) => {
-                self.access(n, pi, va, false);
-                self.nodes[n].procs[pi].pc += 1;
-            }
-            Op::Write(va) => {
-                self.access(n, pi, va, true);
-                self.nodes[n].procs[pi].pc += 1;
-            }
-            Op::Barrier(id) => {
-                let t = self.nodes[n].procs[pi].clock + Cycle(self.cfg.latency.sync_op);
-                self.nodes[n].procs[pi].pc += 1;
-                let group = self.barrier_group_of(flat);
-                match self.barrier_groups[group].1.arrive(id, flat, t) {
-                    BarrierOutcome::Wait => {
-                        self.nodes[n].procs[pi].state = ProcState::Blocked;
-                    }
-                    BarrierOutcome::Release {
-                        waiters,
-                        release_at,
-                    } => {
-                        self.nodes[n].procs[pi].clock = release_at;
-                        for w in waiters {
-                            let (wn, wpi) = self.split_flat(w);
-                            let wp = &mut self.nodes[wn].procs[wpi];
-                            // Dead processors stay dead even if a barrier
-                            // would have released them.
-                            if wp.state == ProcState::Blocked {
-                                wp.clock = release_at;
-                                wp.state = ProcState::Ready;
-                            }
-                        }
-                    }
-                }
-            }
-            Op::Lock(id) => {
-                // Locks live on synchronization pages (Sync frame mode,
-                // paper §3.1): each lock is homed round-robin and the
-                // controller there runs the queueing protocol.
-                let lat = self.cfg.latency;
-                let lock_home = id as usize % self.cfg.nodes;
-                let t = self.nodes[n].procs[pi].clock + Cycle(lat.sync_op);
-                self.nodes[n].procs[pi].pc += 1;
-                let t_req = if lock_home == n {
-                    t
-                } else {
-                    self.send(n, lock_home, MsgKind::LockReq, t) + Cycle(lat.dispatch)
-                };
-                match self.locks.acquire(id, flat, t_req) {
-                    LockOutcome::Acquired { at } => {
-                        let granted = self.send(lock_home, n, MsgKind::LockGrant, at);
-                        self.nodes[n].procs[pi].clock = granted;
-                    }
-                    LockOutcome::Queued => {
-                        self.nodes[n].procs[pi].state = ProcState::Blocked;
-                    }
-                }
-            }
-            Op::Unlock(id) => {
-                let lat = self.cfg.latency;
-                let lock_home = id as usize % self.cfg.nodes;
-                let t = self.nodes[n].procs[pi].clock + Cycle(lat.sync_op);
-                // The releaser does not wait for the home to process the
-                // release; the hand-off timing does.
-                self.nodes[n].procs[pi].clock = t;
-                self.nodes[n].procs[pi].pc += 1;
-                let t_rel = if lock_home == n {
-                    t
-                } else {
-                    self.send(n, lock_home, MsgKind::LockRelease, t) + Cycle(lat.dispatch)
-                };
-                if let Some((next, grant)) = self.locks.release(id, flat, t_rel) {
-                    let (wn, wpi) = self.split_flat(next);
-                    let granted = self.send(lock_home, wn, MsgKind::LockGrant, grant);
-                    let wp = &mut self.nodes[wn].procs[wpi];
-                    if wp.state == ProcState::Blocked {
-                        wp.clock = granted + Cycle(lat.sync_op);
-                        wp.state = ProcState::Ready;
-                    }
-                }
-            }
-        }
-    }
-
-    fn finalize_report(&mut self) -> RunReport {
-        let mut exec = Cycle::ZERO;
-        let (mut l1h, mut l1m, mut l2h, mut l2m) = (0, 0, 0, 0);
-        for node in &self.nodes {
-            for p in &node.procs {
-                if !p.clock.is_never() {
-                    exec = exec.max(p.clock);
-                }
-                let s1 = p.l1.stats();
-                let s2 = p.l2.stats();
-                l1h += s1.hits;
-                l1m += s1.misses;
-                l2h += s2.hits;
-                l2m += s2.misses;
-            }
-        }
-        // Every audited run ends with a final structural sweep, so even
-        // short runs (or faults striking after the last periodic sweep)
-        // are checked.
-        if self.cfg.audit_interval.is_some() {
-            self.audit_sweep(exec);
-        }
-        let mut per_node = Vec::with_capacity(self.nodes.len());
-        let (mut frames, mut util_num) = (0u64, 0.0f64);
-        let (mut f_priv, mut f_home, mut f_client, mut f_contact) = (0, 0, 0, 0);
-        let (mut pouts, mut convs, mut reconvs) = (0, 0, 0);
-        for node in &mut self.nodes {
-            let (instances, utilization) = node.kernel.finalize_usage();
-            let ks = node.kernel.stats();
-            f_priv += ks.faults_private;
-            f_home += ks.faults_home;
-            f_client += ks.faults_client;
-            f_contact += ks.faults_contacting_home;
-            pouts += ks.page_outs;
-            convs += ks.conversions_to_lanuma;
-            reconvs += ks.conversions_to_scoma;
-            frames += instances;
-            util_num += utilization * instances as f64;
-            per_node.push(NodeReport {
-                pool: node.kernel.pool_stats(),
-                kernel: ks,
-                frame_instances: instances,
-                utilization,
-                pit_guess_hits: node.controller.pit.guess_hits(),
-                pit_hash_lookups: node.controller.pit.hash_lookups(),
-                dir_cache_hits: node.controller.dir_cache.hits(),
-                dir_cache_misses: node.controller.dir_cache.misses(),
-                bus_busy: node.bus.busy_cycles(),
-                ni_busy: node.ni.busy_cycles(),
-                bus_wait: node.bus.wait_cycles(),
-                ni_wait: node.ni.wait_cycles(),
-                engine_wait: node.engine.wait_cycles(),
-                memory_wait: node.memory.wait_cycles(),
-            });
-        }
-        RunReport {
-            workload: self.workload_name.clone(),
-            exec_cycles: exec,
-            total_refs: self.stats.total_refs,
-            l1_hits: l1h,
-            l1_misses: l1m,
-            l2_hits: l2h,
-            l2_misses: l2m,
-            remote_misses: self.stats.remote_misses,
-            remote_upgrades: self.stats.remote_upgrades,
-            local_fills: self.stats.local_fills,
-            sibling_fills: self.stats.sibling_fills,
-            page_outs: pouts,
-            page_out_lines: self.stats.page_out_lines,
-            home_page_outs: self.stats.home_page_outs,
-            conversions_to_lanuma: convs,
-            conversions_to_scoma: reconvs,
-            faults: (f_priv, f_home, f_client),
-            faults_contacting_home: f_contact,
-            invalidations: self.stats.invalidations,
-            remote_writebacks: self.stats.remote_writebacks,
-            migrations: self.stats.migrations,
-            forwards: self.stats.forwards,
-            firewall_rejections: self.stats.firewall_rejections,
-            dead_procs: self.stats.dead_procs,
-            barrier_episodes: self.barrier_groups.iter().map(|(_, b)| b.episodes()).sum(),
-            lock_acquisitions: (self.locks.acquisitions(), self.locks.contended()),
-            frames_allocated: frames,
-            avg_utilization: if frames == 0 {
-                0.0
-            } else {
-                util_num / frames as f64
-            },
-            ledger: self.ledger.clone(),
-            local_fill_latency: self.stats.local_fill_latency.clone(),
-            remote_fetch_latency: self.stats.remote_fetch_latency.clone(),
-            fault_latency: self.stats.fault_latency.clone(),
-            per_node,
-            reads_checked: self.shadow.as_ref().map(|s| s.reads_checked).unwrap_or(0),
-            fault: self.fault_report(),
-            audit: self.audit_findings.clone(),
-            audit_sweeps: self.audit_sweeps,
-        }
     }
 }

@@ -1,0 +1,140 @@
+//! The messaging layer: NI occupancy, wire latency, and fault-aware
+//! reliable delivery.
+//!
+//! Every protocol transaction in [`crate::txn`] moves messages through
+//! these three primitives. `send` models a synchronous hop, `post_send`
+//! a posted (fire-and-forget) hop, and `send_reliable` a request subject
+//! to the installed fault plan's link verdicts, retried under the
+//! configured [`crate::faults::RetryPolicy`].
+
+use prism_mem::addr::NodeId;
+use prism_protocol::msg::MsgKind;
+use prism_sim::Cycle;
+
+use crate::faults::{DeliveryFailed, LinkVerdict};
+use crate::machine::Machine;
+
+impl Machine {
+    /// Sends a message: NI occupancy at both ends plus wire latency.
+    /// Returns the delivery time. `from == to` is a node-local step and
+    /// costs nothing.
+    pub(crate) fn send(&mut self, from: usize, to: usize, kind: MsgKind, t: Cycle) -> Cycle {
+        if from == to {
+            return t;
+        }
+        let lat = self.cfg.latency;
+        // NIs are pipelined: occupancy limits throughput, the full NI
+        // latency is charged additively.
+        let t1 = self.nodes[from].ni.acquire(t, Cycle(lat.ni_occupancy)) + Cycle(lat.ni);
+        let t2 = t1 + Cycle(lat.net);
+        let t3 = self.nodes[to].ni.acquire(t2, Cycle(lat.ni_occupancy)) + Cycle(lat.ni);
+        self.ledger
+            .record(kind, NodeId(from as u16), NodeId(to as u16));
+        t3
+    }
+
+    /// Posts a message whose completion nobody waits on (overlapped
+    /// invalidations, posted writebacks): reserves NI occupancy and
+    /// records it, without returning a delivery time.
+    pub(crate) fn post_send(&mut self, from: usize, to: usize, kind: MsgKind, t: Cycle) {
+        if from == to {
+            return;
+        }
+        let lat = self.cfg.latency;
+        let arrive =
+            self.nodes[from].ni.acquire(t, Cycle(lat.ni_occupancy)) + Cycle(lat.ni + lat.net);
+        self.nodes[to].ni.acquire(arrive, Cycle(lat.ni_occupancy));
+        self.ledger
+            .record(kind, NodeId(from as u16), NodeId(to as u16));
+    }
+
+    /// Sends a request whose delivery is subject to the installed fault
+    /// plan, retrying under the configured [`crate::faults::RetryPolicy`].
+    ///
+    /// * A **dropped** message costs the sender its NI occupancy, then a
+    ///   timeout + exponential-backoff wait before the retransmission.
+    /// * A **corrupted** message is delivered, Nack'd by the receiver,
+    ///   and retransmitted immediately.
+    /// * With no plan installed this is exactly [`Machine::send`].
+    ///
+    /// Returns the delivery time of the first intact copy, or
+    /// [`DeliveryFailed`] once `max_attempts` transmissions have all
+    /// been lost or corrupted (the caller kills the requester).
+    pub(crate) fn send_reliable(
+        &mut self,
+        from: usize,
+        to: usize,
+        kind: MsgKind,
+        t: Cycle,
+    ) -> Result<Cycle, DeliveryFailed> {
+        if from == to {
+            return Ok(t);
+        }
+        if self.fault.is_none() {
+            return Ok(self.send(from, to, kind, t));
+        }
+        let policy = self.cfg.retry;
+        let lat = self.cfg.latency;
+        let mut t = t;
+        let mut perturbed = false;
+        for attempt in 1..=policy.max_attempts {
+            let kind_now = if attempt == 1 {
+                kind
+            } else {
+                MsgKind::RetryReq
+            };
+            let verdict = self
+                .fault
+                .as_mut()
+                .map(|f| f.link_verdict(t))
+                .unwrap_or(LinkVerdict::Deliver);
+            match verdict {
+                LinkVerdict::Deliver => {
+                    let delivered = self.send(from, to, kind_now, t);
+                    if perturbed {
+                        self.freport(|r| r.contained_faults += 1);
+                    }
+                    return Ok(delivered);
+                }
+                LinkVerdict::Drop => {
+                    perturbed = true;
+                    // The message left the sender's NI and vanished; the
+                    // requester notices only when the reply timeout
+                    // expires, then backs off before retransmitting.
+                    self.nodes[from].ni.acquire(t, Cycle(lat.ni_occupancy));
+                    self.ledger
+                        .record(kind_now, NodeId(from as u16), NodeId(to as u16));
+                    let wait = policy.backoff_wait(attempt);
+                    let last = attempt == policy.max_attempts;
+                    self.freport(|r| {
+                        r.dropped_messages += 1;
+                        r.timeouts += 1;
+                        r.backoff_cycles += wait;
+                        if !last {
+                            r.retries += 1;
+                        }
+                    });
+                    t += Cycle(wait);
+                }
+                LinkVerdict::Corrupt => {
+                    perturbed = true;
+                    // Delivered, but the payload fails its checksum at
+                    // the receiver, which Nacks; the sender retries as
+                    // soon as the Nack arrives.
+                    let arrived = self.send(from, to, kind_now, t);
+                    let nacked = self.send(to, from, MsgKind::Nack, arrived + Cycle(lat.dispatch));
+                    let last = attempt == policy.max_attempts;
+                    self.freport(|r| {
+                        r.corrupted_messages += 1;
+                        r.nacks += 1;
+                        if !last {
+                            r.retries += 1;
+                        }
+                    });
+                    t = nacked + Cycle(lat.dispatch);
+                }
+            }
+        }
+        Err(DeliveryFailed)
+    }
+}

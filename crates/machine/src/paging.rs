@@ -9,6 +9,7 @@ use prism_protocol::msg::MsgKind;
 use prism_sim::Cycle;
 
 use crate::machine::Machine;
+use crate::obs::Ctr;
 
 impl Machine {
     /// Services a page fault on `vpage` for processor `pi` of node `n`.
@@ -82,7 +83,7 @@ impl Machine {
                     let delivered = if static_home != home {
                         self.send_reliable(n, static_home, MsgKind::PageInReq, t)
                             .map(|tt| {
-                                self.stats.forwards += 1;
+                                self.obs.incr(Ctr::Forwards);
                                 self.send(
                                     static_home,
                                     home,
@@ -147,7 +148,7 @@ impl Machine {
                 }
             }
         }
-        self.stats.fault_latency.record(t - t0);
+        self.obs.fault_latency.record(t - t0);
         t
     }
 
@@ -279,7 +280,7 @@ impl Machine {
             .memory
             .acquire(t, Cycle(lat.mem_occupancy * 8));
         t += Cycle(lat.pageout_per_line * lpp / 4);
-        self.stats.home_page_outs += 1;
+        self.obs.incr(Ctr::HomePageOuts);
         Some(t)
     }
 
@@ -384,7 +385,7 @@ impl Machine {
             self.nodes[home]
                 .memory
                 .acquire(t, Cycle(lat.mem_access * dirty_lines.len() as u64 / 4 + 1));
-            self.stats.page_out_lines += dirty_lines.len() as u64;
+            self.obs.add(Ctr::PageOutLines, dirty_lines.len() as u64);
         }
         if !self.nodes[home].failed {
             t = self.send(n, home, MsgKind::PageOutReq, t);

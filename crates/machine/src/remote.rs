@@ -1,15 +1,14 @@
-//! Execution of the inter-node coherence protocol with timing.
+//! Thin driver for the inter-node coherence protocol: classifies the
+//! request and runs a [`crate::txn::remote_txn::RemoteTxn`] to
+//! completion. All protocol mechanics — routing, home dispatch, data
+//! sourcing, invalidation, commit, reply, and requester-side learning —
+//! live in the transaction's phase methods.
 
-use prism_mem::addr::{FrameNo, GlobalPage, LineIdx, NodeId};
-use prism_mem::cache::LineState;
-use prism_mem::directory::LineDir;
-use prism_mem::tags::LineTag;
-use prism_protocol::dirproto::{transition, DataSource, ReqKind};
-use prism_protocol::firewall;
-use prism_protocol::msg::MsgKind;
+use prism_mem::addr::{FrameNo, GlobalPage, LineIdx};
 use prism_sim::Cycle;
 
 use crate::machine::Machine;
+use crate::txn::remote_txn::RemoteTxn;
 
 impl Machine {
     /// Executes one remote (or home-self) coherence request for
@@ -34,640 +33,9 @@ impl Machine {
         scoma: bool,
         t: Cycle,
     ) -> Cycle {
-        let lat = self.cfg.latency;
-        let flat = self.flat(n, pi) as u16;
-        let t0 = t;
-
-        // Requester-side: bus address phase, dispatch, PIT translation.
-        let mut t = self.nodes[n].bus.acquire_until(t, Cycle(lat.bus_addr));
-        t = self.nodes[n]
-            .engine
-            .acquire(t, Cycle(lat.dispatch_occupancy))
-            + Cycle(lat.dispatch);
-        t += Cycle(lat.pit_access());
-
-        let entry = self.nodes[n]
-            .controller
-            .pit
-            .translate(frame)
-            .copied()
-            .expect("shared frame has a PIT entry");
-        let mut home = entry.dyn_home.0 as usize;
-        let static_home = entry.static_home.0 as usize;
-        let hint = entry.home_frame_hint;
-
-        let kind_msg = if write {
-            MsgKind::WriteReq
-        } else {
-            MsgKind::ReadReq
-        };
-        t = match self.send_reliable(n, home, kind_msg, t) {
-            Ok(tt) => tt,
-            Err(_) => {
-                // Every allowed transmission was lost or corrupted.
-                self.freport(|r| r.fatal_faults += 1);
-                self.kill_proc(n, pi);
-                return t;
-            }
-        };
-
-        // A failed (believed) home: after a timeout the requester
-        // re-asks the static home, which redirects to a surviving
-        // dynamic home or re-masters the page there (home failover) —
-        // otherwise the access is fatal.
-        if self.nodes[home].failed {
-            match self.reroute_after_home_failure(n, gpage, t) {
-                Some((h, tt)) => {
-                    home = h;
-                    t = tt;
-                }
-                None => {
-                    self.freport(|r| r.fatal_faults += 1);
-                    self.kill_proc(n, pi);
-                    return t;
-                }
-            }
-        }
-
-        // Lazy-migration forwarding: a stale dynamic-home hint bounces
-        // through the static home, which knows the current location
-        // (paper §3.5).
-        if self.nodes[home].controller.dir.page(gpage).is_none() {
-            if self.nodes[static_home].failed {
-                // The forwarder is gone; the page cannot be located.
-                self.freport(|r| r.fatal_faults += 1);
-                self.kill_proc(n, pi);
-                return t;
-            }
-            self.stats.forwards += 1;
-            t = self.nodes[home]
-                .engine
-                .acquire(t, Cycle(lat.dispatch_occupancy))
-                + Cycle(lat.dispatch);
-            t = self.send(home, static_home, MsgKind::Forward, t);
-            t = self.nodes[static_home]
-                .engine
-                .acquire(t, Cycle(lat.dispatch_occupancy))
-                + Cycle(lat.dispatch);
-            let target = self.resolve_dyn_home(gpage).0 as usize;
-            if self.nodes[target].failed {
-                match self.reroute_after_home_failure(n, gpage, t) {
-                    Some((h, tt)) => {
-                        home = h;
-                        t = tt;
-                    }
-                    None => {
-                        self.freport(|r| r.fatal_faults += 1);
-                        self.kill_proc(n, pi);
-                        return t;
-                    }
-                }
-            } else {
-                t = self.send(static_home, target, MsgKind::Forward, t);
-                home = target;
-            }
-        }
-        assert!(
-            self.nodes[home].controller.dir.page(gpage).is_some(),
-            "dynamic home {home} lacks directory state for {gpage}"
-        );
-
-        // Home-side processing (a slow-node episode inflates the home's
-        // protocol dispatch and memory latencies).
-        let slow = self.slow_factor(home, t);
-        t = self.nodes[home]
-            .engine
-            .acquire(t, Cycle(lat.dispatch_occupancy))
-            + Cycle(lat.dispatch * slow);
-        if home != n {
-            // Reverse translation (with the message's frame hint) and
-            // firewall check against the home's own PIT entry.
-            let (home_frame_rt, how) = self.nodes[home]
-                .controller
-                .pit
-                .reverse(gpage, hint)
-                .expect("home has a PIT entry for a resident page");
-            t += Cycle(match how {
-                prism_mem::pit::ReverseOutcome::GuessHit => lat.pit_access(),
-                prism_mem::pit::ReverseOutcome::HashLookup => {
-                    lat.pit_access() + lat.pit_hash_search
-                }
-            });
-            let home_entry = *self.nodes[home]
-                .controller
-                .pit
-                .translate(home_frame_rt)
-                .expect("reverse translation is bound");
-            if firewall::check(&home_entry, home_frame_rt, NodeId(n as u16), write).is_err() {
-                self.stats.firewall_rejections += 1;
-                self.kill_proc(n, pi);
-                return t;
-            }
-        }
-
-        // Remote accesses touch the home frame's lines too (frame
-        // utilization counts every access, paper Table 3).
-        if home != n {
-            let hf = self.nodes[home]
-                .controller
-                .dir
-                .page(gpage)
-                .expect("checked above")
-                .home_frame;
-            self.nodes[home].kernel.on_access(hf, line, None);
-        }
-
-        // Directory cache and state.
-        let dir_hit = self.nodes[home]
-            .controller
-            .dir_cache
-            .probe(gpage.line(line));
-        t += Cycle(lat.dir_access(dir_hit));
-        self.nodes[home]
-            .controller
-            .traffic_mut(gpage)
-            .record(NodeId(n as u16));
-
-        let (dirline, home_frame) = {
-            let pd = self.nodes[home]
-                .controller
-                .dir
-                .page(gpage)
-                .expect("checked above");
-            (pd.line(line), pd.home_frame)
-        };
-        let home_tag = self.nodes[home].controller.tags.get(home_frame, line);
-        let home_key = self.line_key(home_frame, line);
-        let home_dirty = (0..self.ppn())
-            .any(|hpi| self.nodes[home].procs[hpi].l2.probe(home_key) == Some(LineState::Modified));
-
-        let outcome = if home == n {
-            self.home_self_transition(dirline, home_tag, write, has_data)
-        } else {
-            transition(
-                dirline,
-                home_tag,
-                home_dirty,
-                NodeId(n as u16),
-                if write { ReqKind::Write } else { ReqKind::Read },
-                has_data,
-            )
-        };
-
-        // Data source.
-        let mut version = 0u64;
-        let mut data_fetched = false;
-        let mut reply_from_owner = false;
-        match outcome.source {
-            DataSource::HomeMemory => {
-                t = self.nodes[home]
-                    .bus
-                    .acquire_until(t, Cycle(lat.bus_addr + lat.bus_data));
-                t = self.nodes[home].memory.acquire(t, Cycle(lat.mem_occupancy))
-                    + Cycle(lat.mem_access * slow);
-                if let Some(sh) = self.shadow.as_ref() {
-                    version = sh.freshest_at_node(home as u16, self.node_proc_range(home), lid);
-                }
-                if !write {
-                    // The line is now shared beyond the home node: any
-                    // home processor holding it clean-exclusive is
-                    // snooped down to Shared so its next write takes the
-                    // upgrade path (writes are handled by
-                    // `invalidate_home` below).
-                    for hpi in 0..self.ppn() {
-                        if self.nodes[home].procs[hpi].l2.probe(home_key)
-                            == Some(LineState::Exclusive)
-                        {
-                            self.nodes[home].procs[hpi]
-                                .l2
-                                .set_state(home_key, LineState::Shared);
-                            if self.nodes[home].procs[hpi].l1.probe(home_key).is_some() {
-                                self.nodes[home].procs[hpi]
-                                    .l1
-                                    .set_state(home_key, LineState::Shared);
-                            }
-                        }
-                    }
-                }
-                data_fetched = true;
-            }
-            DataSource::HomeIntervention => {
-                t = self.nodes[home]
-                    .bus
-                    .acquire_until(t, Cycle(lat.bus_addr + lat.bus_data));
-                t += Cycle(lat.cache_intervention);
-                if let Some(sh) = self.shadow.as_ref() {
-                    version = sh.freshest_at_node(home as u16, self.node_proc_range(home), lid);
-                }
-                // The modified holder at the home downgrades (read) or is
-                // invalidated (write); dirty data reaches home memory.
-                for hpi in 0..self.ppn() {
-                    let hflat = self.flat(home, hpi) as u16;
-                    let present = self.nodes[home].procs[hpi].l2.probe(home_key).is_some();
-                    if !present {
-                        continue;
-                    }
-                    if write {
-                        self.nodes[home].procs[hpi].l1.invalidate(home_key);
-                        self.nodes[home].procs[hpi].l2.invalidate(home_key);
-                        if let Some(sh) = self.shadow.as_mut() {
-                            sh.writeback(hflat, home as u16, lid);
-                            sh.drop_proc(hflat, lid);
-                        }
-                    } else {
-                        self.nodes[home].procs[hpi].l1.downgrade(home_key);
-                        self.nodes[home].procs[hpi].l2.downgrade(home_key);
-                        if let Some(sh) = self.shadow.as_mut() {
-                            sh.writeback(hflat, home as u16, lid);
-                        }
-                    }
-                }
-                data_fetched = true;
-            }
-            DataSource::Owner(owner) => {
-                let o = owner.0 as usize;
-                if self.nodes[o].failed {
-                    // The line's only up-to-date copy died with its
-                    // owner: unrecoverable, kill the requester.
-                    self.freport(|r| r.fatal_faults += 1);
-                    self.kill_proc(n, pi);
-                    return t;
-                }
-                t = match self.send_reliable(home, o, MsgKind::Intervention, t) {
-                    Ok(tt) => tt,
-                    Err(_) => {
-                        self.freport(|r| r.fatal_faults += 1);
-                        self.kill_proc(n, pi);
-                        return t;
-                    }
-                };
-                t = self.nodes[o]
-                    .engine
-                    .acquire(t, Cycle(lat.dispatch_occupancy))
-                    + Cycle(lat.dispatch);
-                t += Cycle(lat.pit_access());
-                if !self.cfg.client_frame_hints_in_directory {
-                    t += Cycle(lat.pit_hash_search);
-                }
-                t = self.nodes[o]
-                    .bus
-                    .acquire_until(t, Cycle(lat.bus_addr + lat.bus_data));
-                t += Cycle(lat.cache_intervention);
-                if let Some(sh) = self.shadow.as_ref() {
-                    version = sh.freshest_at_node(o as u16, self.node_proc_range(o), lid);
-                }
-                if write {
-                    self.invalidate_at_node(o, gpage, line, lid);
-                } else {
-                    self.downgrade_at_node(o, gpage, line, lid, version);
-                    // Data flows through the home, refreshing its memory.
-                    self.nodes[home].memory.acquire(t, Cycle(lat.mem_access));
-                    if let Some(sh) = self.shadow.as_mut() {
-                        sh.set_node_copy(home as u16, lid, version);
-                    }
-                }
-                // The owner replies directly to the requester.
-                t = self.send(o, n, MsgKind::DataReply, t);
-                reply_from_owner = true;
-                data_fetched = true;
-            }
-            DataSource::None => {}
-        }
-
-        // Invalidations of other sharers (the owner case folded its
-        // invalidation into the intervention above).
-        let sharers: Vec<usize> = outcome
-            .invalidate
-            .iter()
-            .map(|s| s.0 as usize)
-            .filter(|&s| !matches!(outcome.source, DataSource::Owner(o) if o.0 as usize == s))
-            .collect();
-        if !sharers.is_empty() {
-            t += Cycle(lat.inval_first_extra);
-            // First invalidation round trip is on the critical path; the
-            // rest overlap with serialized ack processing at the home.
-            let first = sharers[0];
-            t = self.send(home, first, MsgKind::Invalidate, t);
-            t = self.nodes[first]
-                .engine
-                .acquire(t, Cycle(lat.dispatch_occupancy))
-                + Cycle(lat.dispatch);
-            // The sharer reverse-translates the invalidation's global
-            // address. Without client frame numbers cached in the home
-            // directory (paper §3.2 option, off by default) the message
-            // carries no hint, so the sharer searches its PIT hash.
-            t += Cycle(lat.pit_access());
-            if !self.cfg.client_frame_hints_in_directory {
-                t += Cycle(lat.pit_hash_search);
-            }
-            t = self.send(first, home, MsgKind::InvalAck, t);
-            t = self.nodes[home]
-                .engine
-                .acquire(t, Cycle(lat.dispatch_occupancy))
-                + Cycle(lat.dispatch);
-            for (i, &s) in sharers.iter().enumerate() {
-                if i > 0 {
-                    self.post_send(home, s, MsgKind::Invalidate, t);
-                    self.post_send(s, home, MsgKind::InvalAck, t);
-                    t += Cycle(lat.inval_extra);
-                }
-                self.invalidate_at_node(s, gpage, line, lid);
-                self.stats.invalidations += 1;
-            }
-        }
-        if outcome.invalidate_home {
-            t += Cycle(lat.home_invalidate);
-            for hpi in 0..self.ppn() {
-                let hflat = self.flat(home, hpi) as u16;
-                let a = self.nodes[home].procs[hpi]
-                    .l1
-                    .invalidate(home_key)
-                    .is_some();
-                let b = self.nodes[home].procs[hpi]
-                    .l2
-                    .invalidate(home_key)
-                    .is_some();
-                if a || b {
-                    if let Some(sh) = self.shadow.as_mut() {
-                        sh.drop_proc(hflat, lid);
-                    }
-                }
-            }
-            if let Some(sh) = self.shadow.as_mut() {
-                sh.drop_node(home as u16, lid);
-            }
-        }
-
-        // Commit directory and home-tag updates.
-        {
-            let pd = self.nodes[home]
-                .controller
-                .dir
-                .page_mut(gpage)
-                .expect("resident");
-            *pd.line_mut(line) = outcome.new_state;
-            pd.traffic += 1;
-            if self.cfg.client_frame_hints_in_directory && home != n {
-                pd.client_frames.insert(NodeId(n as u16), frame);
-            }
-        }
-        if let Some(tag) = outcome.home_tag_to {
-            self.nodes[home].controller.tags.set(home_frame, line, tag);
-        }
-
-        // Reply to the requester (unless the owner already did, or this
-        // was the home's own access).
-        if !reply_from_owner {
-            let reply = if data_fetched {
-                MsgKind::DataReply
-            } else {
-                MsgKind::AckReply
-            };
-            t = self.send(home, n, reply, t);
-        }
-        t = self.nodes[n]
-            .engine
-            .acquire(t, Cycle(lat.dispatch_occupancy))
-            + Cycle(lat.dispatch);
-        if data_fetched {
-            t = self.nodes[n].bus.acquire_until(t, Cycle(lat.bus_data));
-        }
-
-        // Requester-side state: PIT learning (lazy migration + reverse-
-        // translation hint), node-level tags, caches, shadow.
-        if home != n {
-            if let Some(e) = self.nodes[n].controller.pit.translate_mut(frame) {
-                e.dyn_home = NodeId(home as u16);
-                e.home_frame_hint = Some(home_frame);
-            }
-            self.nodes[n]
-                .kernel
-                .learn_home(gpage, NodeId(home as u16), Some(home_frame));
-        }
-
-        let new_node_tag = if write {
-            LineTag::Exclusive
-        } else {
-            LineTag::Shared
-        };
-        if home == n {
-            // Home-self access: the home's own tag was set via
-            // `home_tag_to`; nothing else to record.
-        } else if scoma {
-            self.nodes[n].controller.tags.set(frame, line, new_node_tag);
-            if data_fetched {
-                // Fetched data also lands in the local page frame.
-                self.nodes[n].memory.acquire(t, Cycle(lat.mem_access));
-            }
-        } else {
-            self.nodes[n]
-                .controller
-                .set_lanuma_tag(frame, line, new_node_tag);
-        }
-
-        // A write gains node-and-processor exclusivity: the bus
-        // transaction snoop-invalidates sibling copies on the requesting
-        // node (relevant for upgrades of intra-node-shared lines).
-        if write {
-            for spi in 0..self.ppn() {
-                if spi == pi {
-                    continue;
-                }
-                let f2 = self.flat(n, spi) as u16;
-                let a = self.nodes[n].procs[spi].l1.invalidate(key).is_some();
-                let b = self.nodes[n].procs[spi].l2.invalidate(key).is_some();
-                if a || b {
-                    if let Some(sh) = self.shadow.as_mut() {
-                        sh.drop_proc(f2, lid);
-                    }
-                }
-            }
-        }
-
-        // Fill caches.
-        let data_remote = data_fetched && (home != n || reply_from_owner);
-        if data_fetched {
-            if let Some(sh) = self.shadow.as_mut() {
-                sh.fill_remote(flat, n as u16, lid, version, scoma && home != n);
-            }
-            let state = if write {
-                LineState::Modified
-            } else {
-                LineState::Shared
-            };
-            self.insert_line(n, pi, key, state, lid);
-            if write {
-                if let Some(sh) = self.shadow.as_mut() {
-                    sh.write(flat, lid);
-                }
-            }
-            if data_remote {
-                self.stats.remote_misses += 1;
-            } else {
-                self.stats.local_fills += 1;
-            }
-        } else {
-            // Upgrade: the copy we hold becomes writable.
-            if let Some(sh) = self.shadow.as_mut() {
-                sh.observe_hit(flat, lid);
-            }
-            self.nodes[n].procs[pi]
-                .l2
-                .set_state(key, LineState::Modified);
-            if self.nodes[n].procs[pi].l1.probe(key).is_some() {
-                self.nodes[n].procs[pi]
-                    .l1
-                    .set_state(key, LineState::Modified);
-            } else {
-                self.fill_l1(n, pi, key, LineState::Modified, lid);
-            }
-            if let Some(sh) = self.shadow.as_mut() {
-                sh.write(flat, lid);
-            }
-            self.stats.remote_upgrades += 1;
-        }
-        self.stats.remote_fetch_latency.record(t - t0);
-
-        // Lazy home migration: evaluate the policy on this page's
-        // hardware traffic counters (paper §3.5).
-        if let Some(policy) = self.cfg.migration {
-            let traffic = self.nodes[home].controller.traffic_mut(gpage);
-            if let Some(target) = policy.evaluate(NodeId(home as u16), traffic) {
-                traffic.reset();
-                self.migrate_page(gpage, home, target.0 as usize, t);
-            }
-        }
-        t
-    }
-
-    /// Directory transition for the home node's *own* access to a page it
-    /// homes, when its fine-grain tag is not sufficient (tag `S` write,
-    /// or tag `I` because a client owns the line).
-    fn home_self_transition(
-        &self,
-        dirline: LineDir,
-        home_tag: LineTag,
-        write: bool,
-        has_data: bool,
-    ) -> prism_protocol::dirproto::DirOutcome {
-        use prism_protocol::dirproto::DirOutcome;
-        let data_source = if has_data {
-            DataSource::None
-        } else {
-            DataSource::HomeMemory
-        };
-        match (dirline, write) {
-            (LineDir::Owned(owner), false) => DirOutcome {
-                source: DataSource::Owner(owner),
-                invalidate: prism_mem::addr::NodeSet::EMPTY,
-                invalidate_home: false,
-                new_state: LineDir::Shared(prism_mem::addr::NodeSet::single(owner)),
-                home_tag_to: Some(LineTag::Shared),
-                updates_home_memory: true,
-            },
-            (LineDir::Owned(owner), true) => DirOutcome {
-                source: DataSource::Owner(owner),
-                invalidate: prism_mem::addr::NodeSet::single(owner),
-                invalidate_home: false,
-                new_state: LineDir::Uncached,
-                home_tag_to: Some(LineTag::Exclusive),
-                updates_home_memory: true,
-            },
-            (LineDir::Shared(sharers), true) => DirOutcome {
-                source: data_source,
-                invalidate: sharers,
-                invalidate_home: false,
-                new_state: LineDir::Uncached,
-                home_tag_to: Some(LineTag::Exclusive),
-                updates_home_memory: false,
-            },
-            (LineDir::Uncached, true) => DirOutcome {
-                // Stale sharer hints already drained; just take the tag.
-                source: data_source,
-                invalidate: prism_mem::addr::NodeSet::EMPTY,
-                invalidate_home: false,
-                new_state: LineDir::Uncached,
-                home_tag_to: Some(LineTag::Exclusive),
-                updates_home_memory: false,
-            },
-            (state, false) => {
-                unreachable!(
-                    "home read with valid memory should hit locally: {state:?} tag {home_tag:?}"
-                )
-            }
-        }
-    }
-
-    /// Invalidates a line at a node: every processor cache, plus the
-    /// node-level tag (S-COMA fine-grain tag or LA-NUMA state).
-    pub(crate) fn invalidate_at_node(
-        &mut self,
-        s: usize,
-        gpage: GlobalPage,
-        line: LineIdx,
-        lid: u64,
-    ) {
-        let Some(frame) = self.nodes[s].controller.pit.frame_of(gpage) else {
-            return; // stale sharer: the node paged the page out already
-        };
-        let key = self.line_key(frame, line);
-        for spi in 0..self.ppn() {
-            let f2 = self.flat(s, spi) as u16;
-            let a = self.nodes[s].procs[spi].l1.invalidate(key).is_some();
-            let b = self.nodes[s].procs[spi].l2.invalidate(key).is_some();
-            if a || b {
-                if let Some(sh) = self.shadow.as_mut() {
-                    sh.drop_proc(f2, lid);
-                }
-            }
-        }
-        if frame.is_imaginary() {
-            self.nodes[s]
-                .controller
-                .set_lanuma_tag(frame, line, LineTag::Invalid);
-        } else if self.nodes[s].controller.tags.is_allocated(frame) {
-            self.nodes[s]
-                .controller
-                .tags
-                .set(frame, line, LineTag::Invalid);
-            if let Some(sh) = self.shadow.as_mut() {
-                sh.drop_node(s as u16, lid);
-            }
-        }
-    }
-
-    /// Downgrades a line at an owning node to Shared (3-party read).
-    fn downgrade_at_node(
-        &mut self,
-        s: usize,
-        gpage: GlobalPage,
-        line: LineIdx,
-        lid: u64,
-        version: u64,
-    ) {
-        let Some(frame) = self.nodes[s].controller.pit.frame_of(gpage) else {
-            return;
-        };
-        let key = self.line_key(frame, line);
-        for spi in 0..self.ppn() {
-            if self.nodes[s].procs[spi].l2.probe(key).is_some() {
-                self.nodes[s].procs[spi].l1.downgrade(key);
-                self.nodes[s].procs[spi].l2.downgrade(key);
-            }
-        }
-        if frame.is_imaginary() {
-            self.nodes[s]
-                .controller
-                .set_lanuma_tag(frame, line, LineTag::Shared);
-        } else if self.nodes[s].controller.tags.is_allocated(frame) {
-            self.nodes[s]
-                .controller
-                .tags
-                .set(frame, line, LineTag::Shared);
-            // The owner's page-cache copy is refreshed by the writeback.
-            if let Some(sh) = self.shadow.as_mut() {
-                sh.set_node_copy(s as u16, lid, version);
-            }
-        }
+        RemoteTxn::new(
+            n, pi, frame, gpage, line, key, lid, write, has_data, scoma, t,
+        )
+        .run(self)
     }
 }

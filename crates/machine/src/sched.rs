@@ -1,0 +1,578 @@
+//! The scheduling layer: ready queue, run loop, and scheduled control
+//! events.
+//!
+//! The machine advances processors in a conservative deterministic
+//! interleaving: the runnable processor with the earliest clock executes
+//! next (ties break toward the lowest processor id), and keeps executing
+//! in a batch while it remains the earliest. This module owns that
+//! decision, in two interchangeable implementations selected by
+//! [`SchedulerKind`]:
+//!
+//! * **Heap** — a binary-heap ready queue holding one entry per Ready
+//!   processor, ordered by `(clock, proc)`. Picking the next processor
+//!   and the batch bound (the second-earliest clock) is `O(log P)`
+//!   instead of the `O(P)` rescan of the original loop. Fault
+//!   injections, watchdog sweeps, and audit sweeps become *control
+//!   events* on a companion queue, popped exactly at the picks where the
+//!   original loop's per-iteration checks would have fired — so results
+//!   are bit-identical while fault-free picks pay nothing for them.
+//! * **LinearScan** — the original loop, kept as the benchmark baseline
+//!   (`scaling` A/Bs the two) and as an oracle for the golden test.
+//!
+//! Stale heap entries are invalidated lazily through per-processor
+//! sequence numbers: blocking, killing, or re-queueing a processor bumps
+//! its sequence, and entries whose sequence no longer matches are
+//! discarded when they surface at the top of the heap.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use prism_mem::addr::{FrameNo, LineIdx, NodeId};
+use prism_mem::tags::LineTag;
+use prism_mem::trace::{Op, Trace};
+use prism_protocol::msg::MsgKind;
+use prism_sim::sync::{BarrierOutcome, LockOutcome};
+use prism_sim::Cycle;
+
+use crate::config::SchedulerKind;
+use crate::faults::ScheduledFaultKind;
+use crate::machine::Machine;
+use crate::node::ProcState;
+use crate::obs::{Ctr, ObsEvent};
+
+/// Maximum operations one processor executes per pick while it remains
+/// the earliest runnable one.
+const BATCH_OPS: usize = 256;
+
+/// Control-event classes, in the order they execute when several come
+/// due at the same pick (faults strike, then the watchdog sweeps, then
+/// the auditor runs — matching the original per-pick check order).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum ControlKind {
+    Fault,
+    Watchdog,
+    Audit,
+}
+
+/// The heap scheduler's state: a ready queue of processors and a queue
+/// of scheduled control events.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Sched {
+    /// One valid entry per Ready processor: `(clock, flat id, seq)`,
+    /// min-ordered so ties resolve to the lowest processor id.
+    procs: BinaryHeap<Reverse<(u64, usize, u64)>>,
+    /// Per-processor sequence numbers; an entry is valid only while its
+    /// recorded sequence matches.
+    seq: Vec<u64>,
+    /// Scheduled control events as `(due cycle, kind)`.
+    control: BinaryHeap<Reverse<(u64, ControlKind)>>,
+    /// False while the linear-scan loop drives the machine: wake
+    /// notifications are skipped so the baseline pays no heap cost.
+    active: bool,
+}
+
+impl Sched {
+    fn reset(&mut self, total: usize, active: bool) {
+        self.procs.clear();
+        self.control.clear();
+        self.seq.clear();
+        self.seq.resize(total, 0);
+        self.active = active;
+    }
+
+    /// Enqueues a Ready processor at `clock`. Any stale entry for the
+    /// same processor is implicitly invalidated.
+    pub(crate) fn wake(&mut self, flat: usize, clock: Cycle) {
+        if !self.active {
+            return;
+        }
+        self.seq[flat] += 1;
+        self.procs
+            .push(Reverse((clock.as_u64(), flat, self.seq[flat])));
+    }
+
+    /// Invalidates any queued entry for `flat` (the processor died or
+    /// blocked outside the normal pick flow).
+    pub(crate) fn invalidate(&mut self, flat: usize) {
+        if !self.active {
+            return;
+        }
+        self.seq[flat] += 1;
+    }
+
+    /// Pops the earliest Ready processor, discarding stale entries.
+    fn pop_proc(&mut self) -> Option<(Cycle, usize)> {
+        while let Some(&Reverse((c, f, s))) = self.procs.peek() {
+            self.procs.pop();
+            if s == self.seq[f] {
+                return Some((Cycle(c), f));
+            }
+        }
+        None
+    }
+
+    /// The earliest queued clock (the batch bound after a pop), with
+    /// stale entries discarded on the way.
+    fn peek_clock(&mut self) -> Cycle {
+        while let Some(&Reverse((c, f, s))) = self.procs.peek() {
+            if s == self.seq[f] {
+                return Cycle(c);
+            }
+            self.procs.pop();
+        }
+        Cycle::NEVER
+    }
+
+    /// Schedules a control event at `at`.
+    fn schedule(&mut self, at: u64, kind: ControlKind) {
+        if !self.active {
+            return;
+        }
+        self.control.push(Reverse((at, kind)));
+    }
+
+    /// Pops every control event due at or before `now`, reporting which
+    /// classes came due (each class executes once per pick, exactly like
+    /// the original per-pick checks).
+    fn drain_control(&mut self, now: u64) -> (bool, bool, bool) {
+        let (mut fault, mut watchdog, mut audit) = (false, false, false);
+        while let Some(&Reverse((at, kind))) = self.control.peek() {
+            if at > now {
+                break;
+            }
+            self.control.pop();
+            match kind {
+                ControlKind::Fault => fault = true,
+                ControlKind::Watchdog => watchdog = true,
+                ControlKind::Audit => audit = true,
+            }
+        }
+        (fault, watchdog, audit)
+    }
+}
+
+impl Machine {
+    /// Drives the loaded trace to completion with the configured
+    /// scheduler, then asserts no processor deadlocked.
+    pub(crate) fn run_loop(&mut self, trace: &Trace) {
+        match self.cfg.scheduler {
+            SchedulerKind::Heap => self.run_loop_heap(trace),
+            SchedulerKind::LinearScan => self.run_loop_linear(trace),
+        }
+        // Everyone must be Finished or Dead; anything Blocked means the
+        // trace deadlocked.
+        for flat in 0..self.cfg.total_procs() {
+            let (n, pi) = self.split_flat(flat);
+            let st = self.nodes[n].procs[pi].state;
+            assert!(
+                st == ProcState::Finished || st == ProcState::Dead,
+                "processor {flat} ended in state {st:?}: trace deadlock"
+            );
+        }
+    }
+
+    /// Rebuilds the scheduler from current machine state: every Ready
+    /// processor, the next pending scheduled fault, watchdog deadlines
+    /// for lines already wedged in Transit, and the next audit sweep.
+    fn prime_sched(&mut self) {
+        let total = self.cfg.total_procs();
+        let mut sched = std::mem::take(&mut self.sched);
+        sched.reset(total, true);
+        for flat in 0..total {
+            let (n, pi) = self.split_flat(flat);
+            let p = &self.nodes[n].procs[pi];
+            if p.state == ProcState::Ready {
+                sched.wake(flat, p.clock);
+            }
+        }
+        if let Some(state) = self.fault.as_ref() {
+            if let Some(ev) = state.plan.schedule().get(state.next_event) {
+                sched.schedule(ev.at.as_u64(), ControlKind::Fault);
+            }
+            // Lines wedged before this run (warm reruns) still need
+            // their recovery deadline on the queue.
+            let deadline = self.cfg.watchdog_deadline;
+            for node in &self.nodes {
+                if node.failed {
+                    continue;
+                }
+                for (_, _, at) in node.controller.transit_lines() {
+                    sched.schedule(at.saturating_add(deadline), ControlKind::Watchdog);
+                }
+            }
+        }
+        if self.next_audit != u64::MAX {
+            sched.schedule(self.next_audit, ControlKind::Audit);
+        }
+        self.sched = sched;
+    }
+
+    fn run_loop_heap(&mut self, trace: &Trace) {
+        self.prime_sched();
+        while let Some((clock, flat)) = self.sched.pop_proc() {
+            // The batch bound is the second-earliest Ready clock,
+            // captured *before* control events run — a fault may kill
+            // the bounding processor, but the original loop computed
+            // its bound before applying faults too.
+            let bound = self.sched.peek_clock();
+            let (fault_due, watchdog_due, audit_due) = self.sched.drain_control(clock.as_u64());
+            if fault_due {
+                self.apply_fault_events(clock);
+                if let Some(state) = self.fault.as_ref() {
+                    if let Some(ev) = state.plan.schedule().get(state.next_event) {
+                        self.sched.schedule(ev.at.as_u64(), ControlKind::Fault);
+                    }
+                }
+            }
+            if watchdog_due {
+                self.watchdog_sweep(clock);
+            }
+            if audit_due {
+                self.audit_sweep(clock);
+                let interval = self.cfg.audit_interval.expect("audit scheduled");
+                self.next_audit = clock.as_u64().saturating_add(interval.max(1));
+                if self.next_audit != u64::MAX {
+                    self.sched.schedule(self.next_audit, ControlKind::Audit);
+                }
+            }
+            self.run_batch(trace, flat, bound);
+            let (n, pi) = self.split_flat(flat);
+            if self.nodes[n].procs[pi].state == ProcState::Ready {
+                let c = self.nodes[n].procs[pi].clock;
+                self.sched.wake(flat, c);
+            }
+        }
+        self.sched.active = false;
+    }
+
+    /// The original `O(P)` loop: rescan every processor per pick, with
+    /// fault/watchdog/audit checks re-evaluated each iteration.
+    fn run_loop_linear(&mut self, trace: &Trace) {
+        self.sched.active = false;
+        loop {
+            // Earliest runnable processor (deterministic tie-break on id).
+            let mut best: Option<(Cycle, usize)> = None;
+            let mut bound = Cycle::NEVER;
+            for flat in 0..self.cfg.total_procs() {
+                let (n, pi) = self.split_flat(flat);
+                let p = &self.nodes[n].procs[pi];
+                if p.state == ProcState::Ready {
+                    match best {
+                        None => best = Some((p.clock, flat)),
+                        Some((c, _)) if p.clock < c => {
+                            bound = bound.min(c);
+                            best = Some((p.clock, flat));
+                        }
+                        Some(_) => bound = bound.min(p.clock),
+                    }
+                }
+            }
+            let Some((clock, flat)) = best else {
+                break;
+            };
+            // Scheduled faults strike before the processor at their cycle
+            // executes, at a deterministic point of the interleaving.
+            if self.fault.is_some() {
+                self.apply_fault_events(clock);
+                self.watchdog_sweep(clock);
+            }
+            // Periodic online audit sweeps run at the same deterministic
+            // points (between atomic protocol transactions).
+            if clock.as_u64() >= self.next_audit {
+                self.audit_sweep(clock);
+                let interval = self.cfg.audit_interval.expect("audit scheduled");
+                self.next_audit = clock.as_u64().saturating_add(interval.max(1));
+            }
+            self.run_batch(trace, flat, bound);
+        }
+    }
+
+    /// Executes a batch of operations while `flat` remains the earliest
+    /// runnable processor (its clock at or below `bound`). Sync
+    /// operations end a batch because they can change who is runnable.
+    fn run_batch(&mut self, trace: &Trace, flat: usize, bound: Cycle) {
+        let lane = &trace.lanes[flat];
+        let (n, pi) = self.split_flat(flat);
+        for _ in 0..BATCH_OPS {
+            if self.nodes[n].procs[pi].state != ProcState::Ready {
+                break;
+            }
+            let pc = self.nodes[n].procs[pi].pc;
+            let Some(&op) = lane.get(pc) else {
+                self.nodes[n].procs[pi].state = ProcState::Finished;
+                break;
+            };
+            let is_sync = matches!(op, Op::Barrier(_) | Op::Lock(_) | Op::Unlock(_));
+            self.exec_op(flat, op);
+            if is_sync || self.nodes[n].procs[pi].clock > bound {
+                break;
+            }
+        }
+    }
+
+    fn exec_op(&mut self, flat: usize, op: Op) {
+        let (n, pi) = self.split_flat(flat);
+        match op {
+            Op::Compute(c) => {
+                self.nodes[n].procs[pi].clock += Cycle(c as u64);
+                self.nodes[n].procs[pi].pc += 1;
+            }
+            Op::Read(va) => {
+                self.access(n, pi, va, false);
+                self.nodes[n].procs[pi].pc += 1;
+            }
+            Op::Write(va) => {
+                self.access(n, pi, va, true);
+                self.nodes[n].procs[pi].pc += 1;
+            }
+            Op::Barrier(id) => {
+                let t = self.nodes[n].procs[pi].clock + Cycle(self.cfg.latency.sync_op);
+                self.nodes[n].procs[pi].pc += 1;
+                let group = self.barrier_group_of(flat);
+                match self.barrier_groups[group].1.arrive(id, flat, t) {
+                    BarrierOutcome::Wait => {
+                        self.nodes[n].procs[pi].state = ProcState::Blocked;
+                    }
+                    BarrierOutcome::Release {
+                        waiters,
+                        release_at,
+                    } => {
+                        self.nodes[n].procs[pi].clock = release_at;
+                        for w in waiters {
+                            let (wn, wpi) = self.split_flat(w);
+                            let wp = &mut self.nodes[wn].procs[wpi];
+                            // Dead processors stay dead even if a barrier
+                            // would have released them.
+                            if wp.state == ProcState::Blocked {
+                                wp.clock = release_at;
+                                wp.state = ProcState::Ready;
+                                self.sched.wake(w, release_at);
+                            }
+                        }
+                    }
+                }
+            }
+            Op::Lock(id) => {
+                // Locks live on synchronization pages (Sync frame mode,
+                // paper §3.1): each lock is homed round-robin and the
+                // controller there runs the queueing protocol.
+                let lat = self.cfg.latency;
+                let lock_home = id as usize % self.cfg.nodes;
+                let t = self.nodes[n].procs[pi].clock + Cycle(lat.sync_op);
+                self.nodes[n].procs[pi].pc += 1;
+                let t_req = if lock_home == n {
+                    t
+                } else {
+                    self.send(n, lock_home, MsgKind::LockReq, t) + Cycle(lat.dispatch)
+                };
+                match self.locks.acquire(id, flat, t_req) {
+                    LockOutcome::Acquired { at } => {
+                        let granted = self.send(lock_home, n, MsgKind::LockGrant, at);
+                        self.nodes[n].procs[pi].clock = granted;
+                    }
+                    LockOutcome::Queued => {
+                        self.nodes[n].procs[pi].state = ProcState::Blocked;
+                    }
+                }
+            }
+            Op::Unlock(id) => {
+                let lat = self.cfg.latency;
+                let lock_home = id as usize % self.cfg.nodes;
+                let t = self.nodes[n].procs[pi].clock + Cycle(lat.sync_op);
+                // The releaser does not wait for the home to process the
+                // release; the hand-off timing does.
+                self.nodes[n].procs[pi].clock = t;
+                self.nodes[n].procs[pi].pc += 1;
+                let t_rel = if lock_home == n {
+                    t
+                } else {
+                    self.send(n, lock_home, MsgKind::LockRelease, t) + Cycle(lat.dispatch)
+                };
+                if let Some((next, grant)) = self.locks.release(id, flat, t_rel) {
+                    let (wn, wpi) = self.split_flat(next);
+                    let granted = self.send(lock_home, wn, MsgKind::LockGrant, grant);
+                    let wp = &mut self.nodes[wn].procs[wpi];
+                    if wp.state == ProcState::Blocked {
+                        let at = granted + Cycle(lat.sync_op);
+                        wp.clock = at;
+                        wp.state = ProcState::Ready;
+                        self.sched.wake(next, at);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Kills a processor (fault containment): it stops executing, its
+    /// application is considered terminated, and its synchronization
+    /// footprint is cleaned up so survivors are not deadlocked — it is
+    /// withdrawn from all barriers (releasing any now-complete episode)
+    /// and its held locks pass to the next waiters.
+    pub(crate) fn kill_proc(&mut self, n: usize, pi: usize) {
+        if self.nodes[n].procs[pi].state == ProcState::Dead {
+            return;
+        }
+        self.nodes[n].procs[pi].state = ProcState::Dead;
+        self.obs.incr(Ctr::DeadProcs);
+        let flat = self.flat(n, pi);
+        let now = self.nodes[n].procs[pi].clock;
+        self.obs.emit(
+            now,
+            ObsEvent::ProcKilled {
+                node: NodeId(n as u16),
+                proc: pi,
+            },
+        );
+        self.sched.invalidate(flat);
+        let group = self.barrier_group_of(flat);
+        if self.barrier_groups[group].1.participants() > 1 {
+            for outcome in self.barrier_groups[group].1.remove_participant(flat) {
+                if let BarrierOutcome::Release {
+                    waiters,
+                    release_at,
+                } = outcome
+                {
+                    for w in waiters {
+                        let (wn, wpi) = self.split_flat(w);
+                        let wp = &mut self.nodes[wn].procs[wpi];
+                        if wp.state == ProcState::Blocked {
+                            wp.clock = release_at;
+                            wp.state = ProcState::Ready;
+                            self.sched.wake(w, release_at);
+                        }
+                    }
+                }
+            }
+        }
+        for (_lock, next, grant) in self.locks.release_all_held_by(flat, now) {
+            let (wn, wpi) = self.split_flat(next);
+            let wp = &mut self.nodes[wn].procs[wpi];
+            if wp.state == ProcState::Blocked {
+                let at = grant + Cycle(self.cfg.latency.sync_op);
+                wp.clock = at;
+                wp.state = ProcState::Ready;
+                self.sched.wake(next, at);
+            }
+        }
+    }
+
+    /// Applies every scheduled fault whose time has come. Runs before
+    /// the earliest runnable processor at a deterministic point of the
+    /// interleaving — per pick in linear-scan mode, on a popped control
+    /// event in heap mode.
+    pub(crate) fn apply_fault_events(&mut self, now: Cycle) {
+        loop {
+            let Some(state) = self.fault.as_mut() else {
+                return;
+            };
+            let Some(&ev) = state.plan.schedule().get(state.next_event) else {
+                return;
+            };
+            if ev.at > now {
+                return;
+            }
+            state.next_event += 1;
+            match ev.kind {
+                ScheduledFaultKind::FailNode(node) => {
+                    if !self.nodes[node.0 as usize].failed {
+                        self.fail_node(node);
+                        self.freport(|r| r.node_failures += 1);
+                        self.obs.emit(now, ObsEvent::NodeFailed { node });
+                    }
+                }
+                ScheduledFaultKind::CorruptPit(node) => {
+                    self.corrupt_pit_entry(node, now);
+                }
+                ScheduledFaultKind::WedgeTransit(node) => {
+                    self.wedge_transit_line(node, now);
+                }
+            }
+        }
+    }
+
+    /// Scrambles the dynamic-home field of one *client* PIT entry at
+    /// `node` (chosen deterministically from the plan's RNG). The next
+    /// request through the entry is misdirected and recovers via the
+    /// static-home forwarding path, so the fault is contained.
+    fn corrupt_pit_entry(&mut self, node: NodeId, now: Cycle) {
+        let n = node.0 as usize;
+        // Client entries only: corrupting where this node *is* the home
+        // would model directory loss, which is the fail-node case.
+        let mut candidates: Vec<FrameNo> = self.nodes[n]
+            .controller
+            .pit
+            .iter()
+            .filter(|(_, e)| e.dyn_home != node)
+            .map(|(f, _)| f)
+            .collect();
+        candidates.sort_by_key(|f| f.0);
+        let Some(state) = self.fault.as_mut() else {
+            return;
+        };
+        if candidates.is_empty() {
+            return;
+        }
+        let frame = candidates[state.rng.gen_index(candidates.len())];
+        let bogus = NodeId(state.rng.gen_index(self.cfg.nodes) as u16);
+        if let Some(e) = self.nodes[n].controller.pit.translate_mut(frame) {
+            e.dyn_home = bogus;
+            e.home_frame_hint = None;
+        }
+        self.freport(|r| {
+            r.pit_corruptions += 1;
+            r.contained_faults += 1;
+        });
+        self.obs.emit(now, ObsEvent::PitCorrupted { node });
+    }
+
+    /// Wedges one line of a *client* S-COMA frame at `node` in the
+    /// Transit tag, as if the reply of an in-flight transaction was lost
+    /// after the tag transition was staged. Protocol transactions are
+    /// atomic in the simulation, so this is the only way `T` becomes
+    /// observable; the watchdog owns recovery, and its deadline is
+    /// scheduled as a control event here.
+    fn wedge_transit_line(&mut self, node: NodeId, now: Cycle) {
+        let n = node.0 as usize;
+        if self.nodes[n].failed {
+            return;
+        }
+        let mut candidates: Vec<FrameNo> = self.nodes[n]
+            .controller
+            .pit
+            .iter()
+            .filter(|(f, e)| e.dyn_home != node && self.nodes[n].controller.tags.is_allocated(*f))
+            .map(|(f, _)| f)
+            .collect();
+        candidates.sort_by_key(|f| f.0);
+        let Some(state) = self.fault.as_mut() else {
+            return;
+        };
+        if candidates.is_empty() {
+            return;
+        }
+        let frame = candidates[state.rng.gen_index(candidates.len())];
+        // Prefer a line with a valid copy (models a lost downgrade or
+        // invalidation reply); fall back to line 0 (a lost fill).
+        let tags = &self.nodes[n].controller.tags;
+        let lpp = self.cfg.geometry.lines_per_page() as u16;
+        let mut lines: Vec<LineIdx> = (0..lpp)
+            .map(LineIdx)
+            .filter(|&l| matches!(tags.get(frame, l), LineTag::Exclusive | LineTag::Shared))
+            .collect();
+        if lines.is_empty() {
+            lines.push(LineIdx(0));
+        }
+        let line = lines[state.rng.gen_index(lines.len())];
+        self.freport(|r| r.transit_wedges += 1);
+        self.obs.emit(now, ObsEvent::TransitWedge { node });
+        self.nodes[n]
+            .controller
+            .tags
+            .set(frame, line, LineTag::Transit);
+        self.nodes[n]
+            .controller
+            .note_transit(frame, line, now.as_u64());
+        let due = now.as_u64().saturating_add(self.cfg.watchdog_deadline);
+        self.sched.schedule(due, ControlKind::Watchdog);
+    }
+}

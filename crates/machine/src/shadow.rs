@@ -32,6 +32,7 @@ use prism_mem::tags::LineTag;
 use prism_sim::Cycle;
 
 use crate::machine::Machine;
+use crate::obs::ObsEvent;
 
 /// The version-tracking state (enabled by
 /// [`crate::config::MachineConfig::check_coherence`]).
@@ -344,7 +345,7 @@ impl Machine {
     /// the auditor observes and reports; it never panics and never
     /// repairs.
     pub(crate) fn audit_sweep(&mut self, now: Cycle) {
-        self.audit_sweeps += 1;
+        self.obs.sweeps += 1;
         let mut found: Vec<(NodeId, Option<GlobalPage>, AuditKind, String)> = Vec::new();
         for n in 0..self.cfg.nodes {
             if self.nodes[n].failed {
@@ -354,12 +355,14 @@ impl Machine {
             self.audit_client_side(n, &mut found);
             self.audit_transit(n, &mut found);
         }
+        let mut fresh = 0u64;
         for (node, gpage, kind, detail) in found {
-            let dup = self.audit_findings.iter().any(|f| {
+            let dup = self.obs.findings.iter().any(|f| {
                 f.node == node && f.gpage == gpage && f.kind == kind && f.detail == detail
             });
             if !dup {
-                self.audit_findings.push(AuditFinding {
+                fresh += 1;
+                self.obs.findings.push(AuditFinding {
                     at: now,
                     node,
                     gpage,
@@ -368,6 +371,7 @@ impl Machine {
                 });
             }
         }
+        self.obs.emit(now, ObsEvent::AuditSweep { findings: fresh });
     }
 
     /// Home-side checks: every page whose directory lives on node `n`.

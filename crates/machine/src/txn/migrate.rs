@@ -15,6 +15,7 @@ use prism_protocol::msg::MsgKind;
 use prism_sim::Cycle;
 
 use crate::machine::Machine;
+use crate::obs::{Ctr, ObsEvent};
 
 /// Outcome of a successful [`Machine::try_home_failover`].
 #[derive(Clone, Copy, Debug)]
@@ -199,7 +200,15 @@ impl Machine {
             .entry(gpage)
             .or_default()
             .insert(NodeId(old as u16));
-        self.stats.migrations += 1;
+        self.obs.incr(Ctr::Migrations);
+        self.obs.emit(
+            t,
+            ObsEvent::Migration {
+                gpage,
+                from: NodeId(old as u16),
+                to: NodeId(new as u16),
+            },
+        );
     }
 
     /// Attempts to re-master `gpage` at its static home after its
@@ -460,6 +469,13 @@ impl Machine {
             .or_default()
             .insert(NodeId(dead as u16));
         self.freport(|r| r.failovers += 1);
+        self.obs.emit(
+            t,
+            ObsEvent::Failover {
+                gpage,
+                to: NodeId(static_home as u16),
+            },
+        );
         Some(FailoverOutcome {
             new_home: static_home,
             replay_cycles,
@@ -470,12 +486,16 @@ impl Machine {
     /// counted as lost once, however many accesses subsequently trip
     /// over the refusal.
     fn record_refusal(&mut self, gpage: GlobalPage, stranded: u64) {
-        if let Some(state) = self.fault.as_mut() {
-            state.report.failover_refusals += 1;
-            if stranded > 0 && state.lost_pages.insert(gpage) {
-                state.report.lines_lost += stranded;
+        let Some(state) = self.fault.as_mut() else {
+            return;
+        };
+        let first_loss = stranded > 0 && state.lost_pages.insert(gpage);
+        self.freport(|r| {
+            r.failover_refusals += 1;
+            if first_loss {
+                r.lines_lost += stranded;
             }
-        }
+        });
     }
 
     /// Re-routes a request whose (believed) home is on a failed node:
@@ -531,7 +551,7 @@ impl Machine {
             );
         }
         if target != static_home {
-            self.stats.forwards += 1;
+            self.obs.incr(Ctr::Forwards);
             t = self.send(static_home, target, MsgKind::Forward, t);
         }
         self.freport(|r| r.contained_faults += 1);

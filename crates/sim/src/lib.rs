@@ -11,6 +11,8 @@
 //! * [`SimRng`] — a small, fully deterministic PRNG (xoshiro256\*\*) so that
 //!   every simulation is bit-reproducible from its seed.
 //! * [`stats`] — counters and log₂-bucketed latency histograms.
+//! * [`event`] — a bounded event ring and a named counter registry, the
+//!   storage layer for the machine's observability bus.
 //! * [`sync`] — barrier and queued-lock bookkeeping used to model the
 //!   synchronization operations emitted by workloads.
 //!
@@ -38,6 +40,7 @@
 #![forbid(unsafe_code)]
 
 mod cycle;
+pub mod event;
 mod resource;
 mod rng;
 pub mod stats;

@@ -77,6 +77,87 @@ fn node_failure_kills_one_job_not_the_other() {
     assert!(report.total_refs >= job_b.total_refs() as u64);
 }
 
+/// Per-job stat attribution: each job's memory traffic lands entirely
+/// on the nodes `run_jobs` assigned it, so the per-node sections of the
+/// report decompose the machine by job. Failing job A's nodes must not
+/// perturb a single counter in job B's node reports.
+#[test]
+fn per_node_reports_attribute_stats_to_the_owning_job() {
+    let jobs = || {
+        vec![
+            app(AppId::Lu, Scale::Small).generate(4),    // nodes 0-1
+            app(AppId::Ocean, Scale::Small).generate(4), // nodes 2-3
+        ]
+    };
+    let healthy = Machine::new(config()).run_jobs(&jobs());
+    // Both jobs really ran where they were placed.
+    for n in 0..4 {
+        assert!(
+            healthy.per_node[n].frame_instances > 0,
+            "node {n} allocated no frames — its job never ran there"
+        );
+    }
+
+    let mut m = Machine::new(config());
+    m.fail_node(NodeId(0));
+    let faulted = m.run_jobs(&jobs());
+    // Job B's nodes never see job A's pages or processors, so their
+    // kernel and utilization counters are identical whether job A's
+    // node failed or not.
+    for n in 2..4 {
+        assert_eq!(
+            healthy.per_node[n].kernel, faulted.per_node[n].kernel,
+            "node {n} kernel stats changed when the other job's node failed"
+        );
+        assert_eq!(
+            healthy.per_node[n].frame_instances,
+            faulted.per_node[n].frame_instances
+        );
+    }
+}
+
+/// Barrier scoping: both jobs reuse barrier id 0, and each job's
+/// barrier must gather only that job's four lanes. Unscoped barriers
+/// would either deadlock (waiting for the other job's lanes, which
+/// arrive a different number of times) or release early.
+#[test]
+fn same_barrier_id_is_scoped_per_job() {
+    use prism::mem::addr::VirtAddr;
+    use prism::mem::trace::{Op, SegmentSpec, Trace, SHARED_BASE};
+
+    // Job A's lanes cross barrier 0 twice; job B's lanes only once. If
+    // barrier 0 were machine-global the arrival counts could never
+    // match and the run would wedge (caught by the run-loop's progress
+    // assertion) — completion of every reference proves scoping.
+    let job = |name: &str, barriers: usize| {
+        let lane = |i: u64| {
+            let mut ops = Vec::new();
+            for b in 0..barriers {
+                ops.push(Op::Write(VirtAddr(SHARED_BASE + 64 * i)));
+                ops.push(Op::Barrier(0));
+                ops.push(Op::Read(VirtAddr(
+                    SHARED_BASE + 64 * ((i + 1) % 4) + 4096 * b as u64,
+                )));
+            }
+            ops
+        };
+        Trace {
+            name: name.into(),
+            segments: vec![SegmentSpec {
+                name: "d".into(),
+                va_base: SHARED_BASE,
+                bytes: 4096 * (barriers as u64 + 1),
+            }],
+            lanes: (0..4).map(lane).collect(),
+        }
+    };
+    let jobs = [job("twice", 2), job("once", 1)];
+    let total: u64 = jobs.iter().map(|j| j.total_refs() as u64).sum();
+    let report = Machine::new(config()).run_jobs(&jobs);
+    assert_eq!(report.total_refs, total, "a lane stalled at a barrier");
+    assert_eq!(report.dead_procs, 0);
+}
+
 /// Lane-count mismatches are rejected loudly.
 #[test]
 #[should_panic(expected = "lanes but the machine has")]
