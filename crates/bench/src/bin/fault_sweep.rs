@@ -46,13 +46,19 @@ fn config(max_attempts: u32) -> MachineConfig {
     cfg
 }
 
-/// One cell of the loss × budget grid.
+/// One cell of the loss × budget grid. `slowdown_pct` compares whole-run
+/// cycles against the fault-free run, which is only meaningful when every
+/// processor survived — a dead processor simply stops issuing work, so a
+/// lossy run can finish in *fewer* cycles than the clean one. Such rows
+/// carry `slowdown_pct: None` and are flagged incomparable; the
+/// per-completed-reference cost stays comparable either way.
 struct SweepCell {
     drop_rate: f64,
     budget: u32,
     dead_procs: u64,
     retries: u64,
-    slowdown_pct: f64,
+    slowdown_pct: Option<f64>,
+    cycles_per_ref: f64,
 }
 
 /// The recovery counters a robustness trajectory wants to watch:
@@ -102,7 +108,9 @@ fn main() {
                 budget: b,
                 dead_procs: r.dead_procs,
                 retries: r.fault.retries,
-                slowdown_pct: (r.exec_cycles.as_u64() as f64 / clean_cycles - 1.0) * 100.0,
+                slowdown_pct: (r.dead_procs == 0)
+                    .then(|| (r.exec_cycles.as_u64() as f64 / clean_cycles - 1.0) * 100.0),
+                cycles_per_ref: r.exec_cycles.as_u64() as f64 / r.total_refs.max(1) as f64,
             });
         }
     }
@@ -115,10 +123,9 @@ fn main() {
     for row in cells.chunks(BUDGETS.len()) {
         print!("{:<12}", format!("{:.1}%", row[0].drop_rate * 100.0));
         for c in row {
-            let cell = if c.dead_procs > 0 {
-                format!("{} dead", c.dead_procs)
-            } else {
-                format!("+{:.2}%", c.slowdown_pct)
+            let cell = match c.slowdown_pct {
+                None => format!("{} dead", c.dead_procs),
+                Some(s) => format!("+{s:.2}%"),
             };
             print!(" {cell:>12}");
         }
@@ -210,14 +217,21 @@ fn render_json(cells: &[SweepCell], recovery: &[RecoveryCounts]) -> String {
         "  \"workload\": \"ocean/small\",\n  \"seed\": {SEED},\n  \"link_sweep\": [\n"
     ));
     for (i, c) in cells.iter().enumerate() {
+        let slowdown = match c.slowdown_pct {
+            Some(s) => format!("{s:.3}"),
+            None => "null".into(),
+        };
         out.push_str(&format!(
             "    {{\"drop_rate\": {}, \"retry_budget\": {}, \"dead_procs\": {}, \
-             \"retries\": {}, \"slowdown_pct\": {:.3}}}{}\n",
+             \"retries\": {}, \"comparable\": {}, \"slowdown_pct\": {}, \
+             \"cycles_per_ref\": {:.4}}}{}\n",
             c.drop_rate,
             c.budget,
             c.dead_procs,
             c.retries,
-            c.slowdown_pct,
+            c.dead_procs == 0,
+            slowdown,
+            c.cycles_per_ref,
             if i + 1 < cells.len() { "," } else { "" }
         ));
     }

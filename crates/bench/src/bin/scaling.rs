@@ -10,6 +10,18 @@
 //! determinism tests prove the two produce identical reports, so the
 //! wall-clock gap is pure scheduler overhead.
 //!
+//! A third section measures the epoch-parallel executor: eight
+//! single-node jobs space-share the 8-node machine (each job's pages
+//! are homed on its own node, so the jobs' coherence footprints are
+//! disjoint and every epoch admits all eight groups), and the same
+//! composed workload runs under the serial heap and under
+//! `ParallelHeap` at 1, 2 and 4 worker threads. The binary asserts all
+//! four `RunReport`s are byte-identical before reporting wall-clock, so
+//! the speedup shown is for the *same* simulation, not a relaxed one.
+//! `host_parallelism` rides along in the JSON: worker threads can only
+//! buy wall-clock on a multi-core host, while the epoch executor's
+//! long uninterrupted batches speed things up even single-core.
+//!
 //! Everything is also written to `BENCH_scaling.json` (see
 //! `prism_bench::bench_out` for where it lands).
 
@@ -25,6 +37,8 @@ const JSON_FILE: &str = "BENCH_scaling.json";
 /// Scheduler A/B geometry: 8 nodes × 4 processors = 32 procs.
 const AB_NODES: usize = 8;
 const AB_TIMING_RUNS: u32 = 3;
+/// Worker-thread counts for the epoch-parallel A/B.
+const AB_WORKERS: [usize; 3] = [1, 2, 4];
 
 struct SizeRow {
     nodes: usize,
@@ -112,7 +126,80 @@ fn main() {
     println!("  linear scan      : {linear_ms:>8.1} ms");
     println!("  heap is {speedup_pct:.1}% faster wall-clock (identical reports by construction)");
 
-    prism_bench::write_bench_json(JSON_FILE, &render_json(id, &rows, heap_ms, linear_ms));
+    let par = parallel_ab(workload.as_ref());
+    println!(
+        "\nepoch-parallel A/B: {} single-node {} jobs space-sharing {} nodes (best of {} runs):",
+        AB_NODES, id, AB_NODES, AB_TIMING_RUNS
+    );
+    println!("  serial heap      : {:>8.1} ms   1.00x", par.serial_ms);
+    for r in &par.workers {
+        println!(
+            "  {} worker threads : {:>8.1} ms  {:>5.2}x",
+            r.workers,
+            r.wall_ms,
+            par.serial_ms / r.wall_ms
+        );
+    }
+    println!("  all four reports byte-identical (asserted in-process)");
+
+    prism_bench::write_bench_json(JSON_FILE, &render_json(id, &rows, heap_ms, linear_ms, &par));
+}
+
+struct ParallelAb {
+    serial_ms: f64,
+    workers: Vec<WorkerRow>,
+}
+
+struct WorkerRow {
+    workers: usize,
+    wall_ms: f64,
+}
+
+/// Times the serial heap against the epoch-parallel executor on a
+/// composed space-sharing workload — the shape the optimisation
+/// targets: every job runs on its own node, so conflict detection
+/// admits all groups and the epochs are maximally wide. Asserts every
+/// arm produces the exact serial `RunReport` before timing counts.
+fn parallel_ab(workload: &dyn prism_workloads::Workload) -> ParallelAb {
+    let cfg = |kind: SchedulerKind, workers: usize| {
+        let mut c = MachineConfig::builder()
+            .nodes(AB_NODES)
+            .procs_per_node(4)
+            .build();
+        c.scheduler = kind;
+        c.worker_threads = workers;
+        c
+    };
+    let jobs: Vec<_> = (0..AB_NODES).map(|_| workload.generate(4)).collect();
+    let time = |kind: SchedulerKind, workers: usize| -> (f64, String) {
+        let mut best = f64::INFINITY;
+        let mut json = String::new();
+        for _ in 0..AB_TIMING_RUNS {
+            let mut m = Machine::new(cfg(kind, workers));
+            let wall = Instant::now();
+            let report = m.run_jobs(&jobs);
+            let ms = wall.elapsed().as_secs_f64() * 1e3;
+            best = best.min(ms);
+            json = report.to_json();
+        }
+        (best, json)
+    };
+    let (serial_ms, serial_json) = time(SchedulerKind::Heap, 1);
+    let workers = AB_WORKERS
+        .into_iter()
+        .map(|w| {
+            let (wall_ms, json) = time(SchedulerKind::ParallelHeap, w);
+            assert_eq!(
+                json, serial_json,
+                "ParallelHeap({w} workers) diverged from the serial heap"
+            );
+            WorkerRow {
+                workers: w,
+                wall_ms,
+            }
+        })
+        .collect();
+    ParallelAb { serial_ms, workers }
 }
 
 /// Times the heap vs linear-scan run loop on the same trace and config,
@@ -147,7 +234,13 @@ fn scheduler_ab(workload: &dyn prism_workloads::Workload) -> (f64, f64) {
     (heap, linear)
 }
 
-fn render_json(id: AppId, rows: &[SizeRow], heap_ms: f64, linear_ms: f64) -> String {
+fn render_json(
+    id: AppId,
+    rows: &[SizeRow],
+    heap_ms: f64,
+    linear_ms: f64,
+    par: &ParallelAb,
+) -> String {
     let mut o = String::from("{\n");
     o.push_str(&format!("  \"workload\": \"{id}\",\n"));
     o.push_str("  \"procs_per_node\": 4,\n  \"sizes\": [\n");
@@ -167,13 +260,33 @@ fn render_json(id: AppId, rows: &[SizeRow], heap_ms: f64, linear_ms: f64) -> Str
     o.push_str("  ],\n");
     o.push_str(&format!(
         "  \"scheduler_ab\": {{\"nodes\": {}, \"procs\": {}, \"heap_wall_ms\": {:.3}, \
-         \"linear_wall_ms\": {:.3}, \"heap_speedup_pct\": {:.2}}}\n",
+         \"linear_wall_ms\": {:.3}, \"heap_speedup_pct\": {:.2}}},\n",
         AB_NODES,
         AB_NODES * 4,
         heap_ms,
         linear_ms,
         (linear_ms / heap_ms - 1.0) * 100.0
     ));
-    o.push('}');
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    o.push_str(&format!(
+        "  \"parallel_ab\": {{\"nodes\": {}, \"procs\": {}, \"jobs\": {}, \
+         \"host_parallelism\": {}, \"reports_identical\": true, \
+         \"serial_wall_ms\": {:.3}, \"workers\": [\n",
+        AB_NODES,
+        AB_NODES * 4,
+        AB_NODES,
+        host_cores,
+        par.serial_ms
+    ));
+    for (i, r) in par.workers.iter().enumerate() {
+        o.push_str(&format!(
+            "    {{\"workers\": {}, \"wall_ms\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            r.workers,
+            r.wall_ms,
+            par.serial_ms / r.wall_ms,
+            if i + 1 == par.workers.len() { "" } else { "," }
+        ));
+    }
+    o.push_str("  ]}\n}");
     o
 }

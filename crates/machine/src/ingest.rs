@@ -1,0 +1,152 @@
+//! Trace-ingest batching: same-page run detection at trace-load time.
+//!
+//! Memory traces are bursty — SPLASH kernels touch a page many times in
+//! a row before moving on — yet the access path used to re-walk the TLB
+//! and kernel page tables for every single reference. This module scans
+//! each lane once at load time and groups consecutive references to the
+//! same virtual page into *run-length records*: a run starts at the
+//! first reference to a page and extends across every following
+//! reference to the same page, spanning interleaved `Compute` ops
+//! (which cannot change a translation) and breaking at synchronization
+//! ops (which can reorder the world) or at a reference to a different
+//! page.
+//!
+//! The records are materialized as a dense per-op continuation bitmap so
+//! the hot path pays one indexed load, not a binary search over
+//! records. During execution, a reference marked as a run continuation
+//! may reuse the processor's memoized translation
+//! ([`crate::node::Processor::xlat_memo`]) instead of re-walking the
+//! TLB and page tables — the skipped lookups are idempotent on a run
+//! continuation (the TLB entry is already most-recently-used and the
+//! kernel lookup is pure), so timing and statistics are byte-identical;
+//! only host work is saved. The hit-rate is reported through
+//! [`crate::obs::Ctr::BatchedLookups`].
+
+use prism_mem::addr::Geometry;
+use prism_mem::trace::{Op, Trace};
+
+/// Per-lane same-page run-length index over a loaded trace (see module
+/// docs).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct IngestIndex {
+    /// `cont[lane][pc]` is true when the op at `pc` is a memory
+    /// reference continuing the same-page run of the previous reference
+    /// in its lane.
+    cont: Vec<Vec<bool>>,
+}
+
+impl IngestIndex {
+    /// Scans `trace` once, building the run-length records and the
+    /// continuation bitmap.
+    pub(crate) fn build(trace: &Trace, geom: Geometry) -> IngestIndex {
+        let mut cont = Vec::with_capacity(trace.lanes.len());
+        for lane in &trace.lanes {
+            let mut bits = vec![false; lane.len()];
+            // The page of the current run.
+            let mut run_page: Option<u64> = None;
+            for (pc, op) in lane.iter().enumerate() {
+                match *op {
+                    Op::Read(va) | Op::Write(va) => {
+                        let vpage = geom.vpage(va);
+                        if run_page == Some(vpage) {
+                            bits[pc] = true;
+                        } else {
+                            run_page = Some(vpage);
+                        }
+                    }
+                    // Pure compute cannot invalidate a translation: runs
+                    // span it.
+                    Op::Compute(_) => {}
+                    // Synchronization hands control elsewhere; be
+                    // conservative and break the run.
+                    Op::Barrier(_) | Op::Lock(_) | Op::Unlock(_) => {
+                        run_page = None;
+                    }
+                }
+            }
+            cont.push(bits);
+        }
+        IngestIndex { cont }
+    }
+
+    /// True when the op at `pc` of lane `flat` continues a same-page
+    /// run (and may therefore reuse the memoized translation).
+    #[inline]
+    pub(crate) fn same_run(&self, flat: usize, pc: usize) -> bool {
+        self.cont[flat][pc]
+    }
+
+    /// References eligible for translation reuse (run continuations) —
+    /// an upper bound on the run's
+    /// [`crate::obs::Ctr::BatchedLookups`] count.
+    #[cfg(test)]
+    fn batchable(&self) -> u64 {
+        self.cont
+            .iter()
+            .map(|bits| bits.iter().filter(|&&b| b).count() as u64)
+            .sum()
+    }
+
+    /// Same-page runs (length ≥ 2) found across all lanes: maximal
+    /// blocks of continuation bits.
+    #[cfg(test)]
+    fn runs(&self) -> u64 {
+        self.cont
+            .iter()
+            .flat_map(|bits| {
+                bits.iter()
+                    .zip(std::iter::once(&false).chain(bits.iter()))
+                    .filter(|&(&cur, &prev)| cur && !prev)
+            })
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_mem::addr::VirtAddr;
+    use prism_mem::trace::{SegmentSpec, SHARED_BASE};
+
+    fn trace(lanes: Vec<Vec<Op>>) -> Trace {
+        Trace {
+            name: "t".into(),
+            segments: vec![SegmentSpec {
+                name: "d".into(),
+                va_base: SHARED_BASE,
+                bytes: 1 << 20,
+            }],
+            lanes,
+        }
+    }
+
+    #[test]
+    fn runs_span_compute_and_break_at_sync_and_page_change() {
+        let geom = Geometry::default();
+        let page = geom.page_bytes();
+        let a = VirtAddr(SHARED_BASE);
+        let a2 = VirtAddr(SHARED_BASE + 64);
+        let b = VirtAddr(SHARED_BASE + page);
+        let t = trace(vec![vec![
+            Op::Read(a),    // starts run on page A
+            Op::Compute(3), // spanned
+            Op::Write(a2),  // continues (same page)
+            Op::Barrier(0), // breaks
+            Op::Read(a),    // new run on A
+            Op::Read(b),    // page change: new run on B
+            Op::Write(b),   // continues
+        ]]);
+        let idx = IngestIndex::build(&t, geom);
+        let want = vec![false, false, true, false, false, false, true];
+        assert_eq!(idx.cont[0], want);
+        assert_eq!(idx.runs(), 2);
+        assert_eq!(idx.batchable(), 2);
+    }
+
+    #[test]
+    fn empty_lanes_are_fine() {
+        let idx = IngestIndex::build(&trace(vec![vec![], vec![]]), Geometry::default());
+        assert_eq!(idx.runs(), 0);
+        assert_eq!(idx.batchable(), 0);
+    }
+}

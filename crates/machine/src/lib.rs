@@ -83,11 +83,13 @@ pub mod config;
 mod controller;
 mod failure;
 pub mod faults;
+mod ingest;
 pub mod machine;
 mod net;
 pub mod node;
 pub mod obs;
 mod paging;
+mod par;
 mod remote;
 pub mod report;
 mod sched;
@@ -95,7 +97,7 @@ pub mod shadow;
 pub mod txn;
 mod watchdog;
 
-pub use config::{MachineConfig, SchedulerKind};
+pub use config::{AuditMode, MachineConfig, SchedulerKind};
 pub use failure::NoPitBinding;
 pub use faults::{FaultPlan, FaultReport, JournalPolicy, RetryPolicy};
 pub use machine::Machine;

@@ -24,13 +24,21 @@ use prism_protocol::msg::TrafficLedger;
 use prism_sim::sync::{BarrierSet, LockSet};
 use prism_sim::Cycle;
 
+use prism_kernel::policy::PagePolicy;
+use prism_sim::SimRng;
+
 use crate::config::MachineConfig;
 use crate::faults::{FaultPlan, FaultReport, FaultState, Journal};
+use crate::ingest::IngestIndex;
 use crate::node::{Node, ProcState};
 use crate::obs::{EventBus, ObsEvent};
 use crate::report::RunReport;
 use crate::sched::Sched;
 use crate::shadow::Shadow;
+
+/// Seed for the auditor's dedicated sampling RNG stream: sampled sweeps
+/// must draw identically across schedulers and reruns.
+pub(crate) const AUDIT_RNG_SEED: u64 = 0x000A_0D17_5EED_0001;
 
 /// A simulated PRISM machine.
 ///
@@ -88,6 +96,18 @@ pub struct Machine {
     /// distinguish lazy-migration staleness from corruption.
     pub(crate) former_homes: HashMap<GlobalPage, NodeSet>,
     pub(crate) workload_name: String,
+    /// Deterministic RNG stream for sampled audit sweeps.
+    pub(crate) audit_rng: SimRng,
+    /// True once the user suggested page/region modes; the parallel
+    /// scheduler's eligibility gate treats such machines as opaque.
+    pub(crate) mode_prefs_set: bool,
+    /// Same-page run-length index of the loaded trace (trace-ingest
+    /// batching); shared with parallel-worker shells.
+    pub(crate) ingest: std::sync::Arc<IngestIndex>,
+    /// True when the configuration guarantees translations are stable
+    /// for the whole run, letting run continuations reuse the
+    /// per-processor translation memo.
+    pub(crate) fast_xlat: bool,
 }
 
 impl Machine {
@@ -129,6 +149,10 @@ impl Machine {
             next_audit,
             former_homes: HashMap::new(),
             workload_name: String::new(),
+            audit_rng: SimRng::new(AUDIT_RNG_SEED),
+            mode_prefs_set: false,
+            ingest: std::sync::Arc::new(IngestIndex::default()),
+            fast_xlat: false,
         }
     }
 
@@ -234,6 +258,7 @@ impl Machine {
             mode.is_shared(),
             "only S-COMA or LA-NUMA can be suggested for shared pages"
         );
+        self.mode_prefs_set = true;
         self.nodes[node.0 as usize]
             .kernel
             .set_mode_pref(gpage, mode);
@@ -254,6 +279,7 @@ impl Machine {
     ) {
         let geom = self.cfg.geometry;
         let pages = geom.pages_for(bytes);
+        self.mode_prefs_set = true;
         for p in 0..pages {
             let va = prism_mem::addr::VirtAddr(va_base + p * geom.page_bytes());
             let gp = self.nodes[0]
@@ -276,6 +302,14 @@ impl Machine {
         self.homes.place_segment(gsid, first_node, node_count);
         for node in &mut self.nodes {
             node.kernel.place_segment(gsid, first_node, node_count);
+        }
+    }
+
+    /// Feeds the incremental auditor's dirty-page ring (a no-op in any
+    /// other audit mode, so the hot path pays one predictable branch).
+    pub(crate) fn touch_page(&mut self, gpage: GlobalPage) {
+        if self.cfg.audit_mode == crate::config::AuditMode::Incremental {
+            self.obs.note_touched(gpage);
         }
     }
 
@@ -324,11 +358,24 @@ impl Machine {
         for node in &mut self.nodes {
             for p in &mut node.procs {
                 p.pc = 0;
+                p.xlat_memo = None;
                 if p.state != ProcState::Dead {
                     p.state = ProcState::Ready;
                 }
             }
         }
+        // Trace-ingest batching: index same-page runs once, and decide
+        // whether translations are stable enough for run continuations
+        // to reuse the memoized one. Fault plans can kill processors
+        // mid-access, migration and page-cache pressure can remap pages,
+        // and non-S-COMA policies convert frame modes — any of those
+        // disables reuse (the index itself is still reported).
+        self.ingest = std::sync::Arc::new(IngestIndex::build(trace, self.cfg.geometry));
+        self.fast_xlat = self.fault.is_none()
+            && self.cfg.migration.is_none()
+            && self.cfg.page_cache_capacity.is_none()
+            && self.cfg.policy == PagePolicy::Scoma
+            && !self.mode_prefs_set;
         for (i, seg) in trace.segments.iter().enumerate() {
             let pages = self.cfg.geometry.pages_for(seg.bytes) as u32;
             let gsid = self.ipc.shmget(i as u64, pages);

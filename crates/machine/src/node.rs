@@ -1,8 +1,9 @@
 //! Processors and node assembly.
 
-use prism_mem::addr::{NodeId, ProcId};
+use prism_mem::addr::{FrameNo, NodeId, ProcId};
 use prism_mem::cache::Cache;
 use prism_mem::tlb::Tlb;
+use prism_mem::FrameMode;
 use prism_sim::{Cycle, Resource};
 
 use prism_kernel::kernel::Kernel;
@@ -41,6 +42,12 @@ pub struct Processor {
     pub l2: Cache,
     /// Translation lookaside buffer.
     pub tlb: Tlb,
+    /// Last translation of the current same-page run, as
+    /// `(vpage, frame, mode)` — trace-ingest batching lets subsequent
+    /// references in the run reuse it instead of re-walking the TLB and
+    /// kernel page tables (the lookups it skips are idempotent, so
+    /// timing and statistics are unchanged).
+    pub xlat_memo: Option<(u64, FrameNo, FrameMode)>,
 }
 
 impl Processor {
@@ -55,6 +62,7 @@ impl Processor {
             l1: Cache::new("L1", cfg.l1_bytes, cfg.l1_assoc, line_log2),
             l2: Cache::new("L2", cfg.l2_bytes, cfg.l2_assoc, line_log2),
             tlb: Tlb::new(cfg.tlb_entries),
+            xlat_memo: None,
         }
     }
 

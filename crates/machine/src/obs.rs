@@ -34,6 +34,11 @@ use crate::shadow::AuditFinding;
 /// How many structural events the bus retains.
 const RING_CAPACITY: usize = 1024;
 
+/// How many dirtied-page records the bus retains for incremental audit
+/// sweeps. An overflow between sweeps (detected by the total-pushed
+/// watermark) downgrades that sweep to a full one.
+const TOUCHED_CAPACITY: usize = 4096;
+
 /// Dense counter indices for high-frequency protocol events.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[repr(usize)]
@@ -64,10 +69,13 @@ pub(crate) enum Ctr {
     FirewallRejections,
     /// Processors killed by fault containment.
     DeadProcs,
+    /// Translations served from the per-processor run memo instead of a
+    /// fresh TLB/kernel lookup (trace-ingest batching hit-rate).
+    BatchedLookups,
 }
 
 impl Ctr {
-    const NAMES: [(Ctr, &'static str); 13] = [
+    const NAMES: [(Ctr, &'static str); 14] = [
         (Ctr::TotalRefs, "total-refs"),
         (Ctr::RemoteMisses, "remote-misses"),
         (Ctr::RemoteUpgrades, "remote-upgrades"),
@@ -81,6 +89,7 @@ impl Ctr {
         (Ctr::Forwards, "forwards"),
         (Ctr::FirewallRejections, "firewall-rejections"),
         (Ctr::DeadProcs, "dead-procs"),
+        (Ctr::BatchedLookups, "batched-lookups"),
     ];
 }
 
@@ -158,6 +167,13 @@ pub(crate) struct EventBus {
     pub(crate) findings: Vec<AuditFinding>,
     /// Completed auditor sweeps.
     pub(crate) sweeps: u64,
+    /// Pages whose coherence-relevant state changed (fault commits,
+    /// remote transactions, page-outs) — the feed for incremental audit
+    /// sweeps.
+    touched: EventRing<GlobalPage>,
+    /// Total-pushed watermark of `touched` at the last sweep; if more
+    /// events than the ring holds arrived since, some were lost.
+    touched_seen: u64,
 }
 
 impl EventBus {
@@ -176,6 +192,8 @@ impl EventBus {
             fault: FaultReport::default(),
             findings: Vec::new(),
             sweeps: 0,
+            touched: EventRing::new(TOUCHED_CAPACITY),
+            touched_seen: 0,
         }
     }
 
@@ -205,6 +223,53 @@ impl EventBus {
     /// Retained structural events, oldest first.
     pub(crate) fn recent(&self) -> Vec<(Cycle, ObsEvent)> {
         self.ring.iter().copied().collect()
+    }
+
+    /// Records that `gpage`'s coherence-relevant state changed, for the
+    /// next incremental audit sweep.
+    #[inline]
+    pub(crate) fn note_touched(&mut self, gpage: GlobalPage) {
+        self.touched.push(gpage);
+    }
+
+    /// Drains the dirtied-page set accumulated since the previous drain:
+    /// a sorted, deduplicated page list, plus whether the ring
+    /// overflowed in between (in which case the list is incomplete and
+    /// the caller must fall back to a full sweep).
+    pub(crate) fn drain_touched(&mut self) -> (Vec<GlobalPage>, bool) {
+        let pushed = self.touched.total_pushed();
+        let overflowed = pushed - self.touched_seen > self.touched.len() as u64;
+        self.touched_seen = pushed;
+        let mut pages: Vec<GlobalPage> = self.touched.iter().copied().collect();
+        self.touched.clear();
+        pages.sort_by_key(|g| (g.gsid.0, g.page));
+        pages.dedup();
+        (pages, overflowed)
+    }
+
+    /// Folds a worker's bus into this one: counters add index-by-index
+    /// and the latency histograms merge.
+    ///
+    /// Worker batches run only on machines the parallel scheduler proved
+    /// free of structural events (no faults, no migrations, no audits),
+    /// so the ring, findings, fault report, and touched-page feed of a
+    /// worker bus must still be empty — merging ignores them and debug-
+    /// asserts that invariant.
+    pub(crate) fn merge_from(&mut self, worker: &EventBus) {
+        debug_assert!(worker.ring.is_empty(), "worker emitted structural events");
+        debug_assert!(worker.findings.is_empty(), "worker recorded audit findings");
+        debug_assert_eq!(worker.sweeps, 0, "worker ran audit sweeps");
+        debug_assert_eq!(
+            worker.fault,
+            FaultReport::default(),
+            "worker wrote fault accounting"
+        );
+        debug_assert!(worker.touched.is_empty(), "worker touched audit feed");
+        self.counters.merge(&worker.counters);
+        self.local_fill_latency.merge(&worker.local_fill_latency);
+        self.remote_fetch_latency
+            .merge(&worker.remote_fetch_latency);
+        self.fault_latency.merge(&worker.fault_latency);
     }
 }
 

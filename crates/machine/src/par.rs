@@ -1,0 +1,618 @@
+//! The epoch-parallel executor behind [`SchedulerKind::ParallelHeap`]:
+//! conflict-checked worker-thread batches on the heap scheduler.
+//!
+//! The conservative deterministic interleaving serializes everything,
+//! yet most picks touch only the picking processor's own node: batches
+//! from different nodes whose coherence *footprints* are disjoint
+//! commute — no cache, directory, network interface, or kernel state is
+//! shared between them, so executing them concurrently and merging
+//! their additive statistics reproduces the serial result byte for
+//! byte. This module exploits that in *epochs*:
+//!
+//! 1. Drain the ready queue and scan each processor's upcoming window
+//!    of operations (stopping at sync operations and at the next
+//!    scheduled control event), deriving a per-batch **footprint**: the
+//!    set of nodes any operation in the window could touch, from the
+//!    accessing node through the page's homes to every directory-listed
+//!    client ([`Machine::remote_txn_footprint`]).
+//! 2. Group batches by node and admit a maximal prefix of
+//!    pairwise-disjoint groups ([`admit_epoch`]). Rejected groups and
+//!    sync-truncated windows cap the epoch bound `B`, so everything
+//!    admitted runs strictly before anything deferred.
+//! 3. Execute each admitted group inside a *shell machine* — the
+//!    group's nodes are moved in wholesale, every other slot holds a
+//!    cheap placeholder — on a persistent worker thread (inline on the
+//!    scheduler thread when `worker_threads <= 1`), then merge shells
+//!    back in deterministic group order and requeue survivors. Shells
+//!    are pooled across epochs, so steady-state per-epoch cost is node
+//!    swaps and channel hops, not machine construction.
+//!
+//! Whenever an epoch cannot be formed (one runnable group, a control
+//! event due, an ineligible configuration) the loop falls back to
+//! [`Machine::heap_step`], the exact serial pick of the `Heap`
+//! scheduler — which is what keeps `ParallelHeap` observationally
+//! identical to `Heap` on every workload, parallel or not.
+//!
+//! Eligibility is conservative: configurations with migration, fault
+//! injection, journaling, shadow checking, page-cache pressure,
+//! non-S-COMA policies, or incremental auditing run fully serial.
+//! Those features either mutate cross-node state outside the footprint
+//! (migration forwards, journal records at homes) or observe the
+//! global interleaving (shadow versions, the dirty-page ring), and the
+//! paper-scale workloads the optimisation targets use none of them.
+
+use std::collections::HashMap;
+use std::sync::mpsc;
+
+use prism_kernel::ipc::GlobalIpc;
+use prism_kernel::kernel::{Kernel, KernelConfig};
+use prism_kernel::policy::PagePolicy;
+use prism_mem::addr::{NodeId, NodeSet};
+use prism_mem::trace::{Op, Trace};
+use prism_protocol::msg::TrafficLedger;
+use prism_sim::sync::{BarrierSet, LockSet};
+use prism_sim::SimRng;
+use prism_sim::{Cycle, Resource};
+
+use crate::config::AuditMode;
+use crate::controller::Controller;
+use crate::machine::{Machine, AUDIT_RNG_SEED};
+use crate::node::{Node, ProcState};
+use crate::obs::EventBus;
+use crate::sched::Sched;
+
+/// Maximum operations one scanned window may hold. Caps the scan cost
+/// per epoch and the amount of work a single straggler batch can hoard.
+const MAX_WINDOW: usize = 4096;
+
+/// One processor's share of an epoch: its identity, the clock it was
+/// popped at (for requeueing untouched leftovers), and how many scanned
+/// operations it may still execute.
+struct Member {
+    flat: usize,
+    popped: Cycle,
+    window: usize,
+}
+
+/// One unit of epoch work shipped to a worker thread: the group's index
+/// in admission order (the merge key), the group itself, the shell
+/// machine holding its nodes, and the epoch bound.
+type Task = (usize, Group, Machine, Cycle);
+
+/// A finished unit coming back: index, group, and the shell to merge.
+type Done = (usize, Group, Machine);
+
+/// All of one node's ready batches plus the union of their footprints.
+pub(crate) struct Group {
+    members: Vec<Member>,
+    pub(crate) footprint: NodeSet,
+    /// Earliest member clock — groups form in `(clock, proc)` pop
+    /// order, so this is the clock of the first member.
+    pub(crate) earliest: Cycle,
+}
+
+/// Greedy conflict-free admission: walk groups in formation order
+/// (earliest clock first), admit each whose footprint is disjoint from
+/// everything admitted so far, and cap the epoch bound at the earliest
+/// clock of every rejected group — a rejected batch's operations must
+/// run strictly after the epoch, so nothing admitted may reach them.
+///
+/// Returns the admission mask and the capped bound. Two groups sharing
+/// any node — in particular a page's home — can never both be admitted.
+pub(crate) fn admit_epoch(groups: &[Group], mut b: u64) -> (Vec<bool>, u64) {
+    let mut taken = NodeSet::EMPTY;
+    let mut keep = vec![false; groups.len()];
+    for (i, g) in groups.iter().enumerate() {
+        if taken.0 & g.footprint.0 == 0 {
+            taken.0 |= g.footprint.0;
+            keep[i] = true;
+        } else {
+            b = b.min(g.earliest.as_u64());
+        }
+    }
+    (keep, b)
+}
+
+impl Machine {
+    /// The `ParallelHeap` run loop: identical to the heap loop, except
+    /// that each pick first tries to form an epoch of conflict-free
+    /// node groups around the popped processor. When it cannot, the
+    /// pick degenerates to the serial [`Machine::heap_step`].
+    pub(crate) fn run_loop_parallel(&mut self, trace: &Trace) {
+        self.prime_sched();
+        if !self.parallel_eligible() {
+            while let Some((clock, flat)) = self.sched.pop_proc() {
+                self.heap_step(trace, clock, flat);
+            }
+            self.sched.deactivate();
+            return;
+        }
+        // Workers live for the whole run and shells are pooled across
+        // epochs: per-epoch cost is two node swaps and one channel
+        // round-trip per group, not thread spawns and kernel rebuilds.
+        // A single worker thread would only re-serialize the groups
+        // with channel hops in between, so `worker_threads <= 1` runs
+        // every group inline on this thread instead (same admission
+        // order, so the exact same simulation).
+        let w = if self.cfg.worker_threads > 1 {
+            self.cfg.worker_threads
+        } else {
+            0
+        };
+        std::thread::scope(|s| {
+            let (done_tx, done_rx) = mpsc::channel::<Done>();
+            let workers: Vec<mpsc::Sender<Task>> = (0..w)
+                .map(|_| {
+                    let (tx, rx) = mpsc::channel::<Task>();
+                    let done = done_tx.clone();
+                    s.spawn(move || {
+                        while let Ok((i, mut g, mut shell, bound)) = rx.recv() {
+                            shell.run_group(trace, &mut g.members, bound);
+                            if done.send((i, g, shell)).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                    tx
+                })
+                .collect();
+            drop(done_tx);
+            let mut pool: Vec<Machine> = Vec::new();
+            while let Some((clock, flat)) = self.sched.pop_proc() {
+                if !self.try_epoch(trace, clock, flat, &workers, &done_rx, &mut pool) {
+                    self.heap_step(trace, clock, flat);
+                }
+            }
+            drop(workers);
+        });
+        self.sched.deactivate();
+    }
+
+    /// True when the configuration guarantees that disjoint-footprint
+    /// batches commute (see the module docs for why each feature on
+    /// this list forces serial execution).
+    fn parallel_eligible(&self) -> bool {
+        self.cfg.policy == PagePolicy::Scoma
+            && self.cfg.migration.is_none()
+            && self.cfg.page_cache_capacity.is_none()
+            && self.cfg.audit_mode != AuditMode::Incremental
+            && !self.mode_prefs_set
+            && self.shadow.is_none()
+            && self.fault.is_none()
+            && self.journal.is_none()
+            && self.nodes.iter().all(|n| !n.failed)
+    }
+
+    /// Attempts one epoch around the already-popped `(clock0, flat0)`.
+    /// Returns false — with the ready queue restored — when no epoch
+    /// with at least two independent groups exists, so the caller can
+    /// fall back to the serial pick.
+    fn try_epoch(
+        &mut self,
+        trace: &Trace,
+        clock0: Cycle,
+        flat0: usize,
+        workers: &[mpsc::Sender<Task>],
+        done_rx: &mpsc::Receiver<Done>,
+        pool: &mut Vec<Machine>,
+    ) -> bool {
+        // Control events (audit sweeps, under the eligibility gate the
+        // only kind) observe the global interleaving: no batch may run
+        // past the next one.
+        let b_ctl = self.sched.peek_control();
+        if clock0.as_u64() >= b_ctl {
+            return false;
+        }
+        // Drain the ready queue; entries surface in (clock, proc) order.
+        let mut popped = vec![(clock0, flat0)];
+        while let Some((c, f)) = self.sched.pop_proc() {
+            popped.push((c, f));
+        }
+        // Scan windows and form per-node groups in pop order. A window
+        // truncated by a sync operation caps the bound at the sync's
+        // earliest possible start: sync operations mutate machine-wide
+        // state (barriers, locks, lock-home network interfaces) and so
+        // must stay on the serial path, after everything admitted here.
+        let mut b = b_ctl;
+        let mut groups: Vec<Group> = Vec::new();
+        let mut by_node: HashMap<usize, usize> = HashMap::new();
+        let mut leftovers: Vec<(Cycle, usize)> = Vec::new();
+        let mut memo: HashMap<(usize, u64), NodeSet> = HashMap::new();
+        for &(c, f) in &popped {
+            // The horizon tightens as earlier scans discover sync
+            // truncations: ops past the running bound can never execute
+            // in this epoch, so scanning them would be pure waste (and
+            // the dominant cost on barrier-dense workloads).
+            let (window, fp, sync_at) = self.scan_window(trace, f, c, b, &mut memo);
+            if let Some(at) = sync_at {
+                b = b.min(at);
+            }
+            if window == 0 {
+                leftovers.push((c, f));
+                continue;
+            }
+            let (n, _) = self.split_flat(f);
+            let gi = *by_node.entry(n).or_insert_with(|| {
+                groups.push(Group {
+                    members: Vec::new(),
+                    footprint: NodeSet::EMPTY,
+                    earliest: c,
+                });
+                groups.len() - 1
+            });
+            groups[gi].members.push(Member {
+                flat: f,
+                popped: c,
+                window,
+            });
+            groups[gi].footprint.0 |= fp.0;
+        }
+        let flat0_grouped = groups.first().is_some_and(|g| g.members[0].flat == flat0);
+        let (keep, b) = admit_epoch(&groups, b);
+        let admitted = keep.iter().filter(|&&k| k).count();
+        // An epoch is worth forming only when at least two groups run
+        // concurrently, the popped processor is one of them (it must
+        // make progress), and the bound leaves it room to.
+        if admitted < 2 || !flat0_grouped || !keep[0] || clock0.as_u64() >= b {
+            for &(c, f) in popped.iter().skip(1) {
+                self.sched.wake(f, c);
+            }
+            return false;
+        }
+        let mut accepted: Vec<Group> = Vec::new();
+        for (g, k) in groups.into_iter().zip(keep) {
+            if k {
+                accepted.push(g);
+            } else {
+                for m in g.members {
+                    leftovers.push((m.popped, m.flat));
+                }
+            }
+        }
+        self.run_epoch(
+            trace,
+            accepted,
+            Cycle(b.saturating_sub(1)),
+            workers,
+            done_rx,
+            pool,
+        );
+        for (c, f) in leftovers {
+            self.sched.wake(f, c);
+        }
+        true
+    }
+
+    /// Scans processor `flat`'s lane from its current position,
+    /// accumulating the nodes its next operations could touch. The scan
+    /// advances a *lower bound* on the clock (computes are exact, every
+    /// memory reference costs at least an L1 hit), so any operation the
+    /// executor could actually start before `horizon` lies inside the
+    /// returned window. Returns the window length, its footprint, and —
+    /// when the window was truncated with lane left (by a sync
+    /// operation, or by [`MAX_WINDOW`]) — the earliest clock the first
+    /// excluded operation could start at. The epoch bound must not pass
+    /// that clock: excluded operations run serially after the merge, so
+    /// nothing admitted to the epoch may be ordered after them.
+    fn scan_window(
+        &self,
+        trace: &Trace,
+        flat: usize,
+        clock: Cycle,
+        horizon: u64,
+        memo: &mut HashMap<(usize, u64), NodeSet>,
+    ) -> (usize, NodeSet, Option<u64>) {
+        let lane = &trace.lanes[flat];
+        let (n, pi) = self.split_flat(flat);
+        if self.nodes[n].procs[pi].state != ProcState::Ready {
+            return (0, NodeSet::EMPTY, None);
+        }
+        let mut pc = self.nodes[n].procs[pi].pc;
+        let mut t = clock.as_u64();
+        let mut fp = NodeSet::single(NodeId(n as u16));
+        let l1 = self.cfg.latency.l1_hit;
+        let mut ops = 0;
+        // Same-page run continuations (trace-ingest bitmap) reuse the
+        // previous reference's footprint without a page lookup.
+        let mut last_fp: Option<NodeSet> = None;
+        while t < horizon {
+            match lane.get(pc) {
+                None => return (ops, fp, None),
+                Some(Op::Barrier(_) | Op::Lock(_) | Op::Unlock(_)) => {
+                    return (ops, fp, Some(t));
+                }
+                _ if ops == MAX_WINDOW => return (ops, fp, Some(t)),
+                Some(&Op::Compute(c)) => t += c as u64,
+                Some(&(Op::Read(va) | Op::Write(va))) => {
+                    let page_fp = match last_fp {
+                        Some(f) if self.ingest.same_run(flat, pc) => f,
+                        _ => {
+                            let key = (n, self.cfg.geometry.vpage(va));
+                            *memo.entry(key).or_insert_with(|| {
+                                match self.nodes[n].kernel.resolve(va) {
+                                    Some(gp) => self.remote_txn_footprint(n, gp),
+                                    None => self.local_fill_footprint(n),
+                                }
+                            })
+                        }
+                    };
+                    last_fp = Some(page_fp);
+                    fp.0 |= page_fp.0;
+                    t += l1;
+                }
+            }
+            pc += 1;
+            ops += 1;
+        }
+        (ops, fp, None)
+    }
+
+    /// Runs the admitted groups — inline when no worker threads exist,
+    /// otherwise shipped round-robin to the persistent workers — then
+    /// merges the shells in admission order, deterministic regardless
+    /// of which worker ran what when. Shells return to `pool` with
+    /// fresh statistics for the next epoch.
+    fn run_epoch(
+        &mut self,
+        trace: &Trace,
+        accepted: Vec<Group>,
+        bound: Cycle,
+        workers: &[mpsc::Sender<Task>],
+        done_rx: &mpsc::Receiver<Done>,
+        pool: &mut Vec<Machine>,
+    ) {
+        let count = accepted.len();
+        let mut done: Vec<Done> = Vec::with_capacity(count);
+        for (i, mut g) in accepted.into_iter().enumerate() {
+            let mut shell = pool.pop().unwrap_or_else(|| self.make_shell());
+            for id in g.footprint.iter() {
+                std::mem::swap(
+                    &mut self.nodes[id.0 as usize],
+                    &mut shell.nodes[id.0 as usize],
+                );
+            }
+            if workers.is_empty() {
+                shell.run_group(trace, &mut g.members, bound);
+                done.push((i, g, shell));
+            } else {
+                workers[i % workers.len()]
+                    .send((i, g, shell, bound))
+                    .expect("epoch worker hung up");
+            }
+        }
+        if !workers.is_empty() {
+            done.extend((0..count).map(|_| done_rx.recv().expect("epoch worker panicked")));
+            done.sort_by_key(|d| d.0);
+        }
+        for (_, g, mut shell) in done {
+            for id in g.footprint.iter() {
+                std::mem::swap(
+                    &mut self.nodes[id.0 as usize],
+                    &mut shell.nodes[id.0 as usize],
+                );
+            }
+            self.obs.merge_from(&shell.obs);
+            self.ledger.merge(&shell.ledger);
+            shell.obs = EventBus::new();
+            shell.ledger = TrafficLedger::new();
+            for m in &g.members {
+                let (n, pi) = self.split_flat(m.flat);
+                if self.nodes[n].procs[pi].state == ProcState::Ready {
+                    let c = self.nodes[n].procs[pi].clock;
+                    self.sched.wake(m.flat, c);
+                }
+            }
+            pool.push(shell);
+        }
+    }
+
+    /// A shell machine for one worker: full-width node vector (so flat
+    /// indices resolve) holding cheap placeholders until the group's
+    /// real nodes are swapped in, fresh additive statistics, and every
+    /// engine feature disabled. Scheduler wakes are inert (`Sched`
+    /// starts inactive), so sync-free batch execution inside the shell
+    /// behaves exactly as on the parent machine.
+    fn make_shell(&self) -> Machine {
+        let nodes = (0..self.cfg.nodes)
+            .map(|n| {
+                let kcfg = KernelConfig {
+                    real_frames: 1,
+                    page_cache_capacity: None,
+                    policy: self.cfg.policy,
+                    home_status_flag: self.cfg.home_status_flag,
+                    renuma_threshold: self.cfg.renuma_threshold,
+                };
+                let kernel = Kernel::new(
+                    NodeId(n as u16),
+                    kcfg,
+                    self.homes.clone(),
+                    self.cfg.geometry,
+                );
+                Node {
+                    id: NodeId(n as u16),
+                    procs: Vec::new(),
+                    bus: Resource::new("bus"),
+                    memory: Resource::new("memory"),
+                    ni: Resource::new("ni"),
+                    engine: Resource::new("engine"),
+                    controller: Controller::new(1, self.cfg.geometry.lines_per_page(), 1, 1),
+                    kernel,
+                    failed: false,
+                }
+            })
+            .collect();
+        Machine {
+            cfg: self.cfg.clone(),
+            nodes,
+            barrier_groups: vec![(0..0, BarrierSet::new(1))],
+            locks: LockSet::new(),
+            dyn_homes: HashMap::new(),
+            ipc: GlobalIpc::new(),
+            homes: self.homes.clone(),
+            ledger: TrafficLedger::new(),
+            obs: EventBus::new(),
+            sched: Sched::default(),
+            shadow: None,
+            fault: None,
+            journal: None,
+            next_audit: u64::MAX,
+            former_homes: HashMap::new(),
+            workload_name: String::new(),
+            audit_rng: SimRng::new(AUDIT_RNG_SEED),
+            mode_prefs_set: false,
+            ingest: std::sync::Arc::clone(&self.ingest),
+            fast_xlat: self.fast_xlat,
+        }
+    }
+
+    /// Drives one group inside a shell: repeatedly pick the earliest
+    /// `(clock, proc)` member with window left, bound its batch by the
+    /// next-earliest member's `(clock, proc)` key (the group-local
+    /// projection of the serial interleaving — lexicographic, so ties
+    /// at equal clocks resolve by processor id exactly as heap pops do)
+    /// and by the epoch bound, and run it. Stops when no member can
+    /// start another operation before the bound.
+    fn run_group(&mut self, trace: &Trace, members: &mut [Member], bound: Cycle) {
+        loop {
+            let mut best: Option<(Cycle, usize, usize)> = None;
+            let mut next = (bound, usize::MAX);
+            for (i, m) in members.iter().enumerate() {
+                if m.window == 0 {
+                    continue;
+                }
+                let (n, pi) = self.split_flat(m.flat);
+                let p = &self.nodes[n].procs[pi];
+                if p.state != ProcState::Ready || p.clock > bound {
+                    continue;
+                }
+                match best {
+                    None => best = Some((p.clock, m.flat, i)),
+                    Some((c, bf, _)) if (p.clock, m.flat) < (c, bf) => {
+                        next = next.min((c, bf));
+                        best = Some((p.clock, m.flat, i));
+                    }
+                    Some(_) => next = next.min((p.clock, m.flat)),
+                }
+            }
+            let Some((_, _, i)) = best else {
+                break;
+            };
+            let executed = self.run_batch_window(trace, members[i].flat, next, members[i].window);
+            debug_assert!(executed > 0, "a runnable member must make progress");
+            if executed == 0 {
+                break;
+            }
+            members[i].window -= executed;
+        }
+    }
+
+    /// The worker-side batch: like the serial `run_batch`, but capped
+    /// at the scanned window (the footprint covers nothing beyond it)
+    /// and starting an operation only while the `(clock, proc)` key is
+    /// below `bound` — the serial loop would run everything admitted to
+    /// this epoch before any operation past it, resolving equal-clock
+    /// ties by processor id just like heap pops.
+    fn run_batch_window(
+        &mut self,
+        trace: &Trace,
+        flat: usize,
+        bound: (Cycle, usize),
+        max_ops: usize,
+    ) -> usize {
+        let lane = &trace.lanes[flat];
+        let (n, pi) = self.split_flat(flat);
+        let mut done = 0;
+        while done < max_ops {
+            if self.nodes[n].procs[pi].state != ProcState::Ready
+                || (self.nodes[n].procs[pi].clock, flat) > bound
+            {
+                break;
+            }
+            let pc = self.nodes[n].procs[pi].pc;
+            let Some(&op) = lane.get(pc) else {
+                self.nodes[n].procs[pi].state = ProcState::Finished;
+                break;
+            };
+            debug_assert!(
+                !matches!(op, Op::Barrier(_) | Op::Lock(_) | Op::Unlock(_)),
+                "sync operations are excluded from scanned windows"
+            );
+            self.exec_op(flat, op);
+            done += 1;
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group(nodes: &[u16], earliest: u64) -> Group {
+        let mut fp = NodeSet::EMPTY;
+        for &n in nodes {
+            fp.insert(NodeId(n));
+        }
+        Group {
+            members: Vec::new(),
+            footprint: fp,
+            earliest: Cycle(earliest),
+        }
+    }
+
+    #[test]
+    fn groups_sharing_a_page_home_never_share_an_epoch() {
+        // Nodes 0 and 1 both reference a page homed on node 2: their
+        // footprints intersect at the home, so the second group must be
+        // rejected and the epoch bound capped at its earliest clock.
+        let groups = vec![group(&[0, 2], 10), group(&[1, 2], 40), group(&[3], 70)];
+        let (keep, b) = admit_epoch(&groups, u64::MAX);
+        assert_eq!(keep, vec![true, false, true]);
+        assert_eq!(b, 40);
+    }
+
+    #[test]
+    fn disjoint_groups_are_all_admitted() {
+        let groups = vec![group(&[0], 5), group(&[1, 2], 6), group(&[3], 7)];
+        let (keep, b) = admit_epoch(&groups, 1_000);
+        assert_eq!(keep, vec![true, true, true]);
+        assert_eq!(b, 1_000);
+    }
+
+    #[test]
+    fn rejection_is_transitive_over_the_taken_set() {
+        // Group 2 conflicts with group 0, group 3 with group 2's nodes
+        // even though group 2 was rejected: admission checks against
+        // the *admitted* union only, so group 3 gets in.
+        let groups = vec![group(&[0, 1], 10), group(&[1, 2], 20), group(&[2], 30)];
+        let (keep, b) = admit_epoch(&groups, u64::MAX);
+        assert_eq!(keep, vec![true, false, true]);
+        assert_eq!(b, 20);
+    }
+
+    #[test]
+    fn footprint_covers_requester_and_static_home() {
+        use prism_mem::trace::{SegmentSpec, SHARED_BASE};
+        let cfg = crate::config::MachineConfig::builder()
+            .nodes(4)
+            .procs_per_node(1)
+            .build();
+        let mut m = Machine::new(cfg);
+        let segs = vec![SegmentSpec {
+            name: "s".into(),
+            va_base: SHARED_BASE,
+            bytes: 4 * m.cfg.geometry.page_bytes(),
+        }];
+        for node in &mut m.nodes {
+            node.kernel.attach_segments(&segs);
+        }
+        let va = prism_mem::addr::VirtAddr(SHARED_BASE);
+        let gp = m.nodes[0].kernel.resolve(va).expect("shared page resolves");
+        let fp = m.remote_txn_footprint(0, gp);
+        assert!(fp.contains(NodeId(0)), "requester is in its own footprint");
+        assert!(
+            fp.contains(m.homes.static_home(gp)),
+            "the page's static home is in the footprint"
+        );
+    }
+}

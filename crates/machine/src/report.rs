@@ -61,6 +61,10 @@ pub struct RunReport {
     pub exec_cycles: Cycle,
     /// Total memory references executed.
     pub total_refs: u64,
+    /// References that reused a same-page run's memoized translation
+    /// (trace-ingest batching hit count; 0 when the configuration
+    /// disables reuse).
+    pub batched_lookups: u64,
     /// L1 hits / misses summed over processors.
     pub l1_hits: u64,
     /// L1 misses summed over processors.
@@ -189,6 +193,7 @@ impl Machine {
             workload: self.workload_name.clone(),
             exec_cycles: exec,
             total_refs: self.obs.get(Ctr::TotalRefs),
+            batched_lookups: self.obs.get(Ctr::BatchedLookups),
             l1_hits: l1h,
             l1_misses: l1m,
             l2_hits: l2h,
@@ -252,6 +257,7 @@ impl RunReport {
         field_str(&mut o, "workload", &self.workload);
         field_u64(&mut o, "exec_cycles", self.exec_cycles.as_u64());
         field_u64(&mut o, "total_refs", self.total_refs);
+        field_u64(&mut o, "batched_lookups", self.batched_lookups);
         field_u64(&mut o, "l1_hits", self.l1_hits);
         field_u64(&mut o, "l1_misses", self.l1_misses);
         field_u64(&mut o, "l2_hits", self.l2_hits);

@@ -101,7 +101,7 @@ impl Sched {
     }
 
     /// Pops the earliest Ready processor, discarding stale entries.
-    fn pop_proc(&mut self) -> Option<(Cycle, usize)> {
+    pub(crate) fn pop_proc(&mut self) -> Option<(Cycle, usize)> {
         while let Some(&Reverse((c, f, s))) = self.procs.peek() {
             self.procs.pop();
             if s == self.seq[f] {
@@ -111,16 +111,32 @@ impl Sched {
         None
     }
 
-    /// The earliest queued clock (the batch bound after a pop), with
-    /// stale entries discarded on the way.
-    fn peek_clock(&mut self) -> Cycle {
+    /// The earliest queued `(clock, proc)` key (the batch bound after a
+    /// pop), with stale entries discarded on the way. The proc id rides
+    /// along so batches break ties at equal clocks by processor id —
+    /// the same order pops resolve them — making the interleaving a
+    /// pure `(clock, proc)` merge of the lanes.
+    fn peek_key(&mut self) -> (Cycle, usize) {
         while let Some(&Reverse((c, f, s))) = self.procs.peek() {
             if s == self.seq[f] {
-                return Cycle(c);
+                return (Cycle(c), f);
             }
             self.procs.pop();
         }
-        Cycle::NEVER
+        (Cycle::NEVER, usize::MAX)
+    }
+
+    /// Deactivates wake notifications (run loop exit).
+    pub(crate) fn deactivate(&mut self) {
+        self.active = false;
+    }
+
+    /// The earliest scheduled control event's due cycle (`u64::MAX`
+    /// when none is queued). The parallel executor bounds every epoch
+    /// by this so no batch runs past a point where the serial loop
+    /// would have fired a sweep.
+    pub(crate) fn peek_control(&self) -> u64 {
+        self.control.peek().map_or(u64::MAX, |&Reverse((at, _))| at)
     }
 
     /// Schedules a control event at `at`.
@@ -158,6 +174,7 @@ impl Machine {
         match self.cfg.scheduler {
             SchedulerKind::Heap => self.run_loop_heap(trace),
             SchedulerKind::LinearScan => self.run_loop_linear(trace),
+            SchedulerKind::ParallelHeap => self.run_loop_parallel(trace),
         }
         // Everyone must be Finished or Dead; anything Blocked means the
         // trace deadlocked.
@@ -174,7 +191,7 @@ impl Machine {
     /// Rebuilds the scheduler from current machine state: every Ready
     /// processor, the next pending scheduled fault, watchdog deadlines
     /// for lines already wedged in Transit, and the next audit sweep.
-    fn prime_sched(&mut self) {
+    pub(crate) fn prime_sched(&mut self) {
         let total = self.cfg.total_procs();
         let mut sched = std::mem::take(&mut self.sched);
         sched.reset(total, true);
@@ -210,39 +227,48 @@ impl Machine {
     fn run_loop_heap(&mut self, trace: &Trace) {
         self.prime_sched();
         while let Some((clock, flat)) = self.sched.pop_proc() {
-            // The batch bound is the second-earliest Ready clock,
-            // captured *before* control events run — a fault may kill
-            // the bounding processor, but the original loop computed
-            // its bound before applying faults too.
-            let bound = self.sched.peek_clock();
-            let (fault_due, watchdog_due, audit_due) = self.sched.drain_control(clock.as_u64());
-            if fault_due {
-                self.apply_fault_events(clock);
-                if let Some(state) = self.fault.as_ref() {
-                    if let Some(ev) = state.plan.schedule().get(state.next_event) {
-                        self.sched.schedule(ev.at.as_u64(), ControlKind::Fault);
-                    }
-                }
-            }
-            if watchdog_due {
-                self.watchdog_sweep(clock);
-            }
-            if audit_due {
-                self.audit_sweep(clock);
-                let interval = self.cfg.audit_interval.expect("audit scheduled");
-                self.next_audit = clock.as_u64().saturating_add(interval.max(1));
-                if self.next_audit != u64::MAX {
-                    self.sched.schedule(self.next_audit, ControlKind::Audit);
-                }
-            }
-            self.run_batch(trace, flat, bound);
-            let (n, pi) = self.split_flat(flat);
-            if self.nodes[n].procs[pi].state == ProcState::Ready {
-                let c = self.nodes[n].procs[pi].clock;
-                self.sched.wake(flat, c);
-            }
+            self.heap_step(trace, clock, flat);
         }
         self.sched.active = false;
+    }
+
+    /// One serial pick of the heap loop for an already-popped processor:
+    /// due control events fire, the processor runs its batch, and it
+    /// requeues if still Ready. The parallel loop falls back to this
+    /// exact step whenever an epoch cannot be formed, which is what
+    /// keeps `ParallelHeap` observationally identical to `Heap`.
+    pub(crate) fn heap_step(&mut self, trace: &Trace, clock: Cycle, flat: usize) {
+        // The batch bound is the second-earliest Ready `(clock, proc)`
+        // key, captured *before* control events run — a fault may kill
+        // the bounding processor, but the original loop computed
+        // its bound before applying faults too.
+        let bound = self.sched.peek_key();
+        let (fault_due, watchdog_due, audit_due) = self.sched.drain_control(clock.as_u64());
+        if fault_due {
+            self.apply_fault_events(clock);
+            if let Some(state) = self.fault.as_ref() {
+                if let Some(ev) = state.plan.schedule().get(state.next_event) {
+                    self.sched.schedule(ev.at.as_u64(), ControlKind::Fault);
+                }
+            }
+        }
+        if watchdog_due {
+            self.watchdog_sweep(clock);
+        }
+        if audit_due {
+            self.audit_sweep(clock);
+            let interval = self.cfg.audit_interval.expect("audit scheduled");
+            self.next_audit = clock.as_u64().saturating_add(interval.max(1));
+            if self.next_audit != u64::MAX {
+                self.sched.schedule(self.next_audit, ControlKind::Audit);
+            }
+        }
+        self.run_batch(trace, flat, bound);
+        let (n, pi) = self.split_flat(flat);
+        if self.nodes[n].procs[pi].state == ProcState::Ready {
+            let c = self.nodes[n].procs[pi].clock;
+            self.sched.wake(flat, c);
+        }
     }
 
     /// The original `O(P)` loop: rescan every processor per pick, with
@@ -252,18 +278,18 @@ impl Machine {
         loop {
             // Earliest runnable processor (deterministic tie-break on id).
             let mut best: Option<(Cycle, usize)> = None;
-            let mut bound = Cycle::NEVER;
+            let mut bound = (Cycle::NEVER, usize::MAX);
             for flat in 0..self.cfg.total_procs() {
                 let (n, pi) = self.split_flat(flat);
                 let p = &self.nodes[n].procs[pi];
                 if p.state == ProcState::Ready {
                     match best {
                         None => best = Some((p.clock, flat)),
-                        Some((c, _)) if p.clock < c => {
-                            bound = bound.min(c);
+                        Some((c, bf)) if p.clock < c => {
+                            bound = bound.min((c, bf));
                             best = Some((p.clock, flat));
                         }
-                        Some(_) => bound = bound.min(p.clock),
+                        Some(_) => bound = bound.min((p.clock, flat)),
                     }
                 }
             }
@@ -288,9 +314,11 @@ impl Machine {
     }
 
     /// Executes a batch of operations while `flat` remains the earliest
-    /// runnable processor (its clock at or below `bound`). Sync
-    /// operations end a batch because they can change who is runnable.
-    fn run_batch(&mut self, trace: &Trace, flat: usize, bound: Cycle) {
+    /// runnable processor — its `(clock, proc)` key lexicographically
+    /// below `bound`, so ties at equal clocks resolve by processor id
+    /// exactly as heap pops do. Sync operations end a batch because
+    /// they can change who is runnable.
+    fn run_batch(&mut self, trace: &Trace, flat: usize, bound: (Cycle, usize)) {
         let lane = &trace.lanes[flat];
         let (n, pi) = self.split_flat(flat);
         for _ in 0..BATCH_OPS {
@@ -304,13 +332,13 @@ impl Machine {
             };
             let is_sync = matches!(op, Op::Barrier(_) | Op::Lock(_) | Op::Unlock(_));
             self.exec_op(flat, op);
-            if is_sync || self.nodes[n].procs[pi].clock > bound {
+            if is_sync || (self.nodes[n].procs[pi].clock, flat) > bound {
                 break;
             }
         }
     }
 
-    fn exec_op(&mut self, flat: usize, op: Op) {
+    pub(crate) fn exec_op(&mut self, flat: usize, op: Op) {
         let (n, pi) = self.split_flat(flat);
         match op {
             Op::Compute(c) => {

@@ -454,3 +454,13 @@ impl Machine {
         }
     }
 }
+
+impl Machine {
+    /// The node footprint of an intra-node fill: everything above —
+    /// sibling snoops, local-memory fills, bus upgrades, insertions and
+    /// their evictions — stays on the accessing node. Private-page
+    /// references therefore conflict only with batches on the same node.
+    pub(crate) fn local_fill_footprint(&self, n: usize) -> prism_mem::addr::NodeSet {
+        prism_mem::addr::NodeSet::single(prism_mem::addr::NodeId(n as u16))
+    }
+}

@@ -854,3 +854,28 @@ impl Machine {
         }
     }
 }
+
+impl Machine {
+    /// The node footprint a remote transaction over `gpage` issued from
+    /// node `n` could touch across all of its phases: the requester, the
+    /// page's homes (static and dynamic — Route may re-route between
+    /// them), and every client the home directory currently lists (Data
+    /// sourcing may intervene at the owner, Invalidate fans out to all
+    /// sharers). The parallel epoch executor admits two batches into the
+    /// same epoch only when these sets are disjoint, so any transaction
+    /// one batch starts is invisible to the other.
+    pub(crate) fn remote_txn_footprint(
+        &self,
+        n: usize,
+        gpage: GlobalPage,
+    ) -> prism_mem::addr::NodeSet {
+        let mut set = prism_mem::addr::NodeSet::single(NodeId(n as u16));
+        set.insert(self.homes.static_home(gpage));
+        let home = self.resolve_dyn_home(gpage);
+        set.insert(home);
+        if let Some(pd) = self.nodes[home.0 as usize].controller.dir.page(gpage) {
+            set = prism_mem::addr::NodeSet(set.0 | pd.clients.0);
+        }
+        set
+    }
+}

@@ -134,3 +134,103 @@ fn golden_composed_jobs() {
     let report = Machine::new(base_config()).run_jobs(&jobs);
     check_golden("composed_jobs", &report.to_json());
 }
+
+/// The parallel scheduler must reproduce the same golden fixtures for
+/// every worker count. This fixture's config enables the coherence
+/// checker, which fails the parallel eligibility gate — locking in the
+/// other half of the `ParallelHeap` contract: ineligible configurations
+/// degrade to the exact serial heap loop.
+#[test]
+fn golden_lu_audit_parallel_heap() {
+    for workers in [1, 2, 4] {
+        let mut cfg = base_config();
+        cfg.scheduler = SchedulerKind::ParallelHeap;
+        cfg.worker_threads = workers;
+        let trace = app(AppId::Lu, Scale::Small).generate(8);
+        let json = Machine::new(cfg).run(&trace).to_json();
+        check_golden("lu_audit", &json);
+    }
+}
+
+/// Scheduler equivalence under faults, migration, and journaling: all
+/// of those fail the parallel eligibility gate, so `ParallelHeap` must
+/// fall back to byte-identical serial execution.
+#[test]
+fn golden_ocean_faults_parallel_heap() {
+    for workers in [1, 2, 4] {
+        let mut cfg = base_config();
+        cfg.scheduler = SchedulerKind::ParallelHeap;
+        cfg.worker_threads = workers;
+        cfg.migration = Some(MigrationPolicy {
+            check_interval: 16,
+            min_traffic: 32,
+            dominance: 0.55,
+        });
+        cfg.journal = JournalPolicy::Eager {
+            record_cycles: 4,
+            replay_cycles_per_line: 24,
+        };
+        let trace = app(AppId::Ocean, Scale::Small).generate(8);
+        let plan = FaultPlan::new(0xFA117)
+            .link_faults(0.002, 0.0004)
+            .wedge_transit(NodeId(3), Cycle(60_000))
+            .fail_node(NodeId(2), Cycle(120_000));
+        let mut m = Machine::new(cfg);
+        m.install_fault_plan(plan);
+        check_golden("ocean_faults", &m.run(&trace).to_json());
+    }
+}
+
+/// An *eligible* configuration (no checker, no faults, no migration)
+/// where epochs actually form and run on worker threads: space-shared
+/// single-node jobs give every node its own conflict-free group, and
+/// the merged result must still be byte-identical to the serial heap
+/// schedule for every worker count — with periodic audit sweeps firing
+/// at the same cycles throughout.
+#[test]
+fn parallel_epochs_match_serial_heap() {
+    let eligible = |scheduler: SchedulerKind, workers: usize| {
+        let mut cfg = MachineConfig::builder()
+            .nodes(4)
+            .procs_per_node(2)
+            .l1_bytes(1024)
+            .l2_bytes(4096)
+            .audit_interval(Some(50_000))
+            .build();
+        cfg.scheduler = scheduler;
+        cfg.worker_threads = workers;
+        cfg
+    };
+    let jobs: Vec<_> = [AppId::Lu, AppId::WaterSpa, AppId::Radix, AppId::Fft]
+        .iter()
+        .map(|&a| app(a, Scale::Small).generate(2))
+        .collect();
+    let serial = Machine::new(eligible(SchedulerKind::Heap, 1))
+        .run_jobs(&jobs)
+        .to_json();
+    for workers in [1, 2, 4] {
+        let parallel = Machine::new(eligible(SchedulerKind::ParallelHeap, workers))
+            .run_jobs(&jobs)
+            .to_json();
+        assert_eq!(
+            parallel, serial,
+            "ParallelHeap with {workers} workers diverged from the serial heap schedule"
+        );
+    }
+}
+
+/// Sampled and incremental audit sweeps must themselves be
+/// deterministic: same configuration, same findings and sweep count,
+/// run after run.
+#[test]
+fn audit_modes_are_deterministic() {
+    for mode in [AuditMode::Sampled { fraction: 0.5 }, AuditMode::Incremental] {
+        let run = || {
+            let mut cfg = base_config();
+            cfg.audit_mode = mode;
+            let trace = app(AppId::Ocean, Scale::Small).generate(8);
+            Machine::new(cfg).run(&trace).to_json()
+        };
+        assert_eq!(run(), run(), "audit mode {mode:?} is not deterministic");
+    }
+}
