@@ -27,8 +27,15 @@ pub enum SchedulerKind {
     /// footprints runs concurrently on scoped worker threads, and
     /// per-worker effects merge back in deterministic `(clock, proc)`
     /// order. Results stay byte-identical to [`SchedulerKind::Heap`]
-    /// (the golden suite locks this); configurations the conflict
-    /// detector cannot prove safe fall back to the serial heap loop.
+    /// (the golden suite locks this, fault plans included). Admission
+    /// is per-feature: fault injections, watchdog deadlines, and
+    /// journal flushes bound epochs as control events, open link-fault
+    /// windows and recovery hazards (failed nodes, wedged Transit
+    /// lines) serialize only the picks and groups they touch, and each
+    /// serial fallback is recorded with a structured
+    /// [`ParallelFallbackReason`](crate::ParallelFallbackReason)
+    /// in the report. Only structurally ineligible configurations
+    /// (migration, shadow checking, and friends) run fully serial.
     ParallelHeap,
 }
 

@@ -156,6 +156,27 @@ pub(crate) struct PageJournal {
 }
 
 impl Journal {
+    /// Folds a parallel-worker shell's journal into this one, draining
+    /// the shell. Shells only ever journal pages whose static homes lie
+    /// inside their epoch footprint, and epoch footprints are pairwise
+    /// disjoint, so per-page state never collides between shells; the
+    /// defensive merge below still resolves a collision deterministically
+    /// (later records win, like sequential appends would).
+    pub(crate) fn absorb(&mut self, other: &mut Journal) {
+        let mut pages: Vec<(GlobalPage, PageJournal)> = other.pages.drain().collect();
+        pages.sort_by_key(|(g, _)| (g.gsid.0, g.page));
+        for (gp, pj) in pages {
+            let dst = self.pages.entry(gp).or_default();
+            dst.lines.extend(pj.lines);
+            if pj.image_at.is_some() {
+                dst.image_at = pj.image_at;
+            }
+            dst.records += pj.records;
+        }
+        self.total_records += other.total_records;
+        other.total_records = 0;
+    }
+
     /// Appends a dirty-line version record.
     pub(crate) fn record_line(&mut self, gpage: GlobalPage, line: LineIdx, at: Cycle) {
         let pj = self.pages.entry(gpage).or_default();
@@ -252,6 +273,63 @@ pub enum ScheduledFaultKind {
     /// the plan's seed; the transit watchdog must recover it.
     WedgeTransit(NodeId),
 }
+
+/// A structurally invalid [`FaultPlan`], rejected when the plan is
+/// installed on a machine ([`crate::machine::Machine::install_fault_plan`]).
+///
+/// Each variant names a plan that could never mean what its author
+/// intended — a fault aimed at a node the machine does not have, an
+/// injection clock that can never be reached, or slow-node episodes
+/// whose overlap makes the effective factor ambiguous. Before this
+/// check existed such plans were silently inert, which is the worst
+/// possible behavior for a chaos-testing tool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultPlanError {
+    /// A scheduled fault or slow-node episode targets a node outside
+    /// the machine (`node >= nodes`).
+    NodeOutOfRange {
+        /// The out-of-range target.
+        node: NodeId,
+        /// How many nodes the machine actually has.
+        nodes: usize,
+    },
+    /// Two slow-node episodes for the same node overlap in time; the
+    /// plan must state one factor per node per instant.
+    OverlappingSlowEpisodes {
+        /// The node with conflicting episodes.
+        node: NodeId,
+    },
+    /// A scheduled fault's injection clock is at or past [`Cycle::NEVER`],
+    /// so it can never strike during any run.
+    UnreachableInjection {
+        /// The unreachable injection clock.
+        at: Cycle,
+    },
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            FaultPlanError::NodeOutOfRange { node, nodes } => write!(
+                f,
+                "fault plan targets node {} but the machine has {} nodes",
+                node.0, nodes
+            ),
+            FaultPlanError::OverlappingSlowEpisodes { node } => write!(
+                f,
+                "fault plan schedules overlapping slow episodes for node {}",
+                node.0
+            ),
+            FaultPlanError::UnreachableInjection { at } => write!(
+                f,
+                "fault plan schedules an injection at cycle {} which can never be reached",
+                at.as_u64()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
 
 /// A seeded, deterministic schedule of faults for one run.
 ///
@@ -380,6 +458,10 @@ impl FaultPlan {
     }
 
     /// The latency multiplier in effect for `node` at time `t`.
+    ///
+    /// Overlapping episodes take the maximum factor; note that
+    /// [`FaultPlan::validate`] rejects same-node overlaps at install
+    /// time, so the max only matters for plans inspected stand-alone.
     pub fn slow_factor(&self, node: NodeId, t: Cycle) -> u64 {
         self.slow_episodes
             .iter()
@@ -391,6 +473,55 @@ impl FaultPlan {
 
     fn window_at(&self, t: Cycle) -> Option<&LinkFaultWindow> {
         self.link_windows.iter().find(|w| w.contains(t))
+    }
+
+    /// True while any link-fault window that can actually perturb a
+    /// message (nonzero drop or corruption probability) has not yet
+    /// expired at time `t`.
+    ///
+    /// The parallel epoch executor keys off this: inside a live window
+    /// every send's fate is drawn from one sequential RNG stream, so
+    /// execution must stay serial to keep the stream's order; once every
+    /// perturbing window has closed, no send dated `>= t` can consume a
+    /// verdict, and epochs are safe again.
+    pub(crate) fn has_live_link_window(&self, t: Cycle) -> bool {
+        self.link_windows
+            .iter()
+            .any(|w| (w.drop_prob > 0.0 || w.corrupt_prob > 0.0) && t < w.until)
+    }
+
+    /// Checks the plan against a machine of `nodes` nodes, returning the
+    /// first structural error (see [`FaultPlanError`]). Called by
+    /// [`crate::machine::Machine::install_fault_plan`]; a plan that
+    /// passes is guaranteed to mean something on that machine.
+    pub fn validate(&self, nodes: usize) -> Result<(), FaultPlanError> {
+        for ev in &self.schedule {
+            let node = match ev.kind {
+                ScheduledFaultKind::FailNode(n)
+                | ScheduledFaultKind::CorruptPit(n)
+                | ScheduledFaultKind::WedgeTransit(n) => n,
+            };
+            if node.0 as usize >= nodes {
+                return Err(FaultPlanError::NodeOutOfRange { node, nodes });
+            }
+            if ev.at >= Cycle::NEVER {
+                return Err(FaultPlanError::UnreachableInjection { at: ev.at });
+            }
+        }
+        for (i, a) in self.slow_episodes.iter().enumerate() {
+            if a.node.0 as usize >= nodes {
+                return Err(FaultPlanError::NodeOutOfRange {
+                    node: a.node,
+                    nodes,
+                });
+            }
+            for b in &self.slow_episodes[i + 1..] {
+                if a.node == b.node && a.from < b.until && b.from < a.until {
+                    return Err(FaultPlanError::OverlappingSlowEpisodes { node: a.node });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// True when the plan can never perturb anything.
@@ -527,6 +658,34 @@ impl FaultReport {
     /// True when any fault was observed.
     pub fn any(&self) -> bool {
         *self != FaultReport::default()
+    }
+
+    /// Adds another report's tallies into this one, field by field. The
+    /// parallel epoch executor merges per-shell fault accounting back in
+    /// admission order through this; every field is an additive counter,
+    /// so the merged totals equal the serial loop's.
+    pub(crate) fn absorb(&mut self, other: &FaultReport) {
+        self.dropped_messages += other.dropped_messages;
+        self.corrupted_messages += other.corrupted_messages;
+        self.nacks += other.nacks;
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.backoff_cycles += other.backoff_cycles;
+        self.failovers += other.failovers;
+        self.pit_corruptions += other.pit_corruptions;
+        self.node_failures += other.node_failures;
+        self.contained_faults += other.contained_faults;
+        self.fatal_faults += other.fatal_faults;
+        self.journal_records += other.journal_records;
+        self.journal_replay_cycles += other.journal_replay_cycles;
+        self.journal_lag_cycles += other.journal_lag_cycles;
+        self.lines_recovered += other.lines_recovered;
+        self.lines_lost += other.lines_lost;
+        self.failover_refusals += other.failover_refusals;
+        self.transit_wedges += other.transit_wedges;
+        self.watchdog_resends += other.watchdog_resends;
+        self.watchdog_remasters += other.watchdog_remasters;
+        self.watchdog_kills += other.watchdog_kills;
     }
 }
 
@@ -760,6 +919,114 @@ mod tests {
         assert!(FaultPlan::new(9).link_faults(0.0, 0.0).is_empty());
         assert!(!FaultPlan::new(9).link_faults(0.1, 0.0).is_empty());
         assert!(!FaultPlan::new(9).fail_node(NodeId(0), Cycle(1)).is_empty());
+    }
+
+    #[test]
+    fn validate_accepts_sane_plans() {
+        let plan = FaultPlan::new(1)
+            .link_faults(0.01, 0.001)
+            .slow_node(NodeId(0), Cycle(0), Cycle(100), 2)
+            .slow_node(NodeId(0), Cycle(100), Cycle(200), 4) // adjacent, not overlapping
+            .slow_node(NodeId(1), Cycle(50), Cycle(150), 3) // other node may overlap
+            .fail_node(NodeId(3), Cycle(500));
+        assert_eq!(plan.validate(4), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_targets() {
+        let plan = FaultPlan::new(1).fail_node(NodeId(4), Cycle(500));
+        assert_eq!(
+            plan.validate(4),
+            Err(FaultPlanError::NodeOutOfRange {
+                node: NodeId(4),
+                nodes: 4
+            })
+        );
+        let plan = FaultPlan::new(1).slow_node(NodeId(9), Cycle(0), Cycle(10), 2);
+        assert_eq!(
+            plan.validate(4),
+            Err(FaultPlanError::NodeOutOfRange {
+                node: NodeId(9),
+                nodes: 4
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_slow_episodes() {
+        let plan = FaultPlan::new(1)
+            .slow_node(NodeId(2), Cycle(0), Cycle(100), 2)
+            .slow_node(NodeId(2), Cycle(50), Cycle(80), 6);
+        assert_eq!(
+            plan.validate(4),
+            Err(FaultPlanError::OverlappingSlowEpisodes { node: NodeId(2) })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_unreachable_injection_clocks() {
+        let plan = FaultPlan::new(1).corrupt_pit(NodeId(0), Cycle::NEVER);
+        assert_eq!(
+            plan.validate(4),
+            Err(FaultPlanError::UnreachableInjection { at: Cycle::NEVER })
+        );
+    }
+
+    #[test]
+    fn live_link_windows_expire() {
+        let plan = FaultPlan::new(1).link_fault_window(Cycle(100), Cycle(200), 0.1, 0.0);
+        assert!(
+            plan.has_live_link_window(Cycle(0)),
+            "not yet open still gates"
+        );
+        assert!(plan.has_live_link_window(Cycle(150)));
+        assert!(plan.has_live_link_window(Cycle(199)));
+        assert!(!plan.has_live_link_window(Cycle(200)), "exclusive end");
+        // Zero-probability windows never consume RNG, so they never gate.
+        let quiet = FaultPlan::new(1).link_fault_window(Cycle(0), Cycle::NEVER, 0.0, 0.0);
+        assert!(!quiet.has_live_link_window(Cycle(0)));
+        // A whole-run perturbing window gates forever.
+        let noisy = FaultPlan::new(1).link_faults(0.01, 0.0);
+        assert!(noisy.has_live_link_window(Cycle(u64::MAX - 1)));
+    }
+
+    #[test]
+    fn fault_reports_absorb_additively() {
+        let mut a = FaultReport {
+            retries: 3,
+            nacks: 1,
+            ..FaultReport::default()
+        };
+        let b = FaultReport {
+            retries: 2,
+            watchdog_resends: 5,
+            journal_records: 7,
+            ..FaultReport::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.retries, 5);
+        assert_eq!(a.nacks, 1);
+        assert_eq!(a.watchdog_resends, 5);
+        assert_eq!(a.journal_records, 7);
+    }
+
+    #[test]
+    fn journals_absorb_disjoint_pages() {
+        let gp = GlobalPage::default();
+        let mut parent = Journal::default();
+        parent.record_line(gp, LineIdx(1), Cycle(5));
+        let mut shell = Journal::default();
+        let gp2 = GlobalPage {
+            page: gp.page + 1,
+            ..gp
+        };
+        shell.record_line(gp2, LineIdx(2), Cycle(9));
+        shell.record_line(gp2, LineIdx(3), Cycle(11));
+        parent.absorb(&mut shell);
+        assert_eq!(parent.total_records(), 3);
+        assert_eq!(parent.page(gp2).unwrap().lines.len(), 2);
+        assert_eq!(shell.total_records(), 0, "shell is drained");
+        assert!(shell.page(gp2).is_none());
     }
 
     #[test]

@@ -99,8 +99,9 @@ mod watchdog;
 
 pub use config::{AuditMode, MachineConfig, SchedulerKind};
 pub use failure::NoPitBinding;
-pub use faults::{FaultPlan, FaultReport, JournalPolicy, RetryPolicy};
+pub use faults::{FaultPlan, FaultPlanError, FaultReport, JournalPolicy, RetryPolicy};
 pub use machine::Machine;
 pub use obs::ObsEvent;
+pub use par::{ParallelFallback, ParallelFallbackReason};
 pub use report::{NodeReport, RunReport};
 pub use shadow::{AuditFinding, AuditKind};

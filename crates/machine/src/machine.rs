@@ -28,10 +28,11 @@ use prism_kernel::policy::PagePolicy;
 use prism_sim::SimRng;
 
 use crate::config::MachineConfig;
-use crate::faults::{FaultPlan, FaultReport, FaultState, Journal};
+use crate::faults::{FaultPlan, FaultPlanError, FaultReport, FaultState, Journal};
 use crate::ingest::IngestIndex;
 use crate::node::{Node, ProcState};
 use crate::obs::{EventBus, ObsEvent};
+use crate::par::ParallelFallback;
 use crate::report::RunReport;
 use crate::sched::Sched;
 use crate::shadow::Shadow;
@@ -108,6 +109,9 @@ pub struct Machine {
     /// for the whole run, letting run continuations reuse the
     /// per-processor translation memo.
     pub(crate) fast_xlat: bool,
+    /// Epoch/fallback accounting for the parallel scheduler (all zeros
+    /// under the serial schedulers); snapshotted into the [`RunReport`].
+    pub(crate) par_fallback: ParallelFallback,
 }
 
 impl Machine {
@@ -153,6 +157,7 @@ impl Machine {
             mode_prefs_set: false,
             ingest: std::sync::Arc::new(IngestIndex::default()),
             fast_xlat: false,
+            par_fallback: ParallelFallback::default(),
         }
     }
 
@@ -160,9 +165,18 @@ impl Machine {
     /// link faults, slow episodes, and scheduled failures apply from the
     /// current simulated time onward; the accumulated [`FaultReport`]
     /// appears in the next run's [`RunReport`].
-    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FaultPlanError`] — and leaves any previously installed
+    /// plan in place — when the plan is structurally invalid for this
+    /// machine: faults targeting out-of-range nodes, overlapping
+    /// slow-node episodes, or injection clocks that can never be reached.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) -> Result<(), FaultPlanError> {
+        plan.validate(self.cfg.nodes)?;
         self.fault = Some(FaultState::new(plan));
         self.obs.fault = FaultReport::default();
+        Ok(())
     }
 
     /// The fault accounting so far (empty when no plan is installed).

@@ -247,29 +247,29 @@ impl EventBus {
         (pages, overflowed)
     }
 
-    /// Folds a worker's bus into this one: counters add index-by-index
-    /// and the latency histograms merge.
+    /// Folds a worker's bus into this one: counters add index-by-index,
+    /// the latency histograms merge, the fault accounting absorbs
+    /// additively, and any structural events append in call order —
+    /// the epoch executor merges shells in admission order, so the ring
+    /// stays in the serial emission order.
     ///
-    /// Worker batches run only on machines the parallel scheduler proved
-    /// free of structural events (no faults, no migrations, no audits),
-    /// so the ring, findings, fault report, and touched-page feed of a
-    /// worker bus must still be empty — merging ignores them and debug-
-    /// asserts that invariant.
+    /// Worker batches never run the auditor (shells disable it and the
+    /// incremental mode is structurally ineligible), so a worker bus's
+    /// findings, sweep count, and touched-page feed must still be
+    /// empty — merging debug-asserts that invariant.
     pub(crate) fn merge_from(&mut self, worker: &EventBus) {
-        debug_assert!(worker.ring.is_empty(), "worker emitted structural events");
         debug_assert!(worker.findings.is_empty(), "worker recorded audit findings");
         debug_assert_eq!(worker.sweeps, 0, "worker ran audit sweeps");
-        debug_assert_eq!(
-            worker.fault,
-            FaultReport::default(),
-            "worker wrote fault accounting"
-        );
         debug_assert!(worker.touched.is_empty(), "worker touched audit feed");
         self.counters.merge(&worker.counters);
         self.local_fill_latency.merge(&worker.local_fill_latency);
         self.remote_fetch_latency
             .merge(&worker.remote_fetch_latency);
         self.fault_latency.merge(&worker.fault_latency);
+        self.fault.absorb(&worker.fault);
+        for &(at, ev) in worker.ring.iter() {
+            self.ring.push((at, ev));
+        }
     }
 }
 

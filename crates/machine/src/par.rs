@@ -31,15 +31,39 @@
 //! event due, an ineligible configuration) the loop falls back to
 //! [`Machine::heap_step`], the exact serial pick of the `Heap`
 //! scheduler — which is what keeps `ParallelHeap` observationally
-//! identical to `Heap` on every workload, parallel or not.
+//! identical to `Heap` on every workload, parallel or not. Every such
+//! fallback is recorded in [`ParallelFallback`] with a structured
+//! [`ParallelFallbackReason`], so serial degradation is observable in
+//! reports rather than silent.
 //!
-//! Eligibility is conservative: configurations with migration, fault
-//! injection, journaling, shadow checking, page-cache pressure,
-//! non-S-COMA policies, or incremental auditing run fully serial.
-//! Those features either mutate cross-node state outside the footprint
-//! (migration forwards, journal records at homes) or observe the
-//! global interleaving (shadow versions, the dirty-page ring), and the
-//! paper-scale workloads the optimisation targets use none of them.
+//! Eligibility is per-feature, not all-or-nothing. Configurations with
+//! migration, shadow checking, page-cache pressure, non-S-COMA
+//! policies, or incremental auditing run fully serial: those features
+//! either mutate cross-node state outside the footprint (migration
+//! forwards) or observe the global interleaving (shadow versions, the
+//! dirty-page ring). Fault injection, eager journaling, the watchdog,
+//! and failed nodes instead degrade *locally*:
+//!
+//! * Scheduled fault injections and watchdog deadline sweeps are
+//!   control events on the scheduler's control heap, so
+//!   [`Sched::peek_control`](crate::sched) caps the epoch bound — an
+//!   epoch can never run past a fault's injection clock or a transit
+//!   deadline.
+//! * While a link-fault window with nonzero drop/corrupt probability
+//!   is open, delivery verdicts consume the serial fault RNG stream,
+//!   so epochs are suppressed until the window closes (sends inside an
+//!   epoch all happen at or after the epoch's start clock).
+//! * Failed nodes and nodes with wedged Transit lines form a *hazard
+//!   set*: groups whose footprint intersects it — which, because
+//!   [`Machine::remote_txn_footprint`] includes stale dynamic-home
+//!   hints and every former home, covers a faulted page's whole
+//!   recovery set — serialize, while disjoint groups keep running in
+//!   parallel.
+//! * Shells carry the fault plan (for slow-node latency factors) and
+//!   an empty journal mirror; per-shell `FaultReport` deltas and
+//!   journal records merge back in admission order, keeping the merged
+//!   `RunReport` byte-identical to the serial heap's under an active
+//!   `FaultPlan`.
 
 use std::collections::HashMap;
 use std::sync::mpsc;
@@ -56,6 +80,7 @@ use prism_sim::{Cycle, Resource};
 
 use crate::config::AuditMode;
 use crate::controller::Controller;
+use crate::faults::Journal;
 use crate::machine::{Machine, AUDIT_RNG_SEED};
 use crate::node::{Node, ProcState};
 use crate::obs::EventBus;
@@ -64,6 +89,17 @@ use crate::sched::Sched;
 /// Maximum operations one scanned window may hold. Caps the scan cost
 /// per epoch and the amount of work a single straggler batch can hoard.
 const MAX_WINDOW: usize = 4096;
+
+/// Minimum simulated-cycle headroom (`bound - clock0`) an epoch must
+/// have to be worth running. An epoch pays for shell swaps, channel
+/// round-trips, and the merge regardless of how much work it admits; a
+/// bound capped just past the pick's clock — conflicting groups cap it
+/// at their earliest member — buys a handful of operations per group
+/// and costs more wall-clock than the serial pick it replaces. Too-thin
+/// epochs are rejected as `InsufficientParallelism` (engaging the scan
+/// backoff). Purely a wall-clock heuristic: epoch formation never
+/// affects the simulated run.
+const MIN_EPOCH_SPAN: u64 = 1024;
 
 /// One processor's share of an epoch: its identity, the clock it was
 /// popped at (for requeueing untouched leftovers), and how many scanned
@@ -91,26 +127,133 @@ pub(crate) struct Group {
     pub(crate) earliest: Cycle,
 }
 
+/// Why a `ParallelHeap` pick ran on the serial path instead of inside
+/// an epoch. Recorded per fallback in [`ParallelFallback`] so benches
+/// and tests can see *why* parallelism degraded, not just that it did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ParallelFallbackReason {
+    /// The configuration is structurally ineligible (migration, shadow
+    /// checking, page-cache pressure, a non-S-COMA policy, incremental
+    /// auditing, or user mode preferences): the whole run is serial.
+    IneligibleConfig,
+    /// A scheduled control event — fault injection, watchdog deadline
+    /// sweep, or audit sweep — was due at or before the pick's clock.
+    ControlEventDue,
+    /// A link-fault window with nonzero drop or corrupt probability was
+    /// still open, so delivery verdicts must consume the serial fault
+    /// RNG stream one send at a time.
+    LinkFaultWindowActive,
+    /// Admission rejected at least one group whose footprint touched
+    /// the recovery hazard set (failed nodes, or nodes with wedged
+    /// Transit lines awaiting the watchdog), and too few hazard-free
+    /// groups remained to form an epoch.
+    RecoveryHazard,
+    /// Fewer than two conflict-free groups were runnable before the
+    /// epoch bound — the ordinary serial pick, not a fault artifact.
+    InsufficientParallelism,
+    /// The pick skipped the epoch attempt entirely: the loop is in
+    /// exponential backoff after scan-based rejections. A failed
+    /// attempt costs a multi-lane window scan, so a conflict-heavy
+    /// phase that rejects every pick would spend far more wall-clock
+    /// scanning than the serial pick it falls back to. Backoff is a
+    /// deterministic wall-clock heuristic only — epoch formation never
+    /// affects the simulated run.
+    EpochBackoff,
+}
+
+impl ParallelFallbackReason {
+    /// All reasons, in counter order (the order [`ParallelFallback`]
+    /// indexes and benches report them).
+    pub const ALL: [ParallelFallbackReason; 6] = [
+        ParallelFallbackReason::IneligibleConfig,
+        ParallelFallbackReason::ControlEventDue,
+        ParallelFallbackReason::LinkFaultWindowActive,
+        ParallelFallbackReason::RecoveryHazard,
+        ParallelFallbackReason::InsufficientParallelism,
+        ParallelFallbackReason::EpochBackoff,
+    ];
+
+    /// Stable snake_case name, used as the key in bench JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            ParallelFallbackReason::IneligibleConfig => "ineligible_config",
+            ParallelFallbackReason::ControlEventDue => "control_event_due",
+            ParallelFallbackReason::LinkFaultWindowActive => "link_fault_window_active",
+            ParallelFallbackReason::RecoveryHazard => "recovery_hazard",
+            ParallelFallbackReason::InsufficientParallelism => "insufficient_parallelism",
+            ParallelFallbackReason::EpochBackoff => "epoch_backoff",
+        }
+    }
+}
+
+/// Epoch/serial-fallback accounting for one `ParallelHeap` run,
+/// reported in [`RunReport::parallel_fallback`](crate::report::RunReport).
+/// All zeros under the serial schedulers.
+///
+/// Deliberately *not* part of `RunReport::to_json()`: the JSON report
+/// is the scheduler-invariant golden artifact (byte-identical across
+/// `Heap`, `LinearScan`, and `ParallelHeap`), and these counters are
+/// scheduler-dependent by construction.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ParallelFallback {
+    /// Epochs that formed and ran groups concurrently.
+    pub epochs: u64,
+    /// Picks that ran on the exact serial heap path.
+    pub serial_picks: u64,
+    counts: [u64; 6],
+}
+
+impl ParallelFallback {
+    /// Records one serial pick with its structured reason.
+    pub(crate) fn note(&mut self, reason: ParallelFallbackReason) {
+        self.serial_picks += 1;
+        self.counts[reason as usize] += 1;
+    }
+
+    /// How many serial picks fell back for `reason`.
+    pub fn count(&self, reason: ParallelFallbackReason) -> u64 {
+        self.counts[reason as usize]
+    }
+}
+
 /// Greedy conflict-free admission: walk groups in formation order
 /// (earliest clock first), admit each whose footprint is disjoint from
-/// everything admitted so far, and cap the epoch bound at the earliest
-/// clock of every rejected group — a rejected batch's operations must
-/// run strictly after the epoch, so nothing admitted may reach them.
+/// everything admitted so far *and* from the recovery `hazard` set,
+/// and cap the epoch bound at the earliest clock of every rejected
+/// group — a rejected batch's operations must run strictly after the
+/// epoch, so nothing admitted may reach them.
 ///
-/// Returns the admission mask and the capped bound. Two groups sharing
-/// any node — in particular a page's home — can never both be admitted.
-pub(crate) fn admit_epoch(groups: &[Group], mut b: u64) -> (Vec<bool>, u64) {
+/// The hazard set holds failed nodes and nodes with in-flight Transit
+/// state: batches touching them (or, via the footprint's former-home
+/// closure, their failover targets) take the serial path, where
+/// reroute, failover replay, and watchdog recovery are legal. A
+/// hazard-rejected group does not join the taken set — it runs
+/// serially after the epoch, so it cannot block admission of disjoint
+/// healthy groups.
+///
+/// Returns the admission mask, the capped bound, and how many groups
+/// the hazard set rejected. Two groups sharing any node — in
+/// particular a page's home — can never both be admitted.
+pub(crate) fn admit_epoch(
+    groups: &[Group],
+    mut b: u64,
+    hazard: NodeSet,
+) -> (Vec<bool>, u64, usize) {
     let mut taken = NodeSet::EMPTY;
     let mut keep = vec![false; groups.len()];
+    let mut hazard_hits = 0;
     for (i, g) in groups.iter().enumerate() {
-        if taken.0 & g.footprint.0 == 0 {
+        if g.footprint.0 & hazard.0 != 0 {
+            hazard_hits += 1;
+            b = b.min(g.earliest.as_u64());
+        } else if taken.0 & g.footprint.0 == 0 {
             taken.0 |= g.footprint.0;
             keep[i] = true;
         } else {
             b = b.min(g.earliest.as_u64());
         }
     }
-    (keep, b)
+    (keep, b, hazard_hits)
 }
 
 impl Machine {
@@ -120,8 +263,9 @@ impl Machine {
     /// pick degenerates to the serial [`Machine::heap_step`].
     pub(crate) fn run_loop_parallel(&mut self, trace: &Trace) {
         self.prime_sched();
-        if !self.parallel_eligible() {
+        if let Some(reason) = self.parallel_ineligible() {
             while let Some((clock, flat)) = self.sched.pop_proc() {
+                self.par_fallback.note(reason);
                 self.heap_step(trace, clock, flat);
             }
             self.sched.deactivate();
@@ -158,9 +302,35 @@ impl Machine {
                 .collect();
             drop(done_tx);
             let mut pool: Vec<Machine> = Vec::new();
+            // Exponential backoff on scan-based rejections: a failed
+            // epoch attempt costs a multi-lane window scan, so during a
+            // conflict-heavy phase the loop skips `stride` picks before
+            // scanning again (doubling up to the cap), and re-arms the
+            // moment an epoch forms. Deterministic — it depends only on
+            // the pick sequence — and invisible to the simulation.
+            const MAX_EPOCH_BACKOFF: u64 = 512;
+            let (mut skip, mut stride) = (0u64, 1u64);
             while let Some((clock, flat)) = self.sched.pop_proc() {
-                if !self.try_epoch(trace, clock, flat, &workers, &done_rx, &mut pool) {
+                if skip > 0 {
+                    skip -= 1;
+                    self.par_fallback.note(ParallelFallbackReason::EpochBackoff);
                     self.heap_step(trace, clock, flat);
+                    continue;
+                }
+                match self.try_epoch(trace, clock, flat, &workers, &done_rx, &mut pool) {
+                    None => stride = 1,
+                    Some(reason) => {
+                        self.par_fallback.note(reason);
+                        if matches!(
+                            reason,
+                            ParallelFallbackReason::RecoveryHazard
+                                | ParallelFallbackReason::InsufficientParallelism
+                        ) {
+                            skip = stride;
+                            stride = (stride * 2).min(MAX_EPOCH_BACKOFF);
+                        }
+                        self.heap_step(trace, clock, flat);
+                    }
                 }
             }
             drop(workers);
@@ -168,25 +338,42 @@ impl Machine {
         self.sched.deactivate();
     }
 
-    /// True when the configuration guarantees that disjoint-footprint
+    /// `None` when the configuration guarantees that disjoint-footprint
     /// batches commute (see the module docs for why each feature on
-    /// this list forces serial execution).
-    fn parallel_eligible(&self) -> bool {
-        self.cfg.policy == PagePolicy::Scoma
+    /// this list forces serial execution). Fault plans, journaling,
+    /// the watchdog, and failed nodes are *not* on the list: they are
+    /// admitted per-epoch via control-event bounds and the recovery
+    /// hazard set instead of disqualifying the whole run.
+    fn parallel_ineligible(&self) -> Option<ParallelFallbackReason> {
+        let structural = self.cfg.policy == PagePolicy::Scoma
             && self.cfg.migration.is_none()
             && self.cfg.page_cache_capacity.is_none()
             && self.cfg.audit_mode != AuditMode::Incremental
             && !self.mode_prefs_set
-            && self.shadow.is_none()
-            && self.fault.is_none()
-            && self.journal.is_none()
-            && self.nodes.iter().all(|n| !n.failed)
+            && self.shadow.is_none();
+        (!structural).then_some(ParallelFallbackReason::IneligibleConfig)
+    }
+
+    /// Nodes no epoch batch may touch: failed nodes (their pages are
+    /// mid-failover, their processors mid-kill) and nodes holding
+    /// wedged Transit lines the watchdog may need to recover. Batches
+    /// whose footprint intersects this set run serially, where reroute
+    /// and recovery are legal.
+    fn hazard_nodes(&self) -> NodeSet {
+        let mut hazard = NodeSet::EMPTY;
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.failed || node.controller.transit_pending() > 0 {
+                hazard.insert(NodeId(i as u16));
+            }
+        }
+        hazard
     }
 
     /// Attempts one epoch around the already-popped `(clock0, flat0)`.
-    /// Returns false — with the ready queue restored — when no epoch
-    /// with at least two independent groups exists, so the caller can
-    /// fall back to the serial pick.
+    /// Returns the rejection reason — with the ready queue restored —
+    /// when no epoch with at least two independent groups exists, so
+    /// the caller can note it and fall back to the serial pick; `None`
+    /// means the epoch formed and ran.
     fn try_epoch(
         &mut self,
         trace: &Trace,
@@ -195,13 +382,26 @@ impl Machine {
         workers: &[mpsc::Sender<Task>],
         done_rx: &mpsc::Receiver<Done>,
         pool: &mut Vec<Machine>,
-    ) -> bool {
-        // Control events (audit sweeps, under the eligibility gate the
-        // only kind) observe the global interleaving: no batch may run
-        // past the next one.
+    ) -> Option<ParallelFallbackReason> {
+        // Control events — fault injections, watchdog deadline sweeps,
+        // audit sweeps — observe (or mutate) the global interleaving:
+        // no batch may run past the next one, so the pending epoch is
+        // bounded by the control heap and a pick at or past the next
+        // event must take the serial path that fires it.
         let b_ctl = self.sched.peek_control();
         if clock0.as_u64() >= b_ctl {
-            return false;
+            return Some(ParallelFallbackReason::ControlEventDue);
+        }
+        // While a drop/corrupt link window is open, every send's
+        // delivery verdict draws from the single serial RNG stream in
+        // send order. All of an epoch's sends happen at or after
+        // `clock0`, so once no perturbing window is live at `clock0`
+        // (they are half-open `[from, until)`), shells can never reach
+        // a verdict draw and the stream stays untouched.
+        if let Some(f) = self.fault.as_ref() {
+            if f.plan.has_live_link_window(clock0) {
+                return Some(ParallelFallbackReason::LinkFaultWindowActive);
+            }
         }
         // Drain the ready queue; entries surface in (clock, proc) order.
         let mut popped = vec![(clock0, flat0)];
@@ -248,17 +448,27 @@ impl Machine {
             groups[gi].footprint.0 |= fp.0;
         }
         let flat0_grouped = groups.first().is_some_and(|g| g.members[0].flat == flat0);
-        let (keep, b) = admit_epoch(&groups, b);
+        let (keep, b, hazard_hits) = admit_epoch(&groups, b, self.hazard_nodes());
         let admitted = keep.iter().filter(|&&k| k).count();
         // An epoch is worth forming only when at least two groups run
         // concurrently, the popped processor is one of them (it must
-        // make progress), and the bound leaves it room to.
-        if admitted < 2 || !flat0_grouped || !keep[0] || clock0.as_u64() >= b {
+        // make progress), and the bound leaves enough room to amortize
+        // the epoch's fixed cost ([`MIN_EPOCH_SPAN`]).
+        if admitted < 2
+            || !flat0_grouped
+            || !keep[0]
+            || b.saturating_sub(clock0.as_u64()) < MIN_EPOCH_SPAN
+        {
             for &(c, f) in popped.iter().skip(1) {
                 self.sched.wake(f, c);
             }
-            return false;
+            return Some(if hazard_hits > 0 {
+                ParallelFallbackReason::RecoveryHazard
+            } else {
+                ParallelFallbackReason::InsufficientParallelism
+            });
         }
+        self.par_fallback.epochs += 1;
         let mut accepted: Vec<Group> = Vec::new();
         for (g, k) in groups.into_iter().zip(keep) {
             if k {
@@ -280,7 +490,7 @@ impl Machine {
         for (c, f) in leftovers {
             self.sched.wake(f, c);
         }
-        true
+        None
     }
 
     /// Scans processor `flat`'s lane from its current position,
@@ -365,6 +575,13 @@ impl Machine {
         let mut done: Vec<Done> = Vec::with_capacity(count);
         for (i, mut g) in accepted.into_iter().enumerate() {
             let mut shell = pool.pop().unwrap_or_else(|| self.make_shell());
+            // Failover re-masters pages in `dyn_homes`; keep the shell's
+            // view current so its translations resolve the same homes
+            // the serial path would. Guarded: the common fault-free
+            // epoch swaps nothing and pays one emptiness check.
+            if !self.dyn_homes.is_empty() || !shell.dyn_homes.is_empty() {
+                shell.dyn_homes.clone_from(&self.dyn_homes);
+            }
             for id in g.footprint.iter() {
                 std::mem::swap(
                     &mut self.nodes[id.0 as usize],
@@ -393,6 +610,9 @@ impl Machine {
             }
             self.obs.merge_from(&shell.obs);
             self.ledger.merge(&shell.ledger);
+            if let (Some(j), Some(sj)) = (self.journal.as_mut(), shell.journal.as_mut()) {
+                j.absorb(sj);
+            }
             shell.obs = EventBus::new();
             shell.ledger = TrafficLedger::new();
             for m in &g.members {
@@ -408,10 +628,18 @@ impl Machine {
 
     /// A shell machine for one worker: full-width node vector (so flat
     /// indices resolve) holding cheap placeholders until the group's
-    /// real nodes are swapped in, fresh additive statistics, and every
-    /// engine feature disabled. Scheduler wakes are inert (`Sched`
-    /// starts inactive), so sync-free batch execution inside the shell
-    /// behaves exactly as on the parent machine.
+    /// real nodes are swapped in, fresh additive statistics, and the
+    /// serial-only engine features disabled. Scheduler wakes are inert
+    /// (`Sched` starts inactive), so sync-free batch execution inside
+    /// the shell behaves exactly as on the parent machine.
+    ///
+    /// Fault-era state is mirrored, not dropped: the shell carries a
+    /// clone of the fault plan (slow-node latency factors and the
+    /// `fault.is_some()` accounting gates must match the serial path;
+    /// the mutable RNG/injection state is unreachable under the epoch
+    /// gates) and an empty journal when the parent journals (so the
+    /// record-at-home gate matches; records merge back after the
+    /// epoch).
     fn make_shell(&self) -> Machine {
         let nodes = (0..self.cfg.nodes)
             .map(|n| {
@@ -453,8 +681,8 @@ impl Machine {
             obs: EventBus::new(),
             sched: Sched::default(),
             shadow: None,
-            fault: None,
-            journal: None,
+            fault: self.fault.clone(),
+            journal: self.journal.as_ref().map(|_| Journal::default()),
             next_audit: u64::MAX,
             former_homes: HashMap::new(),
             workload_name: String::new(),
@@ -462,6 +690,7 @@ impl Machine {
             mode_prefs_set: false,
             ingest: std::sync::Arc::clone(&self.ingest),
             fast_xlat: self.fast_xlat,
+            par_fallback: ParallelFallback::default(),
         }
     }
 
@@ -560,23 +789,33 @@ mod tests {
         }
     }
 
+    fn nodeset(nodes: &[u16]) -> NodeSet {
+        let mut s = NodeSet::EMPTY;
+        for &n in nodes {
+            s.insert(NodeId(n));
+        }
+        s
+    }
+
     #[test]
     fn groups_sharing_a_page_home_never_share_an_epoch() {
         // Nodes 0 and 1 both reference a page homed on node 2: their
         // footprints intersect at the home, so the second group must be
         // rejected and the epoch bound capped at its earliest clock.
         let groups = vec![group(&[0, 2], 10), group(&[1, 2], 40), group(&[3], 70)];
-        let (keep, b) = admit_epoch(&groups, u64::MAX);
+        let (keep, b, hazard_hits) = admit_epoch(&groups, u64::MAX, NodeSet::EMPTY);
         assert_eq!(keep, vec![true, false, true]);
         assert_eq!(b, 40);
+        assert_eq!(hazard_hits, 0);
     }
 
     #[test]
     fn disjoint_groups_are_all_admitted() {
         let groups = vec![group(&[0], 5), group(&[1, 2], 6), group(&[3], 7)];
-        let (keep, b) = admit_epoch(&groups, 1_000);
+        let (keep, b, hazard_hits) = admit_epoch(&groups, 1_000, NodeSet::EMPTY);
         assert_eq!(keep, vec![true, true, true]);
         assert_eq!(b, 1_000);
+        assert_eq!(hazard_hits, 0);
     }
 
     #[test]
@@ -585,13 +824,64 @@ mod tests {
         // even though group 2 was rejected: admission checks against
         // the *admitted* union only, so group 3 gets in.
         let groups = vec![group(&[0, 1], 10), group(&[1, 2], 20), group(&[2], 30)];
-        let (keep, b) = admit_epoch(&groups, u64::MAX);
+        let (keep, b, hazard_hits) = admit_epoch(&groups, u64::MAX, NodeSet::EMPTY);
         assert_eq!(keep, vec![true, false, true]);
         assert_eq!(b, 20);
+        assert_eq!(hazard_hits, 0);
     }
 
     #[test]
-    fn footprint_covers_requester_and_static_home() {
+    fn hazard_groups_serialize_without_blocking_healthy_ones() {
+        // Node 1 is in the hazard set (say its home failed over): the
+        // group touching it must serialize — capping the bound at its
+        // earliest clock — but it must NOT join the taken set, so the
+        // later group reusing node 1's *healthy* neighbors still runs.
+        let groups = vec![group(&[0], 10), group(&[1, 2], 20), group(&[2, 3], 30)];
+        let (keep, b, hazard_hits) = admit_epoch(&groups, u64::MAX, nodeset(&[1]));
+        assert_eq!(keep, vec![true, false, true]);
+        assert_eq!(b, 20);
+        assert_eq!(hazard_hits, 1);
+    }
+
+    #[test]
+    fn hazard_rejection_caps_the_bound_even_when_first() {
+        // The earliest group itself is hazardous: nothing admitted may
+        // be ordered after its operations, so the bound collapses to
+        // its clock and the caller falls back to the serial path.
+        let groups = vec![group(&[0, 1], 10), group(&[2], 40), group(&[3], 70)];
+        let (keep, b, hazard_hits) = admit_epoch(&groups, u64::MAX, nodeset(&[0]));
+        assert_eq!(keep, vec![false, true, true]);
+        assert_eq!(b, 10);
+        assert_eq!(hazard_hits, 1);
+    }
+
+    #[test]
+    fn hazard_and_conflict_rejections_are_counted_separately() {
+        let groups = vec![group(&[0], 5), group(&[0, 1], 6), group(&[2, 3], 7)];
+        let (keep, _, hazard_hits) = admit_epoch(&groups, u64::MAX, nodeset(&[3]));
+        // Group 1 is a footprint conflict, group 2 a hazard hit.
+        assert_eq!(keep, vec![true, false, false]);
+        assert_eq!(hazard_hits, 1);
+    }
+
+    #[test]
+    fn fallback_counters_track_reasons_independently() {
+        let mut fb = ParallelFallback::default();
+        fb.note(ParallelFallbackReason::RecoveryHazard);
+        fb.note(ParallelFallbackReason::RecoveryHazard);
+        fb.note(ParallelFallbackReason::ControlEventDue);
+        assert_eq!(fb.serial_picks, 3);
+        assert_eq!(fb.count(ParallelFallbackReason::RecoveryHazard), 2);
+        assert_eq!(fb.count(ParallelFallbackReason::ControlEventDue), 1);
+        assert_eq!(fb.count(ParallelFallbackReason::IneligibleConfig), 0);
+        let total: u64 = ParallelFallbackReason::ALL
+            .iter()
+            .map(|&r| fb.count(r))
+            .sum();
+        assert_eq!(total, fb.serial_picks);
+    }
+
+    fn footprint_fixture() -> (Machine, prism_mem::addr::GlobalPage) {
         use prism_mem::trace::{SegmentSpec, SHARED_BASE};
         let cfg = crate::config::MachineConfig::builder()
             .nodes(4)
@@ -608,11 +898,62 @@ mod tests {
         }
         let va = prism_mem::addr::VirtAddr(SHARED_BASE);
         let gp = m.nodes[0].kernel.resolve(va).expect("shared page resolves");
+        (m, gp)
+    }
+
+    #[test]
+    fn footprint_covers_requester_and_static_home() {
+        let (m, gp) = footprint_fixture();
         let fp = m.remote_txn_footprint(0, gp);
         assert!(fp.contains(NodeId(0)), "requester is in its own footprint");
         assert!(
             fp.contains(m.homes.static_home(gp)),
             "the page's static home is in the footprint"
+        );
+    }
+
+    #[test]
+    fn footprint_covers_stale_pit_hints() {
+        use prism_mem::addr::FrameNo;
+        use prism_mem::mode::FrameMode;
+        use prism_mem::pit::PitEntry;
+        let (mut m, gp) = footprint_fixture();
+        let base = m.remote_txn_footprint(0, gp);
+        let hint = (0..4)
+            .map(NodeId)
+            .find(|&n| !base.contains(n))
+            .expect("a 4-node machine has a node outside the base footprint");
+        // A client PIT entry whose dynamic-home hint is stale (or was
+        // scrambled by a CorruptPit fault): Route targets the hint, so
+        // the footprint must own that first hop.
+        let mut entry = PitEntry::shared(gp, FrameMode::Scoma, m.homes.static_home(gp));
+        entry.dyn_home = hint;
+        m.nodes[0].controller.pit.insert(FrameNo(0), entry);
+        let fp = m.remote_txn_footprint(0, gp);
+        assert!(
+            fp.contains(hint),
+            "the requester's stale dynamic-home hint is in the footprint"
+        );
+    }
+
+    #[test]
+    fn footprint_covers_former_homes() {
+        let (mut m, gp) = footprint_fixture();
+        let base = m.remote_txn_footprint(0, gp);
+        let dead = (0..4)
+            .map(NodeId)
+            .rev()
+            .find(|&n| !base.contains(n))
+            .expect("a 4-node machine has a node outside the base footprint");
+        // The page failed over from `dead` (or migrated away): clients
+        // may still hold hints to it, so the whole recovery set — old
+        // home included — stays in one footprint and the hazard set can
+        // serialize every batch that could touch it.
+        m.former_homes.entry(gp).or_default().insert(dead);
+        let fp = m.remote_txn_footprint(0, gp);
+        assert!(
+            fp.contains(dead),
+            "a former home stays in the page's footprint"
         );
     }
 }

@@ -17,6 +17,7 @@ use prism_sim::Cycle;
 use crate::faults::FaultReport;
 use crate::machine::Machine;
 use crate::obs::Ctr;
+use crate::par::ParallelFallback;
 use crate::shadow::AuditFinding;
 
 /// Per-node results.
@@ -137,6 +138,12 @@ pub struct RunReport {
     pub audit: Vec<AuditFinding>,
     /// Auditor sweeps completed (periodic plus the end-of-run sweep).
     pub audit_sweeps: u64,
+    /// Epoch and serial-fallback accounting of the parallel scheduler
+    /// (all zeros under serial schedulers). Excluded from
+    /// [`RunReport::to_json`]: the JSON report is the
+    /// scheduler-invariant golden artifact, and these counters are
+    /// scheduler-dependent by construction.
+    pub parallel_fallback: ParallelFallback,
 }
 
 impl Machine {
@@ -232,6 +239,7 @@ impl Machine {
             fault: self.fault_report(),
             audit: self.obs.findings.clone(),
             audit_sweeps: self.obs.sweeps,
+            parallel_fallback: self.par_fallback.clone(),
         }
     }
 }
@@ -543,6 +551,13 @@ impl fmt::Display for RunReport {
                 "  audit: {} sweeps, {} findings",
                 self.audit_sweeps,
                 self.audit.len()
+            )?;
+        }
+        if self.parallel_fallback.epochs > 0 || self.parallel_fallback.serial_picks > 0 {
+            writeln!(
+                f,
+                "  parallel: {} epochs, {} serial picks",
+                self.parallel_fallback.epochs, self.parallel_fallback.serial_picks
             )?;
         }
         write!(

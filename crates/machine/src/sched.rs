@@ -242,7 +242,7 @@ impl Machine {
         // key, captured *before* control events run — a fault may kill
         // the bounding processor, but the original loop computed
         // its bound before applying faults too.
-        let bound = self.sched.peek_key();
+        let mut bound = self.sched.peek_key();
         let (fault_due, watchdog_due, audit_due) = self.sched.drain_control(clock.as_u64());
         if fault_due {
             self.apply_fault_events(clock);
@@ -263,6 +263,17 @@ impl Machine {
                 self.sched.schedule(self.next_audit, ControlKind::Audit);
             }
         }
+        // No batch runs past the next control due: an operation starting
+        // at or after it belongs to a later pick, where the event has
+        // already fired. This pins every fault injection, watchdog
+        // deadline, and audit sweep to a schedule-independent point of
+        // the interleaving — the parallel executor cuts its epochs at
+        // the same dues, which is what lets `ParallelHeap` reproduce
+        // serial sweep cadence byte for byte.
+        bound = bound.min((
+            Cycle(self.sched.peek_control().saturating_sub(1)),
+            usize::MAX,
+        ));
         self.run_batch(trace, flat, bound);
         let (n, pi) = self.split_flat(flat);
         if self.nodes[n].procs[pi].state == ProcState::Ready {
@@ -309,6 +320,27 @@ impl Machine {
                 let interval = self.cfg.audit_interval.expect("audit scheduled");
                 self.next_audit = clock.as_u64().saturating_add(interval.max(1));
             }
+            // Mirror the heap loop's control-due batch cap (see
+            // `heap_step`): recompute the dues the heap would hold on
+            // its control queue and stop the batch short of the
+            // earliest, so both serial loops fire events at identical
+            // points of the interleaving.
+            let mut ctl = self.next_audit;
+            if let Some(state) = self.fault.as_ref() {
+                if let Some(ev) = state.plan.schedule().get(state.next_event) {
+                    ctl = ctl.min(ev.at.as_u64());
+                }
+                let deadline = self.cfg.watchdog_deadline;
+                for node in &self.nodes {
+                    if node.failed {
+                        continue;
+                    }
+                    for (_, _, at) in node.controller.transit_lines() {
+                        ctl = ctl.min(at.saturating_add(deadline));
+                    }
+                }
+            }
+            let bound = bound.min((Cycle(ctl.saturating_sub(1)), usize::MAX));
             self.run_batch(trace, flat, bound);
         }
     }

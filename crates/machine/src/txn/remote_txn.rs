@@ -864,6 +864,22 @@ impl Machine {
     /// sharers). The parallel epoch executor admits two batches into the
     /// same epoch only when these sets are disjoint, so any transaction
     /// one batch starts is invisible to the other.
+    ///
+    /// Fault-era destinations are over-approximated too, so epochs stay
+    /// sound under an active fault plan:
+    ///
+    /// * the requester's own PIT hint — Route targets the hint, not the
+    ///   resolved home, so a stale (or corrupted) hint is a real first
+    ///   hop the epoch must own;
+    /// * every *former* home — failover re-masters a dead home's pages
+    ///   back to the static home and migration forwards from old homes,
+    ///   so a page whose mastery ever moved keeps its whole recovery
+    ///   set (including the dead node, which the hazard set then
+    ///   serializes) in one footprint;
+    /// * the static home doubles as the journal record target under an
+    ///   eager [`crate::faults::JournalPolicy`] and the retry resend
+    ///   target for watchdog recovery — both already covered by the
+    ///   unconditional static-home insert above.
     pub(crate) fn remote_txn_footprint(
         &self,
         n: usize,
@@ -875,6 +891,14 @@ impl Machine {
         set.insert(home);
         if let Some(pd) = self.nodes[home.0 as usize].controller.dir.page(gpage) {
             set = prism_mem::addr::NodeSet(set.0 | pd.clients.0);
+        }
+        if let Some(frame) = self.nodes[n].controller.pit.frame_of(gpage) {
+            if let Some(entry) = self.nodes[n].controller.pit.translate(frame) {
+                set.insert(entry.dyn_home);
+            }
+        }
+        if let Some(former) = self.former_homes.get(&gpage) {
+            set = prism_mem::addr::NodeSet(set.0 | former.0);
         }
         set
     }

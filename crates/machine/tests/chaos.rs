@@ -39,7 +39,8 @@ fn every_splash_app_survives_transient_link_faults() {
         assert_eq!(clean.dead_procs, 0);
 
         let mut m = Machine::new(config());
-        m.install_fault_plan(FaultPlan::new(0xC0FFEE).link_faults(0.01, 0.002));
+        m.install_fault_plan(FaultPlan::new(0xC0FFEE).link_faults(0.01, 0.002))
+            .expect("fault plan validates");
         let faulty = m.run(&trace);
 
         assert_eq!(
@@ -77,7 +78,8 @@ fn identical_seeds_give_identical_fault_reports() {
     let trace = app(AppId::Ocean, Scale::Small).generate(8);
     let run = |seed: u64| {
         let mut m = Machine::new(config());
-        m.install_fault_plan(FaultPlan::new(seed).link_faults(0.02, 0.005));
+        m.install_fault_plan(FaultPlan::new(seed).link_faults(0.02, 0.005))
+            .expect("fault plan validates");
         m.run(&trace)
     };
     let a = run(7);
@@ -109,7 +111,8 @@ fn mid_run_node_failure_kills_only_jobs_on_failed_resources() {
     let half = Cycle(clean.exec_cycles.as_u64() / 2);
 
     let mut m = Machine::new(config());
-    m.install_fault_plan(FaultPlan::new(1).fail_node(NodeId(0), half));
+    m.install_fault_plan(FaultPlan::new(1).fail_node(NodeId(0), half))
+        .expect("fault plan validates");
     let report = m.run_jobs(&[job_a, job_b.clone()]);
 
     assert_eq!(report.fault.node_failures, 1, "the scheduled failure fired");
@@ -133,7 +136,8 @@ fn slow_node_episodes_perturb_timing_not_results() {
     let clean = Machine::new(config()).run(&trace);
 
     let mut m = Machine::new(config());
-    m.install_fault_plan(FaultPlan::new(3).slow_node(NodeId(1), Cycle::ZERO, Cycle::NEVER, 4));
+    m.install_fault_plan(FaultPlan::new(3).slow_node(NodeId(1), Cycle::ZERO, Cycle::NEVER, 4))
+        .expect("fault plan validates");
     let slow = m.run(&trace);
 
     assert_eq!(slow.dead_procs, 0);
@@ -159,7 +163,8 @@ fn pit_corruption_recovers_via_static_home_forwarding() {
             .corrupt_pit(NodeId(1), quarter)
             .corrupt_pit(NodeId(2), quarter + Cycle(1))
             .corrupt_pit(NodeId(3), quarter + Cycle(2)),
-    );
+    )
+    .expect("fault plan validates");
     let faulty = m.run(&trace);
 
     assert_eq!(faulty.dead_procs, 0);
@@ -256,7 +261,8 @@ fn static_home_remasters_pages_of_a_dead_dynamic_home() {
     let half = Cycle(clean.exec_cycles.as_u64() / 2);
 
     let mut m = Machine::new(cfg);
-    m.install_fault_plan(FaultPlan::new(2).fail_node(NodeId(2), half));
+    m.install_fault_plan(FaultPlan::new(2).fail_node(NodeId(2), half))
+        .expect("fault plan validates");
     let report = m.run(&trace);
 
     assert_eq!(report.fault.node_failures, 1);
@@ -352,7 +358,8 @@ fn journal_remasters_dirty_pages_refused_without_it() {
 
     // Without the journal: the refusal path of the original failover.
     let mut m = Machine::new(cfg.clone());
-    m.install_fault_plan(FaultPlan::new(2).fail_node(NodeId(2), half));
+    m.install_fault_plan(FaultPlan::new(2).fail_node(NodeId(2), half))
+        .expect("fault plan validates");
     let refused = m.run(&trace);
     assert_eq!(refused.fault.node_failures, 1);
     assert!(
@@ -373,7 +380,8 @@ fn journal_remasters_dirty_pages_refused_without_it() {
     // With the journal: the same crash recovers completely.
     cfg.journal = JournalPolicy::eager();
     let mut m = Machine::new(cfg);
-    m.install_fault_plan(FaultPlan::new(2).fail_node(NodeId(2), half));
+    m.install_fault_plan(FaultPlan::new(2).fail_node(NodeId(2), half))
+        .expect("fault plan validates");
     let recovered = m.run(&trace);
     assert_eq!(recovered.fault.node_failures, 1);
     assert!(recovered.fault.failovers >= 1, "failover must succeed");
@@ -423,7 +431,8 @@ fn watchdog_recovers_wedged_transit_line_by_resend() {
     let half = Cycle(clean.exec_cycles.as_u64() / 2);
 
     let mut m = Machine::new(config());
-    m.install_fault_plan(FaultPlan::new(9).wedge_transit(NodeId(1), half));
+    m.install_fault_plan(FaultPlan::new(9).wedge_transit(NodeId(1), half))
+        .expect("fault plan validates");
     let report = m.run(&trace);
 
     assert_eq!(
@@ -465,7 +474,8 @@ fn recovery_machinery_is_deterministic() {
                 .link_faults(0.01, 0.002)
                 .wedge_transit(NodeId(1), quarter)
                 .fail_node(NodeId(2), half),
-        );
+        )
+        .expect("fault plan validates");
         m.run(&trace)
     };
     let a = run(21);
@@ -592,7 +602,8 @@ fn combined_transient_and_permanent_faults_stay_contained() {
         FaultPlan::new(11)
             .link_faults(0.005, 0.001)
             .fail_node(NodeId(1), half),
-    );
+    )
+    .expect("fault plan validates");
     let report = m.run_jobs(&[job_a, job_b.clone()]);
 
     assert_eq!(report.fault.node_failures, 1);

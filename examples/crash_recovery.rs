@@ -47,7 +47,9 @@ fn main() {
     );
 
     let mut machine = Machine::new(cfg.clone());
-    machine.install_fault_plan(FaultPlan::new(2).fail_node(NodeId(2), half));
+    machine
+        .install_fault_plan(FaultPlan::new(2).fail_node(NodeId(2), half))
+        .expect("fault plan validates");
     let refused = machine.run(&trace);
     println!("\nWithout a journal, the failover refuses:");
     println!("  {}", refused.fault);
@@ -56,7 +58,9 @@ fn main() {
     let mut journal_cfg = cfg.clone();
     journal_cfg.journal = JournalPolicy::eager();
     let mut machine = Machine::new(journal_cfg);
-    machine.install_fault_plan(FaultPlan::new(2).fail_node(NodeId(2), half));
+    machine
+        .install_fault_plan(FaultPlan::new(2).fail_node(NodeId(2), half))
+        .expect("fault plan validates");
     let recovered = machine.run(&trace);
     println!("\nWith an eager journal, the static home replays the records:");
     println!("  {}", recovered.fault);
@@ -70,7 +74,9 @@ fn main() {
     let clean = Machine::new(cfg.clone()).run(&app_trace);
     let quarter = Cycle(clean.exec_cycles.as_u64() / 4);
     let mut machine = Machine::new(cfg.clone());
-    machine.install_fault_plan(FaultPlan::new(9).wedge_transit(NodeId(1), quarter));
+    machine
+        .install_fault_plan(FaultPlan::new(9).wedge_transit(NodeId(1), quarter))
+        .expect("fault plan validates");
     let wedged = machine.run(&app_trace);
     println!(
         "\nOcean with one line wedged in Transit at cycle {}:",

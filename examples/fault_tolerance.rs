@@ -26,7 +26,9 @@ fn main() {
     let clean = Machine::new(cfg.clone()).run(&trace);
 
     let mut machine = Machine::new(cfg.clone());
-    machine.install_fault_plan(FaultPlan::new(0xBAD).link_faults(0.01, 0.002));
+    machine
+        .install_fault_plan(FaultPlan::new(0xBAD).link_faults(0.01, 0.002))
+        .expect("fault plan validates");
     let faulty = machine.run(&trace);
     println!("Ocean with 1% message loss + 0.2% corruption:");
     println!("  {}", faulty.fault);
@@ -44,7 +46,9 @@ fn main() {
         ..RetryPolicy::default()
     };
     let mut machine = Machine::new(no_retry_cfg);
-    machine.install_fault_plan(FaultPlan::new(0xBAD).link_faults(0.01, 0.002));
+    machine
+        .install_fault_plan(FaultPlan::new(0xBAD).link_faults(0.01, 0.002))
+        .expect("fault plan validates");
     let fragile = machine.run(&trace);
     println!("\nSame faults with max_attempts = 1 (no retries):");
     println!("  {}", fragile.fault);
@@ -65,7 +69,9 @@ fn main() {
 
     let half = Cycle(healthy.exec_cycles.as_u64() / 2);
     let mut machine = Machine::new(mig_cfg);
-    machine.install_fault_plan(FaultPlan::new(1).fail_node(NodeId(2), half));
+    machine
+        .install_fault_plan(FaultPlan::new(1).fail_node(NodeId(2), half))
+        .expect("fault plan validates");
     let report = machine.run(&mtrace);
     println!(
         "\nPage migrated to node 2 ({} migration(s) in the healthy run);\n\

@@ -79,7 +79,7 @@ fn golden_ocean_faults() {
         .wedge_transit(NodeId(3), Cycle(60_000))
         .fail_node(NodeId(2), Cycle(120_000));
     let mut m = Machine::new(cfg);
-    m.install_fault_plan(plan);
+    m.install_fault_plan(plan).expect("fault plan validates");
     check_golden("ocean_faults", &m.run(&trace).to_json());
 }
 
@@ -119,7 +119,7 @@ fn golden_ocean_faults_linear_scan() {
         .wedge_transit(NodeId(3), Cycle(60_000))
         .fail_node(NodeId(2), Cycle(120_000));
     let mut m = Machine::new(cfg);
-    m.install_fault_plan(plan);
+    m.install_fault_plan(plan).expect("fault plan validates");
     check_golden("ocean_faults", &m.run(&trace).to_json());
 }
 
@@ -176,7 +176,7 @@ fn golden_ocean_faults_parallel_heap() {
             .wedge_transit(NodeId(3), Cycle(60_000))
             .fail_node(NodeId(2), Cycle(120_000));
         let mut m = Machine::new(cfg);
-        m.install_fault_plan(plan);
+        m.install_fault_plan(plan).expect("fault plan validates");
         check_golden("ocean_faults", &m.run(&trace).to_json());
     }
 }
@@ -215,6 +215,138 @@ fn parallel_epochs_match_serial_heap() {
         assert_eq!(
             parallel, serial,
             "ParallelHeap with {workers} workers diverged from the serial heap schedule"
+        );
+    }
+}
+
+/// Fault-era epochs: the parallel gate no longer requires
+/// `fault.is_none()` / `journal.is_none()`, so an otherwise-eligible
+/// machine with an active fault plan — a bounded link-drop/corrupt
+/// window, a slow-node episode, a wedged Transit line the watchdog
+/// recovers, and a scheduled node death — plus eager journaling must
+/// still produce a byte-identical report at every worker count, while
+/// *actually forming epochs* once the link window closes. The job mix
+/// makes both sides real: a two-node job supplies remote traffic for
+/// the faults to strike, and two single-node jobs supply the disjoint
+/// groups epochs need.
+#[test]
+fn parallel_epochs_match_serial_heap_under_faults() {
+    let cfg = |scheduler: SchedulerKind, workers: usize| {
+        let mut cfg = MachineConfig::builder()
+            .nodes(4)
+            .procs_per_node(2)
+            .l1_bytes(1024)
+            .l2_bytes(4096)
+            .audit_interval(Some(50_000))
+            .build();
+        cfg.journal = JournalPolicy::Eager {
+            record_cycles: 4,
+            replay_cycles_per_line: 24,
+        };
+        cfg.scheduler = scheduler;
+        cfg.worker_threads = workers;
+        cfg
+    };
+    let jobs = || {
+        vec![
+            app(AppId::Ocean, Scale::Small).generate(4),
+            app(AppId::Radix, Scale::Small).generate(2),
+            app(AppId::Fft, Scale::Small).generate(2),
+        ]
+    };
+    let plan = || {
+        FaultPlan::new(0xFA117)
+            .link_fault_window(Cycle::ZERO, Cycle(4_000), 0.01, 0.002)
+            .slow_node(NodeId(0), Cycle(4_000), Cycle(12_000), 3)
+            .wedge_transit(NodeId(1), Cycle(8_000))
+            .fail_node(NodeId(3), Cycle(20_000))
+    };
+    let run = |scheduler, workers| {
+        let mut m = Machine::new(cfg(scheduler, workers));
+        m.install_fault_plan(plan()).expect("fault plan validates");
+        m.run_jobs(&jobs())
+    };
+    let serial = run(SchedulerKind::Heap, 1);
+    assert_eq!(serial.fault.node_failures, 1, "the node death must land");
+    assert_eq!(serial.fault.transit_wedges, 1, "the wedge must land");
+    check_golden("mixed_faults", &serial.to_json());
+    for workers in [1, 2, 4] {
+        let par = run(SchedulerKind::ParallelHeap, workers);
+        assert_eq!(
+            par.to_json(),
+            serial.to_json(),
+            "ParallelHeap with {workers} workers diverged under the fault plan"
+        );
+        assert!(
+            par.parallel_fallback
+                .count(prism::machine::ParallelFallbackReason::LinkFaultWindowActive)
+                > 0,
+            "picks inside the open link window must serialize"
+        );
+    }
+}
+
+/// Epochs must *actually form* under an active fault plan, not just
+/// stay correct: space-shared single-node jobs give every node a
+/// disjoint group, and a bounded link window plus a slow-node episode
+/// plus a scheduled node death leave plenty of fault-free room. The
+/// hostile mix above proves byte-equality when faults and conflicts
+/// overlap; this one proves the gate is per-feature — parallelism
+/// resumes once the link window closes, and the death serializes only
+/// the groups whose footprints touch the dead node.
+#[test]
+fn parallel_epochs_form_under_bounded_faults() {
+    use prism::machine::ParallelFallbackReason;
+    let cfg = |scheduler: SchedulerKind, workers: usize| {
+        let mut cfg = MachineConfig::builder()
+            .nodes(4)
+            .procs_per_node(2)
+            .l1_bytes(1024)
+            .l2_bytes(4096)
+            .audit_interval(Some(50_000))
+            .build();
+        cfg.journal = JournalPolicy::Eager {
+            record_cycles: 4,
+            replay_cycles_per_line: 24,
+        };
+        cfg.scheduler = scheduler;
+        cfg.worker_threads = workers;
+        cfg
+    };
+    let jobs: Vec<_> = [AppId::Lu, AppId::WaterSpa, AppId::Radix, AppId::Fft]
+        .iter()
+        .map(|&a| app(a, Scale::Small).generate(2))
+        .collect();
+    let plan = || {
+        FaultPlan::new(0xFA117)
+            .link_fault_window(Cycle::ZERO, Cycle(2_000), 0.01, 0.002)
+            .slow_node(NodeId(1), Cycle(2_000), Cycle(6_000), 2)
+            .fail_node(NodeId(3), Cycle(10_000))
+    };
+    let run = |scheduler, workers| {
+        let mut m = Machine::new(cfg(scheduler, workers));
+        m.install_fault_plan(plan()).expect("fault plan validates");
+        m.run_jobs(&jobs)
+    };
+    let serial = run(SchedulerKind::Heap, 1);
+    assert_eq!(serial.fault.node_failures, 1, "the node death must land");
+    for workers in [1, 2, 4] {
+        let par = run(SchedulerKind::ParallelHeap, workers);
+        assert_eq!(
+            par.to_json(),
+            serial.to_json(),
+            "ParallelHeap with {workers} workers diverged under the fault plan"
+        );
+        assert!(
+            par.parallel_fallback.epochs > 0,
+            "epochs must form between the fault episodes \
+             ({workers} workers ran fully serial)"
+        );
+        assert!(
+            par.parallel_fallback
+                .count(ParallelFallbackReason::LinkFaultWindowActive)
+                > 0,
+            "picks inside the open link window must serialize"
         );
     }
 }
