@@ -1,0 +1,400 @@
+//! Invariant oracles: what a chaos case is checked against.
+//!
+//! An oracle inspects a [`CaseOutcome`] (plus the [`CaseSpec`] that
+//! produced it) and either stays silent or returns a [`Violation`].
+//! Oracles are deliberately *conservative*: a campaign asserts zero
+//! unexplained violations over hundreds of random cases, so an oracle
+//! that cries wolf on legal behavior is worse than useless. Every check
+//! below is an invariant the test suite already pins on hand-written
+//! fixtures — the harness extends it to the searched space.
+//!
+//! [`Oracle::CanaryNoRemoteMiss`] is the exception: a deliberately
+//! *false* invariant ("no case ever misses to a remote node") kept out
+//! of [`Oracle::STANDARD`]. The canary test arms it to prove the
+//! find → shrink → replay pipeline catches real violations end to end.
+
+use prism_machine::obs::ObsEvent;
+use prism_machine::report::RunReport;
+
+use crate::gen::{scheduler_name, CaseSpec, EventKind};
+use crate::run::{CaseOutcome, CaseRun};
+
+/// A violated invariant: which oracle fired and why.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The firing oracle's stable name.
+    pub oracle: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+/// One pluggable invariant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Oracle {
+    /// All scheduler/worker picks that completed produced byte-identical
+    /// `RunReport::to_json` (the scheduler-invariance contract the
+    /// golden suite pins on fixed fixtures).
+    Differential,
+    /// Auditor findings only ever appear when the case injected a
+    /// structural fault that explains them (slow-only and fault-free
+    /// cases must audit clean).
+    AuditExplained,
+    /// Fault damage is contained: fault counters stay within what the
+    /// plan injected, dead nodes stay dead, and in a two-job case the
+    /// victim job takes zero casualties.
+    Containment,
+    /// Every run completes within the harness deadline without
+    /// panicking, and every dead processor is accounted to a cause.
+    Liveness,
+    /// The deliberately broken canary invariant (see module docs).
+    CanaryNoRemoteMiss,
+}
+
+impl Oracle {
+    /// The oracles every campaign runs.
+    pub const STANDARD: [Oracle; 4] = [
+        Oracle::Differential,
+        Oracle::AuditExplained,
+        Oracle::Containment,
+        Oracle::Liveness,
+    ];
+
+    /// The oracle's stable name (used in artifacts and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Oracle::Differential => "differential",
+            Oracle::AuditExplained => "audit-explained",
+            Oracle::Containment => "containment",
+            Oracle::Liveness => "liveness",
+            Oracle::CanaryNoRemoteMiss => "canary-no-remote-miss",
+        }
+    }
+
+    /// Resolves a name back to the oracle (for replay).
+    pub fn from_name(name: &str) -> Option<Oracle> {
+        [
+            Oracle::Differential,
+            Oracle::AuditExplained,
+            Oracle::Containment,
+            Oracle::Liveness,
+            Oracle::CanaryNoRemoteMiss,
+        ]
+        .into_iter()
+        .find(|o| o.name() == name)
+    }
+
+    /// Checks the invariant, returning the first violation found.
+    pub fn check(self, case: &CaseSpec, outcome: &CaseOutcome) -> Option<Violation> {
+        match self {
+            Oracle::Differential => check_differential(outcome),
+            Oracle::AuditExplained => check_audit_explained(case, outcome),
+            Oracle::Containment => check_containment(case, outcome),
+            Oracle::Liveness => check_liveness(case, outcome),
+            Oracle::CanaryNoRemoteMiss => check_canary(outcome),
+        }
+    }
+}
+
+/// Runs `oracles` in order and returns the first violation.
+pub fn check_all(oracles: &[Oracle], case: &CaseSpec, outcome: &CaseOutcome) -> Option<Violation> {
+    oracles.iter().find_map(|o| o.check(case, outcome))
+}
+
+fn run_label(r: &CaseRun) -> String {
+    format!("{}/{}w", scheduler_name(r.scheduler), r.workers)
+}
+
+fn check_differential(outcome: &CaseOutcome) -> Option<Violation> {
+    let completed: Vec<(&CaseRun, String)> = outcome
+        .runs
+        .iter()
+        .filter_map(|r| r.result.as_ref().ok().map(|out| (r, out.report.to_json())))
+        .collect();
+    let (first_run, first_json) = completed.first()?;
+    for (run, json) in &completed[1..] {
+        if json != first_json {
+            let at = json
+                .bytes()
+                .zip(first_json.bytes())
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| json.len().min(first_json.len()));
+            let lo = at.saturating_sub(40);
+            return Some(Violation {
+                oracle: Oracle::Differential.name(),
+                detail: format!(
+                    "{} and {} reports diverge at byte {at}: ...{} vs ...{}",
+                    run_label(first_run),
+                    run_label(run),
+                    &first_json[lo..(at + 40).min(first_json.len())],
+                    &json[lo..(at + 40).min(json.len())],
+                ),
+            });
+        }
+    }
+    None
+}
+
+fn check_audit_explained(case: &CaseSpec, outcome: &CaseOutcome) -> Option<Violation> {
+    if case.faults.is_structural() {
+        // Every finding kind the auditor can raise is reachable from
+        // some structural fault (corruptions, deaths, drops, wedges);
+        // attribution finer than "a structural fault was injected"
+        // would need lineage the simulator doesn't record yet.
+        return None;
+    }
+    for r in &outcome.runs {
+        let Ok(out) = &r.result else { continue };
+        if !out.report.audit.is_empty() {
+            let kinds: Vec<String> = out
+                .report
+                .audit
+                .iter()
+                .map(|f| f.kind.to_string())
+                .collect();
+            return Some(Violation {
+                oracle: Oracle::AuditExplained.name(),
+                detail: format!(
+                    "{} raised {} audit finding(s) [{}] with no structural fault injected",
+                    run_label(r),
+                    out.report.audit.len(),
+                    kinds.join(", ")
+                ),
+            });
+        }
+    }
+    None
+}
+
+/// Counters that must stay zero on a run with no structural faults.
+fn quiescent_residue(report: &RunReport) -> Vec<(&'static str, u64)> {
+    let f = &report.fault;
+    [
+        ("dropped_messages", f.dropped_messages),
+        ("corrupted_messages", f.corrupted_messages),
+        ("retries", f.retries),
+        ("timeouts", f.timeouts),
+        ("failovers", f.failovers),
+        ("failover_refusals", f.failover_refusals),
+        ("pit_corruptions", f.pit_corruptions),
+        ("node_failures", f.node_failures),
+        ("fatal_faults", f.fatal_faults),
+        ("transit_wedges", f.transit_wedges),
+        ("watchdog_kills", f.watchdog_kills),
+        ("lines_lost", f.lines_lost),
+        ("dead_procs", report.dead_procs),
+        ("firewall_rejections", report.firewall_rejections),
+    ]
+    .into_iter()
+    .filter(|&(_, v)| v != 0)
+    .collect()
+}
+
+fn check_containment(case: &CaseSpec, outcome: &CaseOutcome) -> Option<Violation> {
+    let structural = case.faults.is_structural();
+    for r in &outcome.runs {
+        let Ok(out) = &r.result else { continue };
+        let report = &out.report;
+        if !structural {
+            let residue = quiescent_residue(report);
+            if !residue.is_empty() {
+                let fields: Vec<String> = residue.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                return Some(Violation {
+                    oracle: Oracle::Containment.name(),
+                    detail: format!(
+                        "{} shows fault damage with no structural fault injected: {}",
+                        run_label(r),
+                        fields.join(", ")
+                    ),
+                });
+            }
+            continue;
+        }
+        // Point-fault counters never exceed what the plan scheduled.
+        let bounds = [
+            (
+                "node_failures",
+                report.fault.node_failures,
+                case.faults.event_count(EventKind::FailNode) as u64,
+            ),
+            (
+                "pit_corruptions",
+                report.fault.pit_corruptions,
+                case.faults.event_count(EventKind::CorruptPit) as u64,
+            ),
+            (
+                "transit_wedges",
+                report.fault.transit_wedges,
+                case.faults.event_count(EventKind::WedgeTransit) as u64,
+            ),
+        ];
+        for (name, got, max) in bounds {
+            if got > max {
+                return Some(Violation {
+                    oracle: Oracle::Containment.name(),
+                    detail: format!(
+                        "{} reports {name}={got} but the plan only scheduled {max}",
+                        run_label(r)
+                    ),
+                });
+            }
+        }
+        // Dead nodes stay dead: once failed, a node never adopts a page.
+        let mut dead: Vec<u16> = Vec::new();
+        for (_, ev) in &out.events {
+            match ev {
+                ObsEvent::NodeFailed { node } => dead.push(node.0),
+                ObsEvent::Migration { to, .. } if dead.contains(&to.0) => {
+                    return Some(Violation {
+                        oracle: Oracle::Containment.name(),
+                        detail: format!(
+                            "{}: page migrated to node {} after that node failed",
+                            run_label(r),
+                            to.0
+                        ),
+                    });
+                }
+                ObsEvent::Failover { to, .. } if dead.contains(&to.0) => {
+                    return Some(Violation {
+                        oracle: Oracle::Containment.name(),
+                        detail: format!(
+                            "{}: page failed over to node {} after that node failed",
+                            run_label(r),
+                            to.0
+                        ),
+                    });
+                }
+                _ => {}
+            }
+        }
+        // Two-job cases: faults target job 0's nodes only, so the
+        // victim job (nodes >= job0_nodes) must take zero casualties.
+        if case.jobs == 2 {
+            let fence = case.job0_nodes() as u16;
+            for (_, ev) in &out.events {
+                if let ObsEvent::ProcKilled { node, proc } = ev {
+                    if node.0 >= fence {
+                        return Some(Violation {
+                            oracle: Oracle::Containment.name(),
+                            detail: format!(
+                                "{}: proc {}@node{} of the fault-free job was killed",
+                                run_label(r),
+                                proc,
+                                node.0
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+fn check_liveness(case: &CaseSpec, outcome: &CaseOutcome) -> Option<Violation> {
+    for r in &outcome.runs {
+        match &r.result {
+            Err(e) => {
+                return Some(Violation {
+                    oracle: Oracle::Liveness.name(),
+                    detail: format!("{} {e}", run_label(r)),
+                });
+            }
+            Ok(out) => {
+                // Every dead processor traces to a cause the machine
+                // recorded: a failed node's processors, a fatal fault,
+                // or a watchdog kill.
+                let f = &out.report.fault;
+                let accounted = f.node_failures * case.procs_per_node as u64
+                    + f.fatal_faults
+                    + f.watchdog_kills;
+                if out.report.dead_procs > accounted {
+                    return Some(Violation {
+                        oracle: Oracle::Liveness.name(),
+                        detail: format!(
+                            "{}: {} dead procs but only {} accounted \
+                             ({} node failures x {} ppn, {} fatal, {} watchdog kills)",
+                            run_label(r),
+                            out.report.dead_procs,
+                            accounted,
+                            f.node_failures,
+                            case.procs_per_node,
+                            f.fatal_faults,
+                            f.watchdog_kills
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+fn check_canary(outcome: &CaseOutcome) -> Option<Violation> {
+    for r in &outcome.runs {
+        let Ok(out) = &r.result else { continue };
+        if out.report.remote_misses > 0 {
+            return Some(Violation {
+                oracle: Oracle::CanaryNoRemoteMiss.name(),
+                detail: format!(
+                    "{} performed {} remote misses (the canary claims none ever happen)",
+                    run_label(r),
+                    out.report.remote_misses
+                ),
+            });
+        }
+    }
+    None
+}
+
+/// A differential sanity check usable directly: true when two completed
+/// runs' plain reports are byte-identical.
+pub fn reports_match(a: &RunReport, b: &RunReport) -> bool {
+    a.to_json() == b.to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::run_case;
+    use std::time::Duration;
+
+    fn small_quiet_case() -> CaseSpec {
+        let mut case = CaseSpec::generate(0x07AC1E, 0);
+        case.faults.link_windows.clear();
+        case.faults.events.clear();
+        case.faults.slow_episodes.clear();
+        case.workload.refs_per_proc = 32;
+        case
+    }
+
+    #[test]
+    fn standard_oracles_pass_a_quiet_case() {
+        let case = small_quiet_case();
+        let outcome = run_case(&case, Duration::from_secs(60));
+        assert_eq!(check_all(&Oracle::STANDARD, &case, &outcome), None);
+    }
+
+    #[test]
+    fn canary_fires_on_shared_workloads() {
+        let mut case = small_quiet_case();
+        case.workload.kind = crate::gen::WorkloadKind::Uniform;
+        let outcome = run_case(&case, Duration::from_secs(60));
+        let v = Oracle::CanaryNoRemoteMiss.check(&case, &outcome);
+        assert!(v.is_some(), "uniform sharing must miss remotely");
+        assert_eq!(v.unwrap().oracle, "canary-no-remote-miss");
+    }
+
+    #[test]
+    fn oracle_names_round_trip() {
+        for o in [
+            Oracle::Differential,
+            Oracle::AuditExplained,
+            Oracle::Containment,
+            Oracle::Liveness,
+            Oracle::CanaryNoRemoteMiss,
+        ] {
+            assert_eq!(Oracle::from_name(o.name()), Some(o));
+        }
+        assert_eq!(Oracle::from_name("nope"), None);
+    }
+}

@@ -1,0 +1,194 @@
+//! Case execution under a harness-level progress watchdog.
+//!
+//! Each scheduler pick of a case runs on its own thread; the harness
+//! waits [`Duration`]-bounded on a channel. Three outcomes:
+//!
+//! * the run finishes — report and observability events come back;
+//! * the run *panics* — the join handle surfaces the payload, recorded
+//!   as [`RunError::Panic`] (an assertion tripping inside the machine
+//!   is a finding, not a harness crash);
+//! * the run *hangs* past the deadline — recorded as
+//!   [`RunError::Hang`], and the stuck thread is detached (it cannot be
+//!   killed, but the campaign moves on; a run-away case shows up as one
+//!   leaked thread, not a wedged campaign).
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+use prism_machine::config::SchedulerKind;
+use prism_machine::machine::Machine;
+use prism_machine::obs::ObsEvent;
+use prism_machine::report::RunReport;
+use prism_mem::trace::Trace;
+use prism_sim::Cycle;
+
+use crate::gen::CaseSpec;
+
+/// The scheduler/worker grid every case runs under. Heap is the
+/// baseline the differential oracle compares everything else against.
+pub const SCHEDULES: [(SchedulerKind, usize); 5] = [
+    (SchedulerKind::Heap, 1),
+    (SchedulerKind::LinearScan, 1),
+    (SchedulerKind::ParallelHeap, 1),
+    (SchedulerKind::ParallelHeap, 2),
+    (SchedulerKind::ParallelHeap, 4),
+];
+
+/// A completed run's observable state.
+#[derive(Clone, Debug)]
+pub struct RunOutput {
+    /// The run report.
+    pub report: RunReport,
+    /// The machine's recent observability events (ring contents).
+    pub events: Vec<(Cycle, ObsEvent)>,
+}
+
+/// How a run failed to produce a report.
+#[derive(Clone, Debug)]
+pub enum RunError {
+    /// The run thread panicked; the payload's text.
+    Panic(String),
+    /// The run made no progress within the harness deadline.
+    Hang {
+        /// The deadline that expired.
+        deadline: Duration,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Panic(msg) => write!(f, "panicked: {msg}"),
+            RunError::Hang { deadline } => {
+                write!(
+                    f,
+                    "hung past the {}ms harness deadline",
+                    deadline.as_millis()
+                )
+            }
+        }
+    }
+}
+
+/// One scheduler pick's outcome for a case.
+#[derive(Clone, Debug)]
+pub struct CaseRun {
+    /// The scheduler kind.
+    pub scheduler: SchedulerKind,
+    /// Worker threads (1 for the serial schedulers).
+    pub workers: usize,
+    /// The run's result.
+    pub result: Result<RunOutput, RunError>,
+}
+
+/// A case's outcome across the whole scheduler grid.
+#[derive(Clone, Debug)]
+pub struct CaseOutcome {
+    /// One entry per [`SCHEDULES`] pick, in order.
+    pub runs: Vec<CaseRun>,
+}
+
+impl CaseOutcome {
+    /// The baseline (Heap) run's output, when it completed.
+    pub fn baseline(&self) -> Option<&RunOutput> {
+        self.runs
+            .iter()
+            .find(|r| r.scheduler == SchedulerKind::Heap)
+            .and_then(|r| r.result.as_ref().ok())
+    }
+}
+
+/// Runs `case` across the full scheduler grid, each pick watchdogged by
+/// `deadline`.
+pub fn run_case(case: &CaseSpec, deadline: Duration) -> CaseOutcome {
+    let traces = case.traces();
+    let runs = SCHEDULES
+        .iter()
+        .map(|&(scheduler, workers)| CaseRun {
+            scheduler,
+            workers,
+            result: run_one(case, scheduler, workers, &traces, deadline),
+        })
+        .collect();
+    CaseOutcome { runs }
+}
+
+fn run_one(
+    case: &CaseSpec,
+    scheduler: SchedulerKind,
+    workers: usize,
+    traces: &[Trace],
+    deadline: Duration,
+) -> Result<RunOutput, RunError> {
+    let cfg = case.config(scheduler, workers);
+    let plan = case.faults.plan();
+    let traces = traces.to_vec();
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::Builder::new()
+        .name(format!("chaos-case-{}", case.index))
+        .spawn(move || {
+            let mut m = Machine::new(cfg);
+            if !plan.is_empty() {
+                m.install_fault_plan(plan)
+                    .expect("generated plans validate by construction");
+            }
+            let report = if traces.len() == 1 {
+                m.run(&traces[0])
+            } else {
+                m.run_jobs(&traces)
+            };
+            let events = m.recent_events();
+            let _ = tx.send(RunOutput { report, events });
+        })
+        .expect("spawn chaos run thread");
+    match rx.recv_timeout(deadline) {
+        Ok(out) => {
+            let _ = handle.join();
+            Ok(out)
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => Err(RunError::Hang { deadline }),
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            let msg = match handle.join() {
+                Err(payload) => payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "non-string panic payload".into()),
+                Ok(()) => "run thread exited without sending a report".into(),
+            };
+            Err(RunError::Panic(msg))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The runner itself must be deterministic: the same case twice
+    /// yields byte-identical reports on every grid pick.
+    #[test]
+    fn run_case_is_deterministic() {
+        let case = CaseSpec::generate(0x0DD5, 3);
+        let deadline = Duration::from_secs(60);
+        let a = run_case(&case, deadline);
+        let b = run_case(&case, deadline);
+        for (ra, rb) in a.runs.iter().zip(b.runs.iter()) {
+            let (oa, ob) = (ra.result.as_ref().unwrap(), rb.result.as_ref().unwrap());
+            assert_eq!(oa.report.to_json_debug(), ob.report.to_json_debug());
+            assert_eq!(oa.events.len(), ob.events.len());
+        }
+    }
+
+    /// A harness deadline of zero classifies even a healthy run as a
+    /// hang — proving the watchdog path, not the machine, is exercised.
+    #[test]
+    fn watchdog_flags_runs_that_miss_the_deadline() {
+        let case = CaseSpec::generate(0x0DD5, 0);
+        let out = run_case(&case, Duration::from_millis(0));
+        assert!(out
+            .runs
+            .iter()
+            .all(|r| matches!(r.result, Err(RunError::Hang { .. }))));
+    }
+}

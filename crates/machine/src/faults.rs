@@ -274,16 +274,25 @@ pub enum ScheduledFaultKind {
     WedgeTransit(NodeId),
 }
 
+/// The largest [`SlowEpisode::factor`] a plan may carry. Latencies are
+/// multiplied by the factor in `u64` cycle arithmetic; a factor beyond
+/// 2^32 could overflow the product for long-latency operations, so
+/// [`FaultPlan::validate`] rejects it as meaningless rather than letting
+/// saturation silently change the episode's strength.
+pub const MAX_SLOW_FACTOR: u64 = 1 << 32;
+
 /// A structurally invalid [`FaultPlan`], rejected when the plan is
 /// installed on a machine ([`crate::machine::Machine::install_fault_plan`]).
 ///
 /// Each variant names a plan that could never mean what its author
 /// intended — a fault aimed at a node the machine does not have, an
-/// injection clock that can never be reached, or slow-node episodes
-/// whose overlap makes the effective factor ambiguous. Before this
-/// check existed such plans were silently inert, which is the worst
-/// possible behavior for a chaos-testing tool.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// injection clock that can never be reached, slow-node episodes whose
+/// overlap makes the effective factor ambiguous, or link/slow-node
+/// parameters outside their mathematical domain (NaN or out-of-range
+/// probabilities, zero or overflowing factors). Before this check
+/// existed such plans were silently inert — or silently clamped — which
+/// is the worst possible behavior for a chaos-testing tool.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum FaultPlanError {
     /// A scheduled fault or slow-node episode targets a node outside
     /// the machine (`node >= nodes`).
@@ -305,6 +314,24 @@ pub enum FaultPlanError {
         /// The unreachable injection clock.
         at: Cycle,
     },
+    /// A link-fault window's probabilities are not well-formed: NaN,
+    /// negative, above 1, or summing above 1 — a window that cannot
+    /// state one coherent distribution over {drop, corrupt, deliver}.
+    InvalidLinkProbability {
+        /// The window's drop probability as given.
+        drop_prob: f64,
+        /// The window's corruption probability as given.
+        corrupt_prob: f64,
+    },
+    /// A slow-node episode's latency factor is zero (it would speed the
+    /// node up — or stop its clock entirely) or beyond
+    /// [`MAX_SLOW_FACTOR`] (cycle arithmetic could overflow).
+    InvalidSlowFactor {
+        /// The node the episode targets.
+        node: NodeId,
+        /// The factor as given.
+        factor: u64,
+    },
 }
 
 impl std::fmt::Display for FaultPlanError {
@@ -324,6 +351,21 @@ impl std::fmt::Display for FaultPlanError {
                 f,
                 "fault plan schedules an injection at cycle {} which can never be reached",
                 at.as_u64()
+            ),
+            FaultPlanError::InvalidLinkProbability {
+                drop_prob,
+                corrupt_prob,
+            } => write!(
+                f,
+                "fault plan has a link window with ill-formed probabilities \
+                 (drop {drop_prob}, corrupt {corrupt_prob}): each must be in \
+                 [0,1] and their sum at most 1"
+            ),
+            FaultPlanError::InvalidSlowFactor { node, factor } => write!(
+                f,
+                "fault plan schedules a slow episode on node {} with factor {} \
+                 (must be in 1..={})",
+                node.0, factor, MAX_SLOW_FACTOR
             ),
         }
     }
@@ -376,9 +418,10 @@ impl FaultPlan {
 
     /// Adds a transient link-fault window `[from, until)`.
     ///
-    /// # Panics
-    ///
-    /// Panics if the probabilities are not in `[0, 1]` or sum above 1.
+    /// Probabilities outside `[0, 1]`, NaN, or summing above 1 are
+    /// accepted here but rejected by [`FaultPlan::validate`] when the
+    /// plan is installed ([`FaultPlanError::InvalidLinkProbability`]),
+    /// so randomized plan generators can build first and validate once.
     pub fn link_fault_window(
         mut self,
         from: Cycle,
@@ -386,12 +429,6 @@ impl FaultPlan {
         drop_prob: f64,
         corrupt_prob: f64,
     ) -> FaultPlan {
-        assert!(
-            (0.0..=1.0).contains(&drop_prob)
-                && (0.0..=1.0).contains(&corrupt_prob)
-                && drop_prob + corrupt_prob <= 1.0,
-            "fault probabilities must be in [0,1] and sum to at most 1"
-        );
         self.link_windows.push(LinkFaultWindow {
             from,
             until,
@@ -404,14 +441,10 @@ impl FaultPlan {
     /// Adds a slow-node episode: `node`'s dispatch and memory latencies
     /// are multiplied by `factor` during `[from, until)`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `factor` is zero.
+    /// A zero or overflowing factor is accepted here but rejected by
+    /// [`FaultPlan::validate`] when the plan is installed
+    /// ([`FaultPlanError::InvalidSlowFactor`]).
     pub fn slow_node(mut self, node: NodeId, from: Cycle, until: Cycle, factor: u64) -> FaultPlan {
-        assert!(
-            factor >= 1,
-            "a slow-node factor below 1 would speed the node up"
-        );
         self.slow_episodes.push(SlowEpisode {
             node,
             from,
@@ -508,11 +541,30 @@ impl FaultPlan {
                 return Err(FaultPlanError::UnreachableInjection { at: ev.at });
             }
         }
+        for w in &self.link_windows {
+            // NaN fails every comparison, so the well-formed check below
+            // must be written as a positive condition and negated.
+            let well_formed = (0.0..=1.0).contains(&w.drop_prob)
+                && (0.0..=1.0).contains(&w.corrupt_prob)
+                && w.drop_prob + w.corrupt_prob <= 1.0;
+            if !well_formed {
+                return Err(FaultPlanError::InvalidLinkProbability {
+                    drop_prob: w.drop_prob,
+                    corrupt_prob: w.corrupt_prob,
+                });
+            }
+        }
         for (i, a) in self.slow_episodes.iter().enumerate() {
             if a.node.0 as usize >= nodes {
                 return Err(FaultPlanError::NodeOutOfRange {
                     node: a.node,
                     nodes,
+                });
+            }
+            if a.factor == 0 || a.factor > MAX_SLOW_FACTOR {
+                return Err(FaultPlanError::InvalidSlowFactor {
+                    node: a.node,
+                    factor: a.factor,
                 });
             }
             for b in &self.slow_episodes[i + 1..] {
@@ -961,6 +1013,96 @@ mod tests {
             plan.validate(4),
             Err(FaultPlanError::OverlappingSlowEpisodes { node: NodeId(2) })
         );
+    }
+
+    #[test]
+    fn validate_rejects_ill_formed_probabilities() {
+        // Each probability must individually be in [0, 1]...
+        for (d, c) in [(-0.1, 0.0), (1.5, 0.0), (0.0, -0.2), (0.0, 1.01)] {
+            let plan = FaultPlan::new(1).link_faults(d, c);
+            assert_eq!(
+                plan.validate(4),
+                Err(FaultPlanError::InvalidLinkProbability {
+                    drop_prob: d,
+                    corrupt_prob: c
+                }),
+                "drop {d} corrupt {c}"
+            );
+        }
+        // ...their sum must not exceed 1...
+        let plan = FaultPlan::new(1).link_faults(0.7, 0.5);
+        assert!(matches!(
+            plan.validate(4),
+            Err(FaultPlanError::InvalidLinkProbability { .. })
+        ));
+        // ...and NaN (which fails every range comparison) is rejected,
+        // not silently treated as "never fires". NaN != NaN, so match
+        // the variant instead of comparing the payload.
+        for (d, c) in [(f64::NAN, 0.0), (0.0, f64::NAN)] {
+            let plan = FaultPlan::new(1).link_fault_window(Cycle(0), Cycle(100), d, c);
+            assert!(
+                matches!(
+                    plan.validate(4),
+                    Err(FaultPlanError::InvalidLinkProbability { .. })
+                ),
+                "NaN probability must be rejected"
+            );
+        }
+        // Boundary values stay legal: exactly 0, exactly 1, sum exactly 1.
+        assert_eq!(FaultPlan::new(1).link_faults(1.0, 0.0).validate(4), Ok(()));
+        assert_eq!(FaultPlan::new(1).link_faults(0.4, 0.6).validate(4), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_zero_and_overflowing_slow_factors() {
+        let plan = FaultPlan::new(1).slow_node(NodeId(1), Cycle(0), Cycle(100), 0);
+        assert_eq!(
+            plan.validate(4),
+            Err(FaultPlanError::InvalidSlowFactor {
+                node: NodeId(1),
+                factor: 0
+            })
+        );
+        let plan =
+            FaultPlan::new(1).slow_node(NodeId(0), Cycle(0), Cycle(100), MAX_SLOW_FACTOR + 1);
+        assert_eq!(
+            plan.validate(4),
+            Err(FaultPlanError::InvalidSlowFactor {
+                node: NodeId(0),
+                factor: MAX_SLOW_FACTOR + 1
+            })
+        );
+        // The boundary factor itself is legal.
+        let plan = FaultPlan::new(1).slow_node(NodeId(0), Cycle(0), Cycle(100), MAX_SLOW_FACTOR);
+        assert_eq!(plan.validate(4), Ok(()));
+    }
+
+    #[test]
+    fn backoff_never_panics_at_large_attempt_counts() {
+        // Randomized campaigns draw retry policies freely; no combination
+        // of attempt count and policy may overflow-panic — the product
+        // saturates instead.
+        let policies = [
+            RetryPolicy::default(),
+            RetryPolicy {
+                max_attempts: u32::MAX,
+                timeout_cycles: u64::MAX,
+                backoff: u64::MAX,
+            },
+            RetryPolicy {
+                max_attempts: 64,
+                timeout_cycles: 3,
+                backoff: 7,
+            },
+        ];
+        for p in policies {
+            let mut prev = 0;
+            for attempt in [1, 2, 63, 64, 65, 1000, u32::MAX / 2, u32::MAX] {
+                let w = p.backoff_wait(attempt);
+                assert!(w >= prev, "waits are monotone in the attempt count");
+                prev = w;
+            }
+        }
     }
 
     #[test]

@@ -260,6 +260,24 @@ impl RunReport {
     /// runs that produced identical reports serialize to identical
     /// bytes, which is what the golden determinism test locks.
     pub fn to_json(&self) -> String {
+        self.json_impl(false)
+    }
+
+    /// [`RunReport::to_json`] plus the scheduler-dependent diagnostics
+    /// the golden artifact deliberately omits: the `parallel_fallback`
+    /// counters (epochs, serial picks, and the per-reason breakdown).
+    ///
+    /// The plain `to_json` stays byte-identical across `Heap`,
+    /// `LinearScan`, and `ParallelHeap` — that invariance is what the
+    /// golden suite and the chaos differential oracle assert — so this
+    /// debug variant exists for artifacts that *want* to capture how a
+    /// particular scheduler behaved: chaos repro artifacts record it so
+    /// a replayed case can show whether epochs actually formed.
+    pub fn to_json_debug(&self) -> String {
+        self.json_impl(true)
+    }
+
+    fn json_impl(&self, debug: bool) -> String {
         let mut o = String::with_capacity(8 * 1024);
         o.push('{');
         field_str(&mut o, "workload", &self.workload);
@@ -329,6 +347,13 @@ impl RunReport {
         let audits: Vec<String> = self.audit.iter().map(audit_json).collect();
         field_raw(&mut o, "audit", &format!("[{}]", audits.join(",")));
         field_u64(&mut o, "audit_sweeps", self.audit_sweeps);
+        if debug {
+            field_raw(
+                &mut o,
+                "parallel_fallback",
+                &parallel_fallback_json(&self.parallel_fallback),
+            );
+        }
         o.pop(); // trailing comma
         o.push('}');
         o
@@ -481,6 +506,22 @@ fn fault_json(f: &FaultReport) -> String {
     field_u64(&mut o, "watchdog_resends", f.watchdog_resends);
     field_u64(&mut o, "watchdog_remasters", f.watchdog_remasters);
     field_u64(&mut o, "watchdog_kills", f.watchdog_kills);
+    o.pop();
+    o.push('}');
+    o
+}
+
+fn parallel_fallback_json(p: &ParallelFallback) -> String {
+    let mut o = String::from("{");
+    field_u64(&mut o, "epochs", p.epochs);
+    field_u64(&mut o, "serial_picks", p.serial_picks);
+    let mut reasons = String::from("{");
+    for reason in crate::par::ParallelFallbackReason::ALL {
+        field_u64(&mut reasons, reason.name(), p.count(reason));
+    }
+    reasons.pop();
+    reasons.push('}');
+    field_raw(&mut o, "reasons", &reasons);
     o.pop();
     o.push('}');
     o

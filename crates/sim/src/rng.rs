@@ -48,6 +48,25 @@ impl SimRng {
         SimRng::new(self.next_u64() ^ stream.wrapping_mul(0xA076_1D64_78BD_642F))
     }
 
+    /// A pure (parent-independent) stream derivation: the generator for
+    /// `(seed, stream)` without constructing or advancing a parent.
+    ///
+    /// [`SimRng::fork`] consumes parent state, so forked streams depend
+    /// on fork *order* — fine inside one generator, wrong for a search
+    /// campaign that must be able to re-derive case `k`'s stream in
+    /// isolation (replaying a shrunk repro must not re-run cases
+    /// `0..k-1`). `for_stream(seed, k)` is order-free: the same pair
+    /// always yields the same stream, and distinct streams of one seed
+    /// are as independent as distinct seeds (both feed SplitMix64).
+    pub fn for_stream(seed: u64, stream: u64) -> SimRng {
+        // Pre-mix the stream index through one SplitMix64-style round so
+        // adjacent indices land far apart before meeting the seed.
+        let mut z = stream.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        SimRng::new(seed ^ z ^ (z >> 31))
+    }
+
     /// Returns the next 64 uniformly random bits.
     pub fn next_u64(&mut self) -> u64 {
         let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
@@ -184,6 +203,104 @@ mod tests {
         let mut a = root.fork(0);
         let mut b = root.fork(1);
         assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    /// Forked streams must not correlate with the parent stream they
+    /// were derived from: a campaign draws case parameters from forked
+    /// streams while the parent keeps generating, and any correlation
+    /// would couple supposedly independent cases.
+    #[test]
+    fn forked_streams_do_not_correlate_with_parent() {
+        let mut parent = SimRng::new(0xCAFE);
+        let mut child = parent.fork(7);
+        let n = 4096;
+        // Exact collisions between the paired streams.
+        let mut collisions = 0;
+        // Bitwise agreement: independent u64 streams agree on ~32 of 64
+        // bits per draw.
+        let mut agreeing_bits = 0u64;
+        for _ in 0..n {
+            let p = parent.next_u64();
+            let c = child.next_u64();
+            if p == c {
+                collisions += 1;
+            }
+            agreeing_bits += (!(p ^ c)).count_ones() as u64;
+        }
+        assert_eq!(collisions, 0, "parent and child streams collided");
+        let mean_agree = agreeing_bits as f64 / n as f64;
+        assert!(
+            (30.0..34.0).contains(&mean_agree),
+            "bitwise agreement {mean_agree} is far from the independent 32/64"
+        );
+    }
+
+    #[test]
+    fn for_stream_is_pure_and_order_free() {
+        // Same pair, same stream — no parent state involved.
+        let mut a = SimRng::for_stream(42, 1000);
+        let mut b = SimRng::for_stream(42, 1000);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        // Distinct streams of one seed diverge like distinct seeds do.
+        let mut c = SimRng::for_stream(42, 1001);
+        let same = (0..64).filter(|_| b.next_u64() == c.next_u64()).count();
+        assert_eq!(same, 0);
+        // Adjacent stream indices are decorrelated: no collisions over a
+        // wide window of consecutive streams.
+        let firsts: Vec<u64> = (0..1024)
+            .map(|k| SimRng::for_stream(7, k).next_u64())
+            .collect();
+        let mut sorted = firsts.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), firsts.len(), "stream heads collided");
+    }
+
+    #[test]
+    fn gen_range_bounds_at_extremes() {
+        let mut rng = SimRng::new(23);
+        // Singleton range: only one possible answer.
+        for _ in 0..16 {
+            assert_eq!(rng.gen_range(0..1), 0);
+            assert_eq!(rng.gen_range(u64::MAX - 1..u64::MAX), u64::MAX - 1);
+        }
+        // Full-domain range: never panics, and draws reach both halves.
+        let mut high = false;
+        let mut low = false;
+        for _ in 0..256 {
+            let v = rng.gen_range(0..u64::MAX);
+            if v >= u64::MAX / 2 {
+                high = true;
+            } else {
+                low = true;
+            }
+        }
+        assert!(high && low, "full-range draws should cover both halves");
+        // Range pinned against the top of the domain.
+        for _ in 0..256 {
+            let v = rng.gen_range(u64::MAX - 7..u64::MAX);
+            assert!(v >= u64::MAX - 7);
+        }
+    }
+
+    #[test]
+    fn gen_index_bounds_at_extremes() {
+        let mut rng = SimRng::new(29);
+        for _ in 0..16 {
+            assert_eq!(rng.gen_index(1), 0);
+        }
+        for _ in 0..256 {
+            assert!(rng.gen_index(2) < 2);
+            assert!(rng.gen_index(usize::MAX) < usize::MAX);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn gen_index_rejects_zero_bound() {
+        SimRng::new(0).gen_index(0);
     }
 
     #[test]
