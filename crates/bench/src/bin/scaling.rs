@@ -28,7 +28,7 @@
 use std::time::Instant;
 
 use prism_core::machine::machine::Machine;
-use prism_core::machine::SchedulerKind;
+use prism_core::machine::{ParallelFallback, ParallelFallbackReason, SchedulerKind};
 use prism_core::{MachineConfig, PolicyKind, Simulation};
 use prism_workloads::{app, AppId, Scale};
 
@@ -134,15 +134,39 @@ fn main() {
     println!("  serial heap      : {:>8.1} ms   1.00x", par.serial_ms);
     for r in &par.workers {
         println!(
-            "  {} worker threads : {:>8.1} ms  {:>5.2}x",
+            "  {} worker threads : {:>8.1} ms  {:>5.2}x   {} epochs, cursor hit rate {}",
             r.workers,
             r.wall_ms,
-            par.serial_ms / r.wall_ms
+            par.serial_ms / r.wall_ms,
+            r.fallback.epochs,
+            r.fallback
+                .cursor_hit_rate()
+                .map_or("n/a".to_string(), |h| format!("{:.0}%", h * 100.0)),
         );
     }
     println!("  all four reports byte-identical (asserted in-process)");
+    if std::thread::available_parallelism().map_or(1, |n| n.get()) == 1 {
+        println!("  note: single-core host — thread speedup not measurable here");
+    }
 
-    prism_bench::write_bench_json(JSON_FILE, &render_json(id, &rows, heap_ms, linear_ms, &par));
+    let elig = eligibility_ab(workload.as_ref());
+    println!("\nfootprint-ledger eligibility (serial vs ParallelHeap 2w, identical reports):");
+    for r in &elig {
+        println!(
+            "  {:<18}: {} epochs, {} ineligible_config picks, cursor hit rate {}",
+            r.label,
+            r.fallback.epochs,
+            r.fallback.count(ParallelFallbackReason::IneligibleConfig),
+            r.fallback
+                .cursor_hit_rate()
+                .map_or("n/a".to_string(), |h| format!("{:.0}%", h * 100.0)),
+        );
+    }
+
+    prism_bench::write_bench_json(
+        JSON_FILE,
+        &render_json(id, &rows, heap_ms, linear_ms, &par, &elig),
+    );
 }
 
 struct ParallelAb {
@@ -153,6 +177,10 @@ struct ParallelAb {
 struct WorkerRow {
     workers: usize,
     wall_ms: f64,
+    /// The run's `parallel_fallback` diagnostics (epoch histogram and
+    /// footprint-ledger cursor counters); deterministic across repeats,
+    /// so any timing run's copy is *the* copy.
+    fallback: ParallelFallback,
 }
 
 /// Times the serial heap against the epoch-parallel executor on a
@@ -171,24 +199,26 @@ fn parallel_ab(workload: &dyn prism_workloads::Workload) -> ParallelAb {
         c
     };
     let jobs: Vec<_> = (0..AB_NODES).map(|_| workload.generate(4)).collect();
-    let time = |kind: SchedulerKind, workers: usize| -> (f64, String) {
+    let time = |kind: SchedulerKind, workers: usize| -> (f64, String, ParallelFallback) {
         let mut best = f64::INFINITY;
         let mut json = String::new();
+        let mut fallback = ParallelFallback::default();
         for _ in 0..AB_TIMING_RUNS {
             let mut m = Machine::new(cfg(kind, workers));
             let wall = Instant::now();
             let report = m.run_jobs(&jobs);
             let ms = wall.elapsed().as_secs_f64() * 1e3;
             best = best.min(ms);
+            fallback = report.parallel_fallback.clone();
             json = report.to_json();
         }
-        (best, json)
+        (best, json, fallback)
     };
-    let (serial_ms, serial_json) = time(SchedulerKind::Heap, 1);
+    let (serial_ms, serial_json, _) = time(SchedulerKind::Heap, 1);
     let workers = AB_WORKERS
         .into_iter()
         .map(|w| {
-            let (wall_ms, json) = time(SchedulerKind::ParallelHeap, w);
+            let (wall_ms, json, fallback) = time(SchedulerKind::ParallelHeap, w);
             assert_eq!(
                 json, serial_json,
                 "ParallelHeap({w} workers) diverged from the serial heap"
@@ -196,10 +226,62 @@ fn parallel_ab(workload: &dyn prism_workloads::Workload) -> ParallelAb {
             WorkerRow {
                 workers: w,
                 wall_ms,
+                fallback,
             }
         })
         .collect();
     ParallelAb { serial_ms, workers }
+}
+
+struct EligibilityRow {
+    label: &'static str,
+    fallback: ParallelFallback,
+}
+
+/// Golden eligibility runs for the configurations the parallel
+/// scheduler used to refuse wholesale: lazy page migration and a client
+/// page-cache cap. Each runs the composed space-sharing workload under
+/// the serial heap and `ParallelHeap` at 2 workers, asserts the reports
+/// are byte-identical, and records the fallback counters — CI asserts
+/// `ineligible_config` stayed at zero.
+type ConfigTweak = fn(&mut MachineConfig);
+
+fn eligibility_ab(workload: &dyn prism_workloads::Workload) -> Vec<EligibilityRow> {
+    let variants: [(&'static str, ConfigTweak); 2] = [
+        ("migration-enabled", |c| {
+            c.migration = Some(Default::default());
+        }),
+        ("page-cache-capped", |c| {
+            c.page_cache_capacity = Some(4);
+        }),
+    ];
+    let jobs: Vec<_> = (0..AB_NODES).map(|_| workload.generate(4)).collect();
+    variants
+        .into_iter()
+        .map(|(label, mutate)| {
+            let run = |kind: SchedulerKind, workers: usize| {
+                let mut c = MachineConfig::builder()
+                    .nodes(AB_NODES)
+                    .procs_per_node(4)
+                    .build();
+                c.scheduler = kind;
+                c.worker_threads = workers;
+                mutate(&mut c);
+                Machine::new(c).run_jobs(&jobs)
+            };
+            let serial = run(SchedulerKind::Heap, 1);
+            let parallel = run(SchedulerKind::ParallelHeap, 2);
+            assert_eq!(
+                parallel.to_json(),
+                serial.to_json(),
+                "{label}: ParallelHeap diverged from the serial heap"
+            );
+            EligibilityRow {
+                label,
+                fallback: parallel.parallel_fallback,
+            }
+        })
+        .collect()
 }
 
 /// Times the heap vs linear-scan run loop on the same trace and config,
@@ -240,6 +322,7 @@ fn render_json(
     heap_ms: f64,
     linear_ms: f64,
     par: &ParallelAb,
+    elig: &[EligibilityRow],
 ) -> String {
     let mut o = String::from("{\n");
     o.push_str(&format!("  \"workload\": \"{id}\",\n"));
@@ -270,23 +353,52 @@ fn render_json(
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     o.push_str(&format!(
         "  \"parallel_ab\": {{\"nodes\": {}, \"procs\": {}, \"jobs\": {}, \
-         \"host_parallelism\": {}, \"reports_identical\": true, \
+         \"host_parallelism\": {}, \"thread_speedup_measurable\": {}, \
+         \"reports_identical\": true, \
          \"serial_wall_ms\": {:.3}, \"workers\": [\n",
         AB_NODES,
         AB_NODES * 4,
         AB_NODES,
         host_cores,
+        host_cores > 1,
         par.serial_ms
     ));
     for (i, r) in par.workers.iter().enumerate() {
+        let groups: Vec<String> = r.fallback.epoch_groups.iter().map(u64::to_string).collect();
         o.push_str(&format!(
-            "    {{\"workers\": {}, \"wall_ms\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            "    {{\"workers\": {}, \"wall_ms\": {:.3}, \"speedup\": {:.3}, \
+             \"epochs\": {}, \"epoch_groups\": [{}], \
+             \"cursor_hits\": {}, \"cursor_misses\": {}, \"cursor_hit_rate\": {}, \
+             \"cursor_invalidations\": {}}}{}\n",
             r.workers,
             r.wall_ms,
             par.serial_ms / r.wall_ms,
+            r.fallback.epochs,
+            groups.join(","),
+            r.fallback.cursor_hits,
+            r.fallback.cursor_misses,
+            r.fallback
+                .cursor_hit_rate()
+                .map_or("null".to_string(), |h| format!("{h:.4}")),
+            r.fallback.cursor_invalidations,
             if i + 1 == par.workers.len() { "" } else { "," }
         ));
     }
-    o.push_str("  ]}\n}");
+    o.push_str("  ]},\n");
+    o.push_str("  \"parallel_eligibility\": [\n");
+    for (i, r) in elig.iter().enumerate() {
+        o.push_str(&format!(
+            "    {{\"config\": \"{}\", \"reports_identical\": true, \
+             \"epochs\": {}, \"ineligible_config\": {}, \
+             \"cursor_hits\": {}, \"cursor_misses\": {}}}{}\n",
+            r.label,
+            r.fallback.epochs,
+            r.fallback.count(ParallelFallbackReason::IneligibleConfig),
+            r.fallback.cursor_hits,
+            r.fallback.cursor_misses,
+            if i + 1 == elig.len() { "" } else { "," }
+        ));
+    }
+    o.push_str("  ]\n}");
     o
 }

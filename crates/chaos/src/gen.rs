@@ -35,16 +35,10 @@ pub const ALL_POLICIES: [PagePolicy; 6] = [
     PagePolicy::DynBoth,
 ];
 
-/// Stable names for page policies in artifacts and coverage maps.
+/// Stable names for page policies in artifacts and coverage maps (the
+/// same labels `RunReport`'s debug `parallel_fallback` section uses).
 pub fn policy_name(p: PagePolicy) -> &'static str {
-    match p {
-        PagePolicy::Scoma => "scoma",
-        PagePolicy::Lanuma => "lanuma",
-        PagePolicy::DynFcfs => "dyn-fcfs",
-        PagePolicy::DynUtil => "dyn-util",
-        PagePolicy::DynLru => "dyn-lru",
-        PagePolicy::DynBoth => "dyn-both",
-    }
+    prism_machine::policy_label(p)
 }
 
 fn policy_from_name(s: &str) -> Option<PagePolicy> {

@@ -14,10 +14,14 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
-use prism_chaos::gen::{policy_name, ALL_POLICIES};
+use prism_chaos::gen::{policy_name, AuditModeSpec, WorkloadKind, ALL_POLICIES};
+use prism_chaos::oracle::check_all;
 use prism_chaos::repro::replay;
 use prism_chaos::run::run_case;
 use prism_chaos::{run_campaign, CampaignConfig, CaseSpec, Oracle, Repro};
+use prism_kernel::policy::PagePolicy;
+use prism_machine::config::SchedulerKind;
+use prism_machine::ParallelFallbackReason;
 
 /// The fixed seed of the tier-1 clean window (CI's release campaign
 /// uses the library default seed; two seeds double the searched space).
@@ -176,6 +180,84 @@ fn committed_canary_repro_replays_deterministically() {
     // The committed artifact also stays in sync with the generator: the
     // shrunk case must still derive from the recorded campaign seed.
     assert_eq!(repro.case.campaign_seed, CANARY_SEED);
+}
+
+/// Satellite lock-in: configurations the parallel scheduler used to
+/// refuse wholesale — lazy migration, client page-cache caps, and every
+/// non-SCOMA page mode — now run epoch-parallel. For each category the
+/// first eligible generated case (shadow checking off, auditor not
+/// incremental; fault plan stripped so no control event forces a serial
+/// pick) runs the full Heap/LinearScan/ParallelHeap 1/2/4w grid: the
+/// standard oracles hold (byte-identical reports), no ParallelHeap run
+/// charges a single `ineligible_config` fallback, and the multi-worker
+/// runs actually form epochs with the footprint ledger engaged.
+#[test]
+fn newly_eligible_modes_run_epoch_parallel_across_the_grid() {
+    let eligible = |c: &CaseSpec| !c.check_coherence && c.audit_mode != AuditModeSpec::Incremental;
+    let pick = |label: &'static str, pred: &dyn Fn(&CaseSpec) -> bool| {
+        let mut case = (0..120)
+            .map(|i| CaseSpec::generate(WINDOW_SEED, i))
+            .find(|c| eligible(c) && pred(c))
+            .unwrap_or_else(|| panic!("no eligible {label} case within 120 indices"));
+        case.faults.link_windows.clear();
+        case.faults.events.clear();
+        case.faults.slow_episodes.clear();
+        (label, case)
+    };
+    let selected = [
+        pick("migration-enabled", &|c| c.migration),
+        pick("page-cache-capped", &|c| c.page_cache_capacity.is_some()),
+        pick("non-scoma", &|c| c.policy != PagePolicy::Scoma),
+    ];
+    for (label, case) in &selected {
+        // First pass: the case's own (often page-sharing) workload. The
+        // grid must agree byte for byte and the config must never be the
+        // reason a pick went serial — overlapping footprints may still
+        // keep epochs from forming, and that is legal.
+        let outcome = run_case(case, deadline());
+        if let Some(v) = check_all(&Oracle::STANDARD, case, &outcome) {
+            panic!("{label} case violated [{}]: {}", v.oracle, v.detail);
+        }
+        for r in &outcome.runs {
+            if r.scheduler != SchedulerKind::ParallelHeap {
+                continue;
+            }
+            let out = r
+                .result
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{label} at {}w failed: {e}", r.workers));
+            let fb = &out.report.parallel_fallback;
+            assert_eq!(fb.policy, policy_name(case.policy), "{label} policy label");
+            assert_eq!(
+                fb.count(ParallelFallbackReason::IneligibleConfig),
+                0,
+                "{label} at {}w still charged ineligible_config",
+                r.workers
+            );
+        }
+        // Second pass: the same machine with a node-private workload,
+        // whose per-node footprints are disjoint by construction — here
+        // the multi-worker picks must actually form epochs with the
+        // footprint ledger engaged.
+        let mut private = case.clone();
+        private.workload.kind = WorkloadKind::PrivateOnly;
+        let outcome = run_case(&private, deadline());
+        if let Some(v) = check_all(&Oracle::STANDARD, &private, &outcome) {
+            panic!("{label} (private) violated [{}]: {}", v.oracle, v.detail);
+        }
+        for r in &outcome.runs {
+            if r.scheduler != SchedulerKind::ParallelHeap || r.workers < 2 {
+                continue;
+            }
+            let fb = &r.result.as_ref().unwrap().report.parallel_fallback;
+            assert!(fb.epochs > 0, "{label} at {}w formed no epochs", r.workers);
+            assert!(
+                fb.cursor_hits + fb.cursor_misses > 0,
+                "{label} at {}w never consulted the footprint ledger",
+                r.workers
+            );
+        }
+    }
 }
 
 /// Satellite lock-in: the debug report dump carries the parallel

@@ -579,6 +579,13 @@ impl Kernel {
         self.page_cache.get(gpage)
     }
 
+    /// Every page currently held in the client page cache — the set a
+    /// capacity eviction could pick its victim from (footprint closures
+    /// over-approximate with it).
+    pub fn page_cache_pages(&self) -> impl Iterator<Item = GlobalPage> + '_ {
+        self.page_cache.iter().map(|(gpage, _)| gpage)
+    }
+
     /// Cumulative frame-pool statistics.
     pub fn pool_stats(&self) -> prism_mem::frames::PoolStats {
         self.pool.stats()

@@ -34,8 +34,11 @@ pub enum SchedulerKind {
     /// lines) serialize only the picks and groups they touch, and each
     /// serial fallback is recorded with a structured
     /// [`ParallelFallbackReason`](crate::ParallelFallbackReason)
-    /// in the report. Only structurally ineligible configurations
-    /// (migration, shadow checking, and friends) run fully serial.
+    /// in the report. Only configurations that observe the global pick
+    /// interleaving (shadow checking, incremental auditing, user mode
+    /// preferences) run fully serial; migration, page-cache pressure,
+    /// and every page policy form epochs through the footprint
+    /// ledger's policy-aware closures.
     ParallelHeap,
 }
 
@@ -148,6 +151,20 @@ pub struct MachineConfig {
     /// Worker threads for [`SchedulerKind::ParallelHeap`] (clamped to at
     /// least one; ignored by the serial schedulers).
     pub worker_threads: usize,
+    /// Minimum simulated-cycle headroom (`bound - clock`) an epoch must
+    /// have to be worth running under [`SchedulerKind::ParallelHeap`].
+    /// An epoch pays for shell swaps, channel round-trips, and the
+    /// merge regardless of how much work it admits; thinner epochs are
+    /// rejected as `insufficient_parallelism` (engaging the scan
+    /// backoff). Purely a host wall-clock heuristic: results are
+    /// byte-identical at any value.
+    pub min_epoch_span: u64,
+    /// Cap on the parallel scheduler's exponential scan backoff, in
+    /// picks skipped between epoch attempts during conflict-heavy
+    /// phases. Must be at least 1. A host wall-clock heuristic like
+    /// [`MachineConfig::min_epoch_span`]: results are byte-identical
+    /// at any value.
+    pub max_epoch_backoff: u64,
 }
 
 impl MachineConfig {
@@ -206,6 +223,10 @@ impl MachineConfig {
             self.worker_threads >= 1,
             "parallel scheduler needs at least one worker thread"
         );
+        assert!(
+            self.max_epoch_backoff >= 1,
+            "epoch backoff cap must be at least one pick"
+        );
     }
 }
 
@@ -238,6 +259,8 @@ impl Default for MachineConfig {
             audit_mode: AuditMode::Full,
             scheduler: SchedulerKind::Heap,
             worker_threads: 4,
+            min_epoch_span: 1024,
+            max_epoch_backoff: 512,
         }
     }
 }
@@ -311,6 +334,10 @@ impl MachineConfigBuilder {
         scheduler: SchedulerKind);
     setter!(/// Sets worker threads for the parallel scheduler.
         worker_threads: usize);
+    setter!(/// Sets the minimum simulated-cycle span an epoch must cover.
+        min_epoch_span: u64);
+    setter!(/// Caps the parallel scheduler's epoch-scan backoff, in picks.
+        max_epoch_backoff: u64);
 
     /// Finishes the configuration.
     ///

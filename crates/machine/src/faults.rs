@@ -142,6 +142,14 @@ pub(crate) struct Journal {
     pages: HashMap<GlobalPage, PageJournal>,
     /// Machine-lifetime record count (survives page retirement).
     total_records: u64,
+    /// Pages retired since the journal was last absorbed. Only consumed
+    /// when *this* journal is a parallel-worker shell's: the parent
+    /// replays the retirements so a page migrating onto its static home
+    /// inside an epoch drops its parent-side records exactly as the
+    /// serial path would. Retirements are rare (migration onto the
+    /// static home, failover), so the parent's own list stays tiny and
+    /// unread.
+    tombstones: Vec<GlobalPage>,
 }
 
 /// Journal state for one page.
@@ -153,6 +161,10 @@ pub(crate) struct PageJournal {
     pub(crate) image_at: Option<Cycle>,
     /// Total records appended for this page (lines + images).
     pub(crate) records: u64,
+    /// True when this state began with a checkpoint (the image
+    /// superseded all older line records): on absorb it *replaces* the
+    /// destination's per-line records instead of extending them.
+    cleared: bool,
 }
 
 impl Journal {
@@ -162,11 +174,26 @@ impl Journal {
     /// disjoint, so per-page state never collides between shells; the
     /// defensive merge below still resolves a collision deterministically
     /// (later records win, like sequential appends would).
+    ///
+    /// Two shell events must override, not extend: a page *retired* in
+    /// the shell (migrated onto its static home) drops the parent's
+    /// state via the tombstone list, and a page *checkpointed* in the
+    /// shell (`cleared`) supersedes the parent's per-line records, just
+    /// as [`Journal::checkpoint_page`] would have serially.
     pub(crate) fn absorb(&mut self, other: &mut Journal) {
+        for gp in other.tombstones.drain(..) {
+            if !other.pages.contains_key(&gp) {
+                self.pages.remove(&gp);
+            }
+        }
         let mut pages: Vec<(GlobalPage, PageJournal)> = other.pages.drain().collect();
         pages.sort_by_key(|(g, _)| (g.gsid.0, g.page));
         for (gp, pj) in pages {
             let dst = self.pages.entry(gp).or_default();
+            if pj.cleared {
+                dst.lines.clear();
+                dst.image_at = None;
+            }
             dst.lines.extend(pj.lines);
             if pj.image_at.is_some() {
                 dst.image_at = pj.image_at;
@@ -191,6 +218,7 @@ impl Journal {
         let pj = self.pages.entry(gpage).or_default();
         pj.lines.clear();
         pj.image_at = Some(at);
+        pj.cleared = true;
         pj.records += 1;
         self.total_records += 1;
     }
@@ -203,6 +231,7 @@ impl Journal {
     /// Drops a page's journal (the page was re-mastered or released).
     pub(crate) fn retire_page(&mut self, gpage: GlobalPage) {
         self.pages.remove(&gpage);
+        self.tombstones.push(gpage);
     }
 
     /// Total records appended across the machine's lifetime (counts

@@ -1,0 +1,401 @@
+//! Footprint ledger: persistent per-processor window cursors plus a
+//! page-level footprint memo, so epoch formation cost is incremental in
+//! what *changed* since the last attempt rather than linear in window
+//! length every time.
+//!
+//! # Why
+//!
+//! The parallel scheduler ([`crate::par`]) forms an epoch by scanning
+//! each runnable processor's upcoming trace window and computing the
+//! [`NodeSet`] its operations can touch. Before this ledger existed the
+//! scan re-derived every page's destination set from scratch on every
+//! epoch attempt — and a *rejected* attempt (conflict, insufficient
+//! parallelism) threw all of that work away, only to redo it verbatim a
+//! few picks later. Worse, the footprint helpers had to be so
+//! conservative about mutable routing state (migration targets, LA-NUMA
+//! write-back owners, page-cache eviction victims) that entire
+//! configurations were declared structurally ineligible.
+//!
+//! The ledger flips that around:
+//!
+//! * [`WindowCursor`] — one per processor — remembers the window the
+//!   last scan covered, the footprint it computed, where it truncated
+//!   (sync op or `MAX_WINDOW`), and the exact `(pc, clock)` watermark
+//!   the scan started from. A later attempt at the same watermark reuses
+//!   the whole scan.
+//! * A `(node, vpage)` memo caches each page's *contribution* to a
+//!   footprint (home, dynamic home, sharers, migration targets …) so
+//!   even a cold cursor rebuilds cheaply from warm pages.
+//! * A per-node cached *closure* (the node-local fill footprint: LA-NUMA
+//!   write-back owners and page-cache eviction victims) with a
+//!   generation counter for lazy invalidation.
+//!
+//! Entries are invalidated **precisely** — by the events that can
+//! actually change a page's destination set, reported through the
+//! observability bus as [`CursorInval`] events (directory state
+//! transitions that add a sharer, migration / re-mastering, home
+//! failover, PIT corruption, page-cache eviction, LA-NUMA write-back).
+//! Everything else leaves the memo warm.
+//!
+//! # Soundness
+//!
+//! A memoized footprint may be *stale-superset* but never stale-subset:
+//! every event that can grow a page's destination set emits an
+//! invalidation before the growth becomes visible to routing, and the
+//! footprint helpers close over prospective destinations (migration
+//! targets from the traffic ledger, the page-cache's current residents)
+//! rather than just current ones. A superset only costs parallelism
+//! (two groups conflict that need not have), never determinism.
+
+use std::collections::HashMap;
+
+use prism_mem::addr::NodeSet;
+
+use crate::obs::CursorInval;
+
+/// A persistent record of one processor's last trace-window scan.
+///
+/// A cursor is valid for reuse only at the **exact** `(pc, clock)`
+/// watermark it was stored at (and matching per-node closure
+/// generations). Clock equality is what makes the stored absolute
+/// `trunc_at` reusable as-is: the same watermark means the same
+/// upcoming trace suffix, so the same sync boundary.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct WindowCursor {
+    /// False after an invalidation event matched one of `deps`.
+    valid: bool,
+    /// Node the processor lives on (closure generation is checked
+    /// against this node).
+    node: usize,
+    /// Trace program counter the scan started from.
+    pc: usize,
+    /// Absolute clock of the processor at scan time.
+    clock: u64,
+    /// Value of the ledger's per-node generation for `node` when the
+    /// scan ran; a mismatch at lookup means the node closure changed.
+    node_gen: u64,
+    /// Number of trace operations the scan covered.
+    window: usize,
+    /// Footprint of the scanned window.
+    footprint: NodeSet,
+    /// Absolute clock at which the window hit a sync op or
+    /// `MAX_WINDOW`; `None` when the lane ran out of trace instead.
+    trunc_at: Option<u64>,
+    /// `(node, vpage)` page contributions this scan consumed; an
+    /// invalidation of any of them flips `valid`.
+    deps: Vec<(usize, u64)>,
+}
+
+/// The machine-wide footprint ledger. Owned by [`crate::Machine`];
+/// reset at the start of every parallel run loop.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct FootprintLedger {
+    /// One cursor per flat processor index.
+    cursors: Vec<WindowCursor>,
+    /// `(node, vpage)` → that page's contribution to a footprint
+    /// beyond the node's own closure. Private pages memoize
+    /// [`NodeSet::EMPTY`].
+    memo: HashMap<(usize, u64), NodeSet>,
+    /// Cached per-node fill closure (LA-NUMA write-back owners,
+    /// page-cache eviction victims), rebuilt when `node_gen` moves.
+    node_fp: Vec<Option<NodeSet>>,
+    /// Per-node closure generation; bumped by `NodeClosure` (and, for
+    /// every node, by `HomeMoved` — closures embed member-page homes).
+    node_gen: Vec<u64>,
+    /// Window scans served from a valid cursor.
+    pub(crate) hits: u64,
+    /// Window scans that had to run (cursor cold, stale, or absent).
+    pub(crate) misses: u64,
+    /// Memo entries, cursors, and node closures invalidated by events.
+    pub(crate) invalidations: u64,
+}
+
+impl FootprintLedger {
+    /// Clears all state and sizes the ledger for `procs` flat
+    /// processors across `nodes` nodes. Counters restart from zero.
+    pub(crate) fn reset(&mut self, procs: usize, nodes: usize) {
+        self.cursors.clear();
+        self.cursors.resize_with(procs, WindowCursor::default);
+        self.memo.clear();
+        self.node_fp.clear();
+        self.node_fp.resize(nodes, None);
+        self.node_gen.clear();
+        self.node_gen.resize(nodes, 0);
+        self.hits = 0;
+        self.misses = 0;
+        self.invalidations = 0;
+    }
+
+    /// Returns the stored `(window, footprint, trunc_at)` for processor
+    /// `flat` if its cursor is valid at exactly `(node, pc, clock)` and
+    /// the node's closure generation has not moved.
+    pub(crate) fn lookup(
+        &mut self,
+        flat: usize,
+        node: usize,
+        pc: usize,
+        clock: u64,
+    ) -> Option<(usize, NodeSet, Option<u64>)> {
+        let c = self.cursors.get(flat)?;
+        if c.valid
+            && c.node == node
+            && c.pc == pc
+            && c.clock == clock
+            && self.node_gen.get(node).copied() == Some(c.node_gen)
+        {
+            self.hits += 1;
+            Some((c.window, c.footprint, c.trunc_at))
+        } else {
+            None
+        }
+    }
+
+    /// Stores a freshly scanned window for processor `flat`, replacing
+    /// any previous cursor. `deps` lists the `(node, vpage)` page
+    /// contributions the scan consumed.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn store(
+        &mut self,
+        flat: usize,
+        node: usize,
+        pc: usize,
+        clock: u64,
+        window: usize,
+        footprint: NodeSet,
+        trunc_at: Option<u64>,
+        deps: Vec<(usize, u64)>,
+    ) {
+        self.misses += 1;
+        let gen = self.node_gen.get(node).copied().unwrap_or(0);
+        if let Some(c) = self.cursors.get_mut(flat) {
+            *c = WindowCursor {
+                valid: true,
+                node,
+                pc,
+                clock,
+                node_gen: gen,
+                window,
+                footprint,
+                trunc_at,
+                deps,
+            };
+        }
+    }
+
+    /// The memoized contribution of `(node, vpage)`, computing and
+    /// caching it via `compute` on a cold entry.
+    pub(crate) fn page_footprint(
+        &mut self,
+        key: (usize, u64),
+        compute: impl FnOnce() -> NodeSet,
+    ) -> NodeSet {
+        *self.memo.entry(key).or_insert_with(compute)
+    }
+
+    /// The memoized fill closure for `node`, computing and caching it
+    /// via `compute` when cold or generation-stale.
+    pub(crate) fn node_closure(
+        &mut self,
+        node: usize,
+        compute: impl FnOnce() -> NodeSet,
+    ) -> NodeSet {
+        match self.node_fp.get_mut(node) {
+            Some(slot) => *slot.get_or_insert_with(compute),
+            None => compute(),
+        }
+    }
+
+    /// Applies a batch of invalidation events drained from the
+    /// observability bus. Memo entries and matching cursors are dropped
+    /// eagerly; node closures are dropped and their generation bumped so
+    /// surviving cursors for that node go stale lazily.
+    pub(crate) fn apply(&mut self, events: Vec<CursorInval>) {
+        for ev in events {
+            match ev {
+                CursorInval::HomeMoved { vpage } => {
+                    // The page's home changed: every node's memo entry
+                    // for it is stale, and every node *closure* may
+                    // embed the old home for a cached/mapped copy.
+                    self.drop_page_all_nodes(vpage);
+                    for (slot, gen) in self.node_fp.iter_mut().zip(self.node_gen.iter_mut()) {
+                        if slot.take().is_some() {
+                            self.invalidations += 1;
+                        }
+                        *gen += 1;
+                    }
+                }
+                CursorInval::PageDest { vpage } => {
+                    self.drop_page_all_nodes(vpage);
+                }
+                CursorInval::NodePage { node, vpage } => {
+                    if self.memo.remove(&(node, vpage)).is_some() {
+                        self.invalidations += 1;
+                    }
+                    for c in &mut self.cursors {
+                        if c.valid && c.deps.contains(&(node, vpage)) {
+                            c.valid = false;
+                            self.invalidations += 1;
+                        }
+                    }
+                }
+                CursorInval::NodeClosure { node } => {
+                    if let Some(slot) = self.node_fp.get_mut(node) {
+                        if slot.take().is_some() {
+                            self.invalidations += 1;
+                        }
+                    }
+                    if let Some(gen) = self.node_gen.get_mut(node) {
+                        *gen += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes `vpage`'s memo entry for every node and invalidates any
+    /// cursor that depended on it.
+    fn drop_page_all_nodes(&mut self, vpage: u64) {
+        let before = self.memo.len();
+        self.memo.retain(|&(_, vp), _| vp != vpage);
+        self.invalidations += (before - self.memo.len()) as u64;
+        for c in &mut self.cursors {
+            if c.valid && c.deps.iter().any(|&(_, vp)| vp == vpage) {
+                c.valid = false;
+                self.invalidations += 1;
+            }
+        }
+    }
+
+    /// Number of live (valid) cursors — test introspection.
+    #[cfg(test)]
+    pub(crate) fn valid_cursors(&self) -> usize {
+        self.cursors.iter().filter(|c| c.valid).count()
+    }
+
+    /// Whether `(node, vpage)` currently has a memo entry — test
+    /// introspection.
+    #[cfg(test)]
+    pub(crate) fn has_memo(&self, node: usize, vpage: u64) -> bool {
+        self.memo.contains_key(&(node, vpage))
+    }
+
+    /// Whether `node`'s closure is currently cached — test
+    /// introspection.
+    #[cfg(test)]
+    pub(crate) fn has_closure(&self, node: usize) -> bool {
+        self.node_fp.get(node).is_some_and(|s| s.is_some())
+    }
+
+    /// Number of memoized page entries — test introspection.
+    #[cfg(test)]
+    pub(crate) fn memo_len(&self) -> usize {
+        self.memo.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_mem::addr::NodeId;
+
+    fn ledger() -> FootprintLedger {
+        let mut l = FootprintLedger::default();
+        l.reset(4, 4);
+        l
+    }
+
+    fn nset(nodes: &[u16]) -> NodeSet {
+        let mut s = NodeSet::EMPTY;
+        for &n in nodes {
+            s.insert(NodeId(n));
+        }
+        s
+    }
+
+    #[test]
+    fn cursor_roundtrip_exact_watermark() {
+        let mut l = ledger();
+        assert!(l.lookup(0, 1, 7, 100).is_none());
+        l.store(0, 1, 7, 100, 32, nset(&[1, 2]), Some(400), vec![(1, 9)]);
+        let (w, fp, t) = l.lookup(0, 1, 7, 100).expect("hit");
+        assert_eq!((w, fp, t), (32, nset(&[1, 2]), Some(400)));
+        // Any watermark drift is a miss.
+        assert!(l.lookup(0, 1, 8, 100).is_none());
+        assert!(l.lookup(0, 1, 7, 101).is_none());
+        assert!(l.lookup(0, 2, 7, 100).is_none());
+        assert_eq!(l.hits, 1);
+        assert_eq!(l.misses, 1);
+    }
+
+    #[test]
+    fn node_page_inval_is_exact() {
+        let mut l = ledger();
+        l.page_footprint((1, 9), || nset(&[1]));
+        l.page_footprint((2, 9), || nset(&[2]));
+        l.page_footprint((1, 5), || nset(&[1, 3]));
+        l.store(0, 1, 0, 0, 4, nset(&[1]), None, vec![(1, 9)]);
+        l.store(1, 2, 0, 0, 4, nset(&[2]), None, vec![(2, 9)]);
+        l.apply(vec![CursorInval::NodePage { node: 1, vpage: 9 }]);
+        assert!(!l.has_memo(1, 9), "exact key removed");
+        assert!(l.has_memo(2, 9), "other node's entry survives");
+        assert!(l.has_memo(1, 5), "other page survives");
+        assert!(l.lookup(0, 1, 0, 0).is_none(), "dependent cursor flipped");
+        assert!(
+            l.lookup(1, 2, 0, 0).is_some(),
+            "independent cursor survives"
+        );
+    }
+
+    #[test]
+    fn page_dest_inval_hits_all_nodes() {
+        let mut l = ledger();
+        l.page_footprint((0, 9), || nset(&[0]));
+        l.page_footprint((3, 9), || nset(&[3]));
+        l.page_footprint((3, 4), || nset(&[3]));
+        l.apply(vec![CursorInval::PageDest { vpage: 9 }]);
+        assert!(!l.has_memo(0, 9));
+        assert!(!l.has_memo(3, 9));
+        assert!(l.has_memo(3, 4));
+        assert!(l.invalidations >= 2);
+    }
+
+    #[test]
+    fn home_moved_bumps_every_closure_generation() {
+        let mut l = ledger();
+        l.node_closure(2, || nset(&[2]));
+        l.store(0, 2, 0, 0, 4, nset(&[2]), None, vec![]);
+        l.apply(vec![CursorInval::HomeMoved { vpage: 77 }]);
+        assert!(!l.has_closure(2), "closure dropped");
+        assert!(
+            l.lookup(0, 2, 0, 0).is_none(),
+            "generation bump stales the cursor even with no page deps"
+        );
+    }
+
+    #[test]
+    fn node_closure_inval_is_per_node() {
+        let mut l = ledger();
+        l.node_closure(0, || nset(&[0]));
+        l.node_closure(1, || nset(&[1, 2]));
+        l.store(0, 0, 0, 0, 4, nset(&[0]), None, vec![]);
+        l.store(1, 1, 0, 0, 4, nset(&[1, 2]), None, vec![]);
+        l.apply(vec![CursorInval::NodeClosure { node: 1 }]);
+        assert!(l.has_closure(0));
+        assert!(!l.has_closure(1));
+        assert!(l.lookup(0, 0, 0, 0).is_some(), "node 0 cursor unaffected");
+        assert!(l.lookup(1, 1, 0, 0).is_none(), "node 1 cursor gen-stale");
+    }
+
+    #[test]
+    fn reset_zeroes_counters_and_state() {
+        let mut l = ledger();
+        l.page_footprint((0, 1), || nset(&[0]));
+        l.store(0, 0, 0, 0, 4, nset(&[0]), None, vec![]);
+        l.apply(vec![CursorInval::PageDest { vpage: 1 }]);
+        assert!(l.hits + l.misses + l.invalidations > 0);
+        l.reset(2, 2);
+        assert_eq!((l.hits, l.misses, l.invalidations), (0, 0, 0));
+        assert_eq!(l.memo_len(), 0);
+        assert_eq!(l.valid_cursors(), 0);
+    }
+}

@@ -83,7 +83,10 @@ pub mod config;
 mod controller;
 mod failure;
 pub mod faults;
+mod fp_ledger;
 mod ingest;
+#[cfg(test)]
+mod inval_tests;
 pub mod machine;
 mod net;
 pub mod node;
@@ -102,6 +105,6 @@ pub use failure::NoPitBinding;
 pub use faults::{FaultPlan, FaultPlanError, FaultReport, JournalPolicy, RetryPolicy};
 pub use machine::Machine;
 pub use obs::ObsEvent;
-pub use par::{ParallelFallback, ParallelFallbackReason};
+pub use par::{policy_label, ParallelFallback, ParallelFallbackReason};
 pub use report::{NodeReport, RunReport};
 pub use shadow::{AuditFinding, AuditKind};

@@ -29,6 +29,7 @@ use prism_sim::SimRng;
 
 use crate::config::MachineConfig;
 use crate::faults::{FaultPlan, FaultPlanError, FaultReport, FaultState, Journal};
+use crate::fp_ledger::FootprintLedger;
 use crate::ingest::IngestIndex;
 use crate::node::{Node, ProcState};
 use crate::obs::{EventBus, ObsEvent};
@@ -112,6 +113,9 @@ pub struct Machine {
     /// Epoch/fallback accounting for the parallel scheduler (all zeros
     /// under the serial schedulers); snapshotted into the [`RunReport`].
     pub(crate) par_fallback: ParallelFallback,
+    /// Persistent window cursors + page-footprint memo for the parallel
+    /// scheduler's epoch formation (see [`crate::fp_ledger`]).
+    pub(crate) fp_ledger: FootprintLedger,
 }
 
 impl Machine {
@@ -158,6 +162,7 @@ impl Machine {
             ingest: std::sync::Arc::new(IngestIndex::default()),
             fast_xlat: false,
             par_fallback: ParallelFallback::default(),
+            fp_ledger: FootprintLedger::default(),
         }
     }
 

@@ -148,6 +148,55 @@ pub enum ObsEvent {
     },
 }
 
+/// A footprint-ledger invalidation: some machine transition changed a
+/// page's possible destination set (or a node's eviction/write-back
+/// closure), so window cursors and `(node, vpage)` footprint memos
+/// derived from the old state must not be reused.
+///
+/// Emitted by the same txn/paging/sched code paths that perform the
+/// transition — directory client admission, migration re-mastering,
+/// failover, PIT corruption, page-cache eviction, LA-NUMA write-back —
+/// and drained by the epoch executor before each scan
+/// ([`crate::fp_ledger::FootprintLedger::apply`]). Recording is gated
+/// on [`EventBus::inval_enabled`] so the serial schedulers pay one
+/// branch and no allocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum CursorInval {
+    /// The page's home moved (migration or failover re-mastering):
+    /// every node's memo for this virtual page is stale, and so is
+    /// every node's eviction/write-back closure (closures embed the
+    /// homes of cached pages).
+    HomeMoved {
+        /// Shared virtual page number of the re-mastered page.
+        vpage: u64,
+    },
+    /// The page's destination set grew (a new directory client, or a
+    /// new traffic requester that migration could pick as a target):
+    /// every node's memo for this virtual page is stale.
+    PageDest {
+        /// Shared virtual page number of the affected page.
+        vpage: u64,
+    },
+    /// One node's view of one page changed (PIT corruption scrambling
+    /// its dynamic-home hint, a page-cache eviction dropping its
+    /// mapping, an LA-NUMA write-back or unmap): exactly that node's
+    /// memo for that virtual page is stale.
+    NodePage {
+        /// The node whose PIT/page-cache entry changed.
+        node: usize,
+        /// Shared virtual page number of the affected page.
+        vpage: u64,
+    },
+    /// One node's eviction/write-back closure changed (a page entered
+    /// or left its page cache or LA-NUMA mapping set): cursors that
+    /// embedded the old closure are stale. Applied lazily through the
+    /// ledger's per-node generation counter.
+    NodeClosure {
+        /// The node whose closure changed.
+        node: usize,
+    },
+}
+
 /// The machine-wide observability bus (see module docs).
 #[derive(Clone, Debug)]
 pub(crate) struct EventBus {
@@ -174,6 +223,14 @@ pub(crate) struct EventBus {
     /// Total-pushed watermark of `touched` at the last sweep; if more
     /// events than the ring holds arrived since, some were lost.
     touched_seen: u64,
+    /// Pending footprint-ledger invalidations (see [`CursorInval`]).
+    /// Only populated while `inval_enabled`; the epoch executor drains
+    /// it before every scan.
+    inval: Vec<CursorInval>,
+    /// Whether [`EventBus::note_inval`] records anything. True only on
+    /// the `ParallelHeap` run loop (parent machine and shells alike);
+    /// the serial schedulers have no ledger to invalidate.
+    inval_enabled: bool,
 }
 
 impl EventBus {
@@ -194,7 +251,45 @@ impl EventBus {
             sweeps: 0,
             touched: EventRing::new(TOUCHED_CAPACITY),
             touched_seen: 0,
+            inval: Vec::new(),
+            inval_enabled: false,
         }
+    }
+
+    /// A bus with ledger-invalidation recording preset (shell machines
+    /// inherit the parent's setting so hooks fired inside an epoch are
+    /// captured and merged back).
+    pub(crate) fn new_with_inval(enabled: bool) -> EventBus {
+        let mut bus = EventBus::new();
+        bus.inval_enabled = enabled;
+        bus
+    }
+
+    /// Turns ledger-invalidation recording on or off; disabling drops
+    /// anything still queued.
+    pub(crate) fn set_inval_enabled(&mut self, enabled: bool) {
+        self.inval_enabled = enabled;
+        if !enabled {
+            self.inval.clear();
+        }
+    }
+
+    /// Whether this bus records ledger invalidations.
+    pub(crate) fn inval_enabled(&self) -> bool {
+        self.inval_enabled
+    }
+
+    /// Records a footprint-ledger invalidation (no-op unless enabled).
+    #[inline]
+    pub(crate) fn note_inval(&mut self, ev: CursorInval) {
+        if self.inval_enabled {
+            self.inval.push(ev);
+        }
+    }
+
+    /// Takes every pending ledger invalidation, oldest first.
+    pub(crate) fn drain_inval(&mut self) -> Vec<CursorInval> {
+        std::mem::take(&mut self.inval)
     }
 
     /// Increments a counter by one.
@@ -270,6 +365,7 @@ impl EventBus {
         for &(at, ev) in worker.ring.iter() {
             self.ring.push((at, ev));
         }
+        self.inval.extend_from_slice(&worker.inval);
     }
 }
 

@@ -9,7 +9,7 @@ use prism_protocol::msg::MsgKind;
 use prism_sim::Cycle;
 
 use crate::machine::Machine;
-use crate::obs::Ctr;
+use crate::obs::{Ctr, CursorInval};
 
 impl Machine {
     /// Services a page fault on `vpage` for processor `pi` of node `n`.
@@ -115,7 +115,15 @@ impl Machine {
                             .dir
                             .page_mut(gp)
                             .expect("home page initialized");
+                        let fresh = !pd.clients.contains(NodeId(n as u16));
                         pd.clients.insert(NodeId(n as u16));
+                        if fresh {
+                            // The page's destination set grew: remote
+                            // transactions can now fan out to this
+                            // client, so memoized footprints for the
+                            // page are stale on every node.
+                            self.obs.note_inval(CursorInval::PageDest { vpage });
+                        }
                     }
                     t = self.send(home, n, MsgKind::PageInReply, t);
                     t += Cycle(lat.dispatch + lat.pit_access());
@@ -148,6 +156,10 @@ impl Machine {
                         .tags
                         .allocate(frame, LineTag::Invalid);
                 }
+                // The node's cached-page set grew (page cache or
+                // LA-NUMA mapping): its eviction/write-back closure now
+                // includes this page's homes.
+                self.obs.note_inval(CursorInval::NodeClosure { node: n });
             }
         }
         self.obs.fault_latency.record(t - t0);
@@ -441,6 +453,14 @@ impl Machine {
         self.nodes[n]
             .kernel
             .commit_page_out(gp, evict.convert_to_lanuma);
+        // The node's cached-page set changed (the victim left; under
+        // `convert_to_lanuma` an imaginary mapping replaces it) and its
+        // view of the victim page is gone.
+        self.obs.note_inval(CursorInval::NodeClosure { node: n });
+        self.obs.note_inval(CursorInval::NodePage {
+            node: n,
+            vpage: evict.vpage,
+        });
         t
     }
 }

@@ -36,13 +36,32 @@
 //! [`ParallelFallbackReason`], so serial degradation is observable in
 //! reports rather than silent.
 //!
-//! Eligibility is per-feature, not all-or-nothing. Configurations with
-//! migration, shadow checking, page-cache pressure, non-S-COMA
-//! policies, or incremental auditing run fully serial: those features
-//! either mutate cross-node state outside the footprint (migration
-//! forwards) or observe the global interleaving (shadow versions, the
-//! dirty-page ring). Fault injection, eager journaling, the watchdog,
-//! and failed nodes instead degrade *locally*:
+//! Eligibility is per-feature, not all-or-nothing. Only features that
+//! *observe the global interleaving* force a fully serial run: shadow
+//! checking (versions every access in pick order), incremental
+//! auditing (the dirty-page ring), and user mode preferences (opaque
+//! per-page routing). Everything else — migration, page-cache
+//! pressure, LA-NUMA and dynamic page policies, fault plans,
+//! journaling, the watchdog — participates in epochs, because the
+//! footprint helpers close over every node such a feature could drag
+//! into a window: migration targets come from the page's traffic
+//! ledger ([`Machine::remote_txn_footprint`]), LA-NUMA write-back
+//! owners and page-cache eviction victims from the node's fill
+//! closure ([`Machine::local_fill_footprint`]). A migration that
+//! re-masters a page inside an epoch is therefore a *group-local*
+//! event: the page's old home, new home, and every client that could
+//! observe the move all belong to the same admitted group, so the
+//! group's serial projection is exactly the serial machine's.
+//!
+//! Footprints are computed incrementally through the
+//! [`crate::fp_ledger::FootprintLedger`]: per-processor window cursors
+//! persist across picks and epochs, and a `(node, vpage)` memo caches
+//! page contributions. Both are invalidated precisely, by
+//! [`CursorInval`](crate::obs::CursorInval) events the execution layer
+//! emits at every transition that can change a page's destination set
+//! (directory growth, migration, failover, PIT corruption, page-cache
+//! eviction, LA-NUMA write-back). Features that must stay serial
+//! degrade *locally*:
 //!
 //! * Scheduled fault injections and watchdog deadline sweeps are
 //!   control events on the scheduler's control heap, so
@@ -81,6 +100,7 @@ use prism_sim::{Cycle, Resource};
 use crate::config::AuditMode;
 use crate::controller::Controller;
 use crate::faults::Journal;
+use crate::fp_ledger::FootprintLedger;
 use crate::machine::{Machine, AUDIT_RNG_SEED};
 use crate::node::{Node, ProcState};
 use crate::obs::EventBus;
@@ -89,17 +109,6 @@ use crate::sched::Sched;
 /// Maximum operations one scanned window may hold. Caps the scan cost
 /// per epoch and the amount of work a single straggler batch can hoard.
 const MAX_WINDOW: usize = 4096;
-
-/// Minimum simulated-cycle headroom (`bound - clock0`) an epoch must
-/// have to be worth running. An epoch pays for shell swaps, channel
-/// round-trips, and the merge regardless of how much work it admits; a
-/// bound capped just past the pick's clock — conflicting groups cap it
-/// at their earliest member — buys a handful of operations per group
-/// and costs more wall-clock than the serial pick it replaces. Too-thin
-/// epochs are rejected as `InsufficientParallelism` (engaging the scan
-/// backoff). Purely a wall-clock heuristic: epoch formation never
-/// affects the simulated run.
-const MIN_EPOCH_SPAN: u64 = 1024;
 
 /// One processor's share of an epoch: its identity, the clock it was
 /// popped at (for requeueing untouched leftovers), and how many scanned
@@ -132,9 +141,12 @@ pub(crate) struct Group {
 /// and tests can see *why* parallelism degraded, not just that it did.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ParallelFallbackReason {
-    /// The configuration is structurally ineligible (migration, shadow
-    /// checking, page-cache pressure, a non-S-COMA policy, incremental
-    /// auditing, or user mode preferences): the whole run is serial.
+    /// The configuration is structurally ineligible — it observes the
+    /// global interleaving (shadow checking, incremental auditing) or
+    /// routes through opaque user mode preferences: the whole run is
+    /// serial. Migration, page-cache pressure, and non-S-COMA policies
+    /// are *not* on this list; the footprint ledger's closures admit
+    /// them to epochs.
     IneligibleConfig,
     /// A scheduled control event — fault injection, watchdog deadline
     /// sweep, or audit sweep — was due at or before the pick's clock.
@@ -162,6 +174,12 @@ pub enum ParallelFallbackReason {
 }
 
 impl ParallelFallbackReason {
+    /// Number of variants. Kept honest by [`Self::variant_index`]'s
+    /// exhaustive match and the `const` assertion below: adding a
+    /// variant without growing [`Self::ALL`] (and therefore every
+    /// report/bench emission that iterates it) fails to compile.
+    pub const COUNT: usize = Self::ALL.len();
+
     /// All reasons, in counter order (the order [`ParallelFallback`]
     /// indexes and benches report them).
     pub const ALL: [ParallelFallbackReason; 6] = [
@@ -172,6 +190,21 @@ impl ParallelFallbackReason {
         ParallelFallbackReason::InsufficientParallelism,
         ParallelFallbackReason::EpochBackoff,
     ];
+
+    /// The variant's counter slot. The exhaustive match is the
+    /// compile-time guard: a new variant must pick an index, and the
+    /// `const` assertion forces `ALL[i].variant_index() == i`, so no
+    /// variant can vanish from reports by being left out of `ALL`.
+    pub const fn variant_index(self) -> usize {
+        match self {
+            ParallelFallbackReason::IneligibleConfig => 0,
+            ParallelFallbackReason::ControlEventDue => 1,
+            ParallelFallbackReason::LinkFaultWindowActive => 2,
+            ParallelFallbackReason::RecoveryHazard => 3,
+            ParallelFallbackReason::InsufficientParallelism => 4,
+            ParallelFallbackReason::EpochBackoff => 5,
+        }
+    }
 
     /// Stable snake_case name, used as the key in bench JSON.
     pub fn name(self) -> &'static str {
@@ -186,6 +219,20 @@ impl ParallelFallbackReason {
     }
 }
 
+// Compile-time exhaustiveness: every variant appears in `ALL`, at the
+// slot `variant_index` assigns it. A variant missing from `ALL` leaves
+// some index unreachable, so one of these equalities fails.
+const _: () = {
+    let mut i = 0;
+    while i < ParallelFallbackReason::COUNT {
+        assert!(
+            ParallelFallbackReason::ALL[i].variant_index() == i,
+            "ParallelFallbackReason::ALL must list every variant in variant_index order"
+        );
+        i += 1;
+    }
+};
+
 /// Epoch/serial-fallback accounting for one `ParallelHeap` run,
 /// reported in [`RunReport::parallel_fallback`](crate::report::RunReport).
 /// All zeros under the serial schedulers.
@@ -196,23 +243,67 @@ impl ParallelFallbackReason {
 /// scheduler-dependent by construction.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ParallelFallback {
+    /// Page-mode policy label of the run (`"scoma"`, `"lanuma"`, …),
+    /// so per-policy epoch counters survive into sweep artifacts that
+    /// aggregate many configurations. Empty until a `ParallelHeap` run
+    /// starts.
+    pub policy: String,
     /// Epochs that formed and ran groups concurrently.
     pub epochs: u64,
     /// Picks that ran on the exact serial heap path.
     pub serial_picks: u64,
-    counts: [u64; 6],
+    /// Epoch-size histogram: `epoch_groups[k]` epochs admitted exactly
+    /// `k` concurrent groups. Indices 0 and 1 stay zero (an epoch needs
+    /// two groups to form); the vector grows to the largest size seen.
+    pub epoch_groups: Vec<u64>,
+    /// Window scans served whole from a persistent cursor.
+    pub cursor_hits: u64,
+    /// Window scans that had to run (cursor cold, stale, or absent).
+    pub cursor_misses: u64,
+    /// Ledger entries (cursors, page memos, node closures) dropped by
+    /// precise invalidation events.
+    pub cursor_invalidations: u64,
+    counts: [u64; ParallelFallbackReason::COUNT],
 }
 
 impl ParallelFallback {
     /// Records one serial pick with its structured reason.
     pub(crate) fn note(&mut self, reason: ParallelFallbackReason) {
         self.serial_picks += 1;
-        self.counts[reason as usize] += 1;
+        self.counts[reason.variant_index()] += 1;
+    }
+
+    /// Records one formed epoch that admitted `groups` concurrent
+    /// groups.
+    pub(crate) fn note_epoch(&mut self, groups: usize) {
+        self.epochs += 1;
+        if self.epoch_groups.len() <= groups {
+            self.epoch_groups.resize(groups + 1, 0);
+        }
+        self.epoch_groups[groups] += 1;
     }
 
     /// How many serial picks fell back for `reason`.
     pub fn count(&self, reason: ParallelFallbackReason) -> u64 {
-        self.counts[reason as usize]
+        self.counts[reason.variant_index()]
+    }
+
+    /// Cursor hit rate over all window scans, `None` before any scan.
+    pub fn cursor_hit_rate(&self) -> Option<f64> {
+        let total = self.cursor_hits + self.cursor_misses;
+        (total > 0).then(|| self.cursor_hits as f64 / total as f64)
+    }
+}
+
+/// The stable page-mode label used across sweep and chaos artifacts.
+pub fn policy_label(p: PagePolicy) -> &'static str {
+    match p {
+        PagePolicy::Scoma => "scoma",
+        PagePolicy::Lanuma => "lanuma",
+        PagePolicy::DynFcfs => "dyn-fcfs",
+        PagePolicy::DynUtil => "dyn-util",
+        PagePolicy::DynLru => "dyn-lru",
+        PagePolicy::DynBoth => "dyn-both",
     }
 }
 
@@ -263,6 +354,7 @@ impl Machine {
     /// pick degenerates to the serial [`Machine::heap_step`].
     pub(crate) fn run_loop_parallel(&mut self, trace: &Trace) {
         self.prime_sched();
+        self.par_fallback.policy = policy_label(self.cfg.policy).to_string();
         if let Some(reason) = self.parallel_ineligible() {
             while let Some((clock, flat)) = self.sched.pop_proc() {
                 self.par_fallback.note(reason);
@@ -271,6 +363,11 @@ impl Machine {
             self.sched.deactivate();
             return;
         }
+        // Arm the footprint ledger for this run: cursors and memos are
+        // per-run (processor pcs restart), and the execution layer only
+        // pays for invalidation events while a parallel run is live.
+        self.fp_ledger.reset(self.cfg.total_procs(), self.cfg.nodes);
+        self.obs.set_inval_enabled(true);
         // Workers live for the whole run and shells are pooled across
         // epochs: per-epoch cost is two node swaps and one channel
         // round-trip per group, not thread spawns and kernel rebuilds.
@@ -305,10 +402,13 @@ impl Machine {
             // Exponential backoff on scan-based rejections: a failed
             // epoch attempt costs a multi-lane window scan, so during a
             // conflict-heavy phase the loop skips `stride` picks before
-            // scanning again (doubling up to the cap), and re-arms the
-            // moment an epoch forms. Deterministic — it depends only on
-            // the pick sequence — and invisible to the simulation.
-            const MAX_EPOCH_BACKOFF: u64 = 512;
+            // scanning again (doubling up to `cfg.max_epoch_backoff`),
+            // and re-arms the moment an epoch forms. Deterministic — it
+            // depends only on the pick sequence — and invisible to the
+            // simulation. Persistent cursors soften rejection cost (a
+            // re-scan at an unchanged watermark is a ledger hit), so
+            // the backoff now guards only genuinely churning phases.
+            let max_backoff = self.cfg.max_epoch_backoff;
             let (mut skip, mut stride) = (0u64, 1u64);
             while let Some((clock, flat)) = self.sched.pop_proc() {
                 if skip > 0 {
@@ -327,7 +427,7 @@ impl Machine {
                                 | ParallelFallbackReason::InsufficientParallelism
                         ) {
                             skip = stride;
-                            stride = (stride * 2).min(MAX_EPOCH_BACKOFF);
+                            stride = (stride * 2).min(max_backoff);
                         }
                         self.heap_step(trace, clock, flat);
                     }
@@ -335,20 +435,31 @@ impl Machine {
             }
             drop(workers);
         });
+        // Disarm the ledger and fold its counters into the run's
+        // fallback accounting (`+=`: `par_fallback` accumulates across
+        // runs on the same machine, the ledger resets per run).
+        self.obs.set_inval_enabled(false);
+        self.par_fallback.cursor_hits += self.fp_ledger.hits;
+        self.par_fallback.cursor_misses += self.fp_ledger.misses;
+        self.par_fallback.cursor_invalidations += self.fp_ledger.invalidations;
         self.sched.deactivate();
     }
 
     /// `None` when the configuration guarantees that disjoint-footprint
-    /// batches commute (see the module docs for why each feature on
-    /// this list forces serial execution). Fault plans, journaling,
-    /// the watchdog, and failed nodes are *not* on the list: they are
-    /// admitted per-epoch via control-event bounds and the recovery
-    /// hazard set instead of disqualifying the whole run.
+    /// batches commute. Only features that observe the global pick
+    /// interleaving remain on the serial list: shadow checking
+    /// (versions accesses in pick order), incremental auditing (the
+    /// dirty-page ring is ordered by touch), and user mode preferences
+    /// (opaque per-page routing the footprint helpers cannot close
+    /// over). Migration, page-cache pressure, and non-S-COMA policies
+    /// are eligible: [`Machine::remote_txn_footprint`] closes over
+    /// migration targets and [`Machine::local_fill_footprint`] over
+    /// LA-NUMA write-back owners and page-cache eviction victims, so
+    /// their cross-node effects stay inside one admitted group. Fault
+    /// plans, journaling, the watchdog, and failed nodes are admitted
+    /// per-epoch via control-event bounds and the recovery hazard set.
     fn parallel_ineligible(&self) -> Option<ParallelFallbackReason> {
-        let structural = self.cfg.policy == PagePolicy::Scoma
-            && self.cfg.migration.is_none()
-            && self.cfg.page_cache_capacity.is_none()
-            && self.cfg.audit_mode != AuditMode::Incremental
+        let structural = self.cfg.audit_mode != AuditMode::Incremental
             && !self.mode_prefs_set
             && self.shadow.is_none();
         (!structural).then_some(ParallelFallbackReason::IneligibleConfig)
@@ -374,6 +485,13 @@ impl Machine {
     /// when no epoch with at least two independent groups exists, so
     /// the caller can note it and fall back to the serial pick; `None`
     /// means the epoch formed and ran.
+    ///
+    /// The ledger is moved out of `self` for the attempt (scans borrow
+    /// `&self` while memoizing into `&mut ledger`) and pending
+    /// invalidation events — emitted by serial picks and merged epoch
+    /// shells since the last attempt — are applied first, so every
+    /// cursor or memo the scan consults reflects the machine's current
+    /// routing state.
     fn try_epoch(
         &mut self,
         trace: &Trace,
@@ -382,6 +500,24 @@ impl Machine {
         workers: &[mpsc::Sender<Task>],
         done_rx: &mpsc::Receiver<Done>,
         pool: &mut Vec<Machine>,
+    ) -> Option<ParallelFallbackReason> {
+        let mut ledger = std::mem::take(&mut self.fp_ledger);
+        ledger.apply(self.obs.drain_inval());
+        let r = self.try_epoch_inner(trace, clock0, flat0, workers, done_rx, pool, &mut ledger);
+        self.fp_ledger = ledger;
+        r
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn try_epoch_inner(
+        &mut self,
+        trace: &Trace,
+        clock0: Cycle,
+        flat0: usize,
+        workers: &[mpsc::Sender<Task>],
+        done_rx: &mpsc::Receiver<Done>,
+        pool: &mut Vec<Machine>,
+        ledger: &mut FootprintLedger,
     ) -> Option<ParallelFallbackReason> {
         // Control events — fault injections, watchdog deadline sweeps,
         // audit sweeps — observe (or mutate) the global interleaving:
@@ -413,18 +549,30 @@ impl Machine {
         // earliest possible start: sync operations mutate machine-wide
         // state (barriers, locks, lock-home network interfaces) and so
         // must stay on the serial path, after everything admitted here.
+        //
+        // Scans are horizonless — each runs to its own sync op,
+        // `MAX_WINDOW`, or lane end regardless of the running bound —
+        // which is what lets a scan be *stored* in the ledger and
+        // reused verbatim at the next attempt from the same `(pc,
+        // clock)` watermark. Windows reaching past the final bound cost
+        // nothing at execution time (`run_group` stops at the bound and
+        // leftovers requeue at their reached clock); they can only
+        // inflate a footprint, never shrink one, so admission stays
+        // sound.
         let mut b = b_ctl;
         let mut groups: Vec<Group> = Vec::new();
         let mut by_node: HashMap<usize, usize> = HashMap::new();
         let mut leftovers: Vec<(Cycle, usize)> = Vec::new();
-        let mut memo: HashMap<(usize, u64), NodeSet> = HashMap::new();
         for &(c, f) in &popped {
-            // The horizon tightens as earlier scans discover sync
-            // truncations: ops past the running bound can never execute
-            // in this epoch, so scanning them would be pure waste (and
-            // the dominant cost on barrier-dense workloads).
-            let (window, fp, sync_at) = self.scan_window(trace, f, c, b, &mut memo);
-            if let Some(at) = sync_at {
+            // Already at or past the running bound: the processor
+            // cannot start anything inside this epoch, so skip its scan
+            // entirely (the cursor stays warm for the next attempt).
+            if c.as_u64() >= b {
+                leftovers.push((c, f));
+                continue;
+            }
+            let (window, fp, trunc_at) = self.scan_window(trace, f, c, ledger);
+            if let Some(at) = trunc_at {
                 b = b.min(at);
             }
             if window == 0 {
@@ -453,11 +601,11 @@ impl Machine {
         // An epoch is worth forming only when at least two groups run
         // concurrently, the popped processor is one of them (it must
         // make progress), and the bound leaves enough room to amortize
-        // the epoch's fixed cost ([`MIN_EPOCH_SPAN`]).
+        // the epoch's fixed cost (`cfg.min_epoch_span`).
         if admitted < 2
             || !flat0_grouped
             || !keep[0]
-            || b.saturating_sub(clock0.as_u64()) < MIN_EPOCH_SPAN
+            || b.saturating_sub(clock0.as_u64()) < self.cfg.min_epoch_span
         {
             for &(c, f) in popped.iter().skip(1) {
                 self.sched.wake(f, c);
@@ -468,7 +616,7 @@ impl Machine {
                 ParallelFallbackReason::InsufficientParallelism
             });
         }
-        self.par_fallback.epochs += 1;
+        self.par_fallback.note_epoch(admitted);
         let mut accepted: Vec<Group> = Vec::new();
         for (g, k) in groups.into_iter().zip(keep) {
             if k {
@@ -497,52 +645,79 @@ impl Machine {
     /// accumulating the nodes its next operations could touch. The scan
     /// advances a *lower bound* on the clock (computes are exact, every
     /// memory reference costs at least an L1 hit), so any operation the
-    /// executor could actually start before `horizon` lies inside the
-    /// returned window. Returns the window length, its footprint, and —
-    /// when the window was truncated with lane left (by a sync
-    /// operation, or by [`MAX_WINDOW`]) — the earliest clock the first
-    /// excluded operation could start at. The epoch bound must not pass
-    /// that clock: excluded operations run serially after the merge, so
-    /// nothing admitted to the epoch may be ordered after them.
+    /// executor could actually start before the returned truncation
+    /// clock lies inside the returned window. Returns the window
+    /// length, its footprint, and — when the window was truncated with
+    /// lane left (by a sync operation, or by [`MAX_WINDOW`]) — the
+    /// earliest clock the first excluded operation could start at. The
+    /// epoch bound must not pass that clock: excluded operations run
+    /// serially after the merge, so nothing admitted to the epoch may
+    /// be ordered after them.
+    ///
+    /// The scan is served from the processor's persistent
+    /// [`WindowCursor`](crate::fp_ledger) whenever one is valid at the
+    /// exact `(node, pc, clock)` watermark — rejected epochs and
+    /// backoff retries re-reach the same watermark constantly, so the
+    /// common re-scan is O(1). A fresh scan stores its result (with the
+    /// `(node, vpage)` contributions it consumed as invalidation deps)
+    /// before returning. The truncation clock is absolute; exact-clock
+    /// reuse is what keeps it valid across attempts.
+    ///
+    /// Footprint composition per window: the node's *fill closure*
+    /// (itself, LA-NUMA write-back owners, page-cache eviction victims
+    /// — any memory reference can trigger a fill and therefore an
+    /// eviction) is OR'd in once at the first memory reference, and
+    /// each referenced page adds its memoized *contribution* (homes,
+    /// sharers, stale hints, migration targets for shared pages;
+    /// nothing beyond the closure for private ones). Compute-only
+    /// windows stay at the node singleton.
     fn scan_window(
         &self,
         trace: &Trace,
         flat: usize,
         clock: Cycle,
-        horizon: u64,
-        memo: &mut HashMap<(usize, u64), NodeSet>,
+        ledger: &mut FootprintLedger,
     ) -> (usize, NodeSet, Option<u64>) {
         let lane = &trace.lanes[flat];
         let (n, pi) = self.split_flat(flat);
         if self.nodes[n].procs[pi].state != ProcState::Ready {
             return (0, NodeSet::EMPTY, None);
         }
-        let mut pc = self.nodes[n].procs[pi].pc;
+        let pc0 = self.nodes[n].procs[pi].pc;
+        if let Some((window, fp, trunc_at)) = ledger.lookup(flat, n, pc0, clock.as_u64()) {
+            return (window, fp, trunc_at);
+        }
+        let mut pc = pc0;
         let mut t = clock.as_u64();
         let mut fp = NodeSet::single(NodeId(n as u16));
         let l1 = self.cfg.latency.l1_hit;
         let mut ops = 0;
+        let mut deps: Vec<(usize, u64)> = Vec::new();
+        let mut closed_over_node = false;
         // Same-page run continuations (trace-ingest bitmap) reuse the
-        // previous reference's footprint without a page lookup.
+        // previous reference's contribution without a page lookup.
         let mut last_fp: Option<NodeSet> = None;
-        while t < horizon {
+        let trunc_at = loop {
             match lane.get(pc) {
-                None => return (ops, fp, None),
-                Some(Op::Barrier(_) | Op::Lock(_) | Op::Unlock(_)) => {
-                    return (ops, fp, Some(t));
-                }
-                _ if ops == MAX_WINDOW => return (ops, fp, Some(t)),
+                None => break None,
+                Some(Op::Barrier(_) | Op::Lock(_) | Op::Unlock(_)) => break Some(t),
+                _ if ops == MAX_WINDOW => break Some(t),
                 Some(&Op::Compute(c)) => t += c as u64,
                 Some(&(Op::Read(va) | Op::Write(va))) => {
+                    if !closed_over_node {
+                        closed_over_node = true;
+                        fp.0 |= ledger.node_closure(n, || self.local_fill_footprint(n)).0;
+                    }
                     let page_fp = match last_fp {
                         Some(f) if self.ingest.same_run(flat, pc) => f,
                         _ => {
                             let key = (n, self.cfg.geometry.vpage(va));
-                            *memo.entry(key).or_insert_with(|| {
-                                match self.nodes[n].kernel.resolve(va) {
-                                    Some(gp) => self.remote_txn_footprint(n, gp),
-                                    None => self.local_fill_footprint(n),
-                                }
+                            if deps.last() != Some(&key) {
+                                deps.push(key);
+                            }
+                            ledger.page_footprint(key, || match self.nodes[n].kernel.resolve(va) {
+                                Some(gp) => self.remote_txn_footprint(n, gp),
+                                None => NodeSet::EMPTY,
                             })
                         }
                     };
@@ -553,8 +728,9 @@ impl Machine {
             }
             pc += 1;
             ops += 1;
-        }
-        (ops, fp, None)
+        };
+        ledger.store(flat, n, pc0, clock.as_u64(), ops, fp, trunc_at, deps);
+        (ops, fp, trunc_at)
     }
 
     /// Runs the admitted groups — inline when no worker threads exist,
@@ -573,11 +749,18 @@ impl Machine {
     ) {
         let count = accepted.len();
         let mut done: Vec<Done> = Vec::with_capacity(count);
+        // Migration inside a shell re-masters pages (`dyn_homes` is
+        // insert-only): the merge below folds each shell's inserts back
+        // by diffing against this pre-epoch snapshot — diffing against
+        // the live map would let a later (unchanged) shell revert an
+        // earlier shell's migration. Cheap when empty (the common
+        // migration-free case clones nothing).
+        let dyn_snapshot = self.dyn_homes.clone();
         for (i, mut g) in accepted.into_iter().enumerate() {
             let mut shell = pool.pop().unwrap_or_else(|| self.make_shell());
-            // Failover re-masters pages in `dyn_homes`; keep the shell's
-            // view current so its translations resolve the same homes
-            // the serial path would. Guarded: the common fault-free
+            // Failover and migration re-master pages in `dyn_homes`;
+            // keep the shell's view current so its translations resolve
+            // the same homes the serial path would. Guarded: the common
             // epoch swaps nothing and pays one emptiness check.
             if !self.dyn_homes.is_empty() || !shell.dyn_homes.is_empty() {
                 shell.dyn_homes.clone_from(&self.dyn_homes);
@@ -613,7 +796,18 @@ impl Machine {
             if let (Some(j), Some(sj)) = (self.journal.as_mut(), shell.journal.as_mut()) {
                 j.absorb(sj);
             }
-            shell.obs = EventBus::new();
+            // Fold re-mastering back: entries the shell added or moved
+            // relative to the pre-epoch snapshot. Epoch footprints are
+            // pairwise disjoint, so no two shells touch the same page.
+            for (&gp, &home) in &shell.dyn_homes {
+                if dyn_snapshot.get(&gp) != Some(&home) {
+                    self.dyn_homes.insert(gp, home);
+                }
+            }
+            for (gp, set) in shell.former_homes.drain() {
+                self.former_homes.entry(gp).or_default().0 |= set.0;
+            }
+            shell.obs = EventBus::new_with_inval(self.obs.inval_enabled());
             shell.ledger = TrafficLedger::new();
             for m in &g.members {
                 let (n, pi) = self.split_flat(m.flat);
@@ -678,7 +872,7 @@ impl Machine {
             ipc: GlobalIpc::new(),
             homes: self.homes.clone(),
             ledger: TrafficLedger::new(),
-            obs: EventBus::new(),
+            obs: EventBus::new_with_inval(self.obs.inval_enabled()),
             sched: Sched::default(),
             shadow: None,
             fault: self.fault.clone(),
@@ -691,6 +885,7 @@ impl Machine {
             ingest: std::sync::Arc::clone(&self.ingest),
             fast_xlat: self.fast_xlat,
             par_fallback: ParallelFallback::default(),
+            fp_ledger: FootprintLedger::default(),
         }
     }
 

@@ -513,8 +513,14 @@ fn fault_json(f: &FaultReport) -> String {
 
 fn parallel_fallback_json(p: &ParallelFallback) -> String {
     let mut o = String::from("{");
+    field_str(&mut o, "policy", &p.policy);
     field_u64(&mut o, "epochs", p.epochs);
     field_u64(&mut o, "serial_picks", p.serial_picks);
+    let groups: Vec<String> = p.epoch_groups.iter().map(|g| g.to_string()).collect();
+    field_raw(&mut o, "epoch_groups", &format!("[{}]", groups.join(",")));
+    field_u64(&mut o, "cursor_hits", p.cursor_hits);
+    field_u64(&mut o, "cursor_misses", p.cursor_misses);
+    field_u64(&mut o, "cursor_invalidations", p.cursor_invalidations);
     let mut reasons = String::from("{");
     for reason in crate::par::ParallelFallbackReason::ALL {
         field_u64(&mut reasons, reason.name(), p.count(reason));

@@ -574,9 +574,18 @@ impl Machine {
         }
         let frame = candidates[state.rng.gen_index(candidates.len())];
         let bogus = NodeId(state.rng.gen_index(self.cfg.nodes) as u16);
+        let mut corrupted = None;
         if let Some(e) = self.nodes[n].controller.pit.translate_mut(frame) {
             e.dyn_home = bogus;
             e.home_frame_hint = None;
+            corrupted = Some(e.gpage);
+        }
+        // The scrambled hint is a real first hop for this node's next
+        // request: its memoized footprint for the page no longer covers
+        // it.
+        if let Some(vpage) = corrupted.and_then(|gp| self.shared_vpage_value(gp)) {
+            self.obs
+                .note_inval(crate::obs::CursorInval::NodePage { node: n, vpage });
         }
         self.freport(|r| {
             r.pit_corruptions += 1;

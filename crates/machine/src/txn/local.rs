@@ -339,6 +339,12 @@ impl Machine {
         }
         self.post_send(n, home, MsgKind::Writeback, t);
         self.obs.incr(Ctr::RemoteWritebacks);
+        // The home's directory state for the line transitions under this
+        // write-back: the writer's memoized view of the page is stale.
+        if let Some(vpage) = self.shared_vpage_value(gpage) {
+            self.obs
+                .note_inval(crate::obs::CursorInval::NodePage { node: n, vpage });
+        }
         let lat = self.cfg.latency;
         self.nodes[home].memory.acquire(t, Cycle(lat.mem_access));
         if let Some(pd) = self.nodes[home].controller.dir.page_mut(gpage) {
@@ -456,11 +462,42 @@ impl Machine {
 }
 
 impl Machine {
-    /// The node footprint of an intra-node fill: everything above —
-    /// sibling snoops, local-memory fills, bus upgrades, insertions and
-    /// their evictions — stays on the accessing node. Private-page
-    /// references therefore conflict only with batches on the same node.
+    /// The node footprint of an intra-node fill, *closed over the
+    /// side-effects any local action can trigger*: sibling snoops,
+    /// local-memory fills, bus upgrades, and real-frame evictions all
+    /// stay on the accessing node, but
+    ///
+    /// * an L2 eviction of a dirty (or clean-exclusive) **imaginary
+    ///   LA-NUMA line** posts a writeback/replacement hint to the
+    ///   line's *home* — so the homes of every LA-NUMA-mapped page at
+    ///   the node are in the closure;
+    /// * a client fault under **page-cache capacity pressure** may
+    ///   evict any cached page, flushing its dirty lines to *that*
+    ///   page's home — so the homes of every page-cache page are in
+    ///   the closure too.
+    ///
+    /// The closure over-approximates (most fills evict nothing), which
+    /// is the price of deciding admission before execution; it is exact
+    /// `{n}` for plain S-COMA with an unbounded page cache, so the
+    /// historical eligible configurations lose no parallelism. The
+    /// epoch executor caches this per node under a generation counter
+    /// bumped by [`crate::obs::CursorInval::NodeClosure`] events, so
+    /// the PIT/page-cache walks below run once per membership change,
+    /// not once per scan.
     pub(crate) fn local_fill_footprint(&self, n: usize) -> prism_mem::addr::NodeSet {
-        prism_mem::addr::NodeSet::single(prism_mem::addr::NodeId(n as u16))
+        let mut set = prism_mem::addr::NodeSet::single(prism_mem::addr::NodeId(n as u16));
+        for (frame, entry) in self.nodes[n].controller.pit.iter() {
+            if frame.is_imaginary() {
+                set.insert(self.homes.static_home(entry.gpage));
+                set.insert(self.resolve_dyn_home(entry.gpage));
+            }
+        }
+        if self.cfg.page_cache_capacity.is_some() {
+            for gpage in self.nodes[n].kernel.page_cache_pages() {
+                set.insert(self.homes.static_home(gpage));
+                set.insert(self.resolve_dyn_home(gpage));
+            }
+        }
+        set
     }
 }

@@ -24,7 +24,7 @@ use prism_protocol::msg::MsgKind;
 use prism_sim::Cycle;
 
 use crate::machine::Machine;
-use crate::obs::Ctr;
+use crate::obs::{Ctr, CursorInval};
 
 /// Why a remote transaction aborted. In every case the requesting
 /// processor is killed (contained failure, paper §5).
@@ -329,10 +329,18 @@ impl RemoteTxn {
             .dir_cache
             .probe(self.gpage.line(self.line));
         self.t += Cycle(lat.dir_access(dir_hit));
-        m.nodes[home]
+        let new_requester = m.nodes[home]
             .controller
             .traffic_mut(self.gpage)
             .record(NodeId(n as u16));
+        if new_requester && m.cfg.migration.is_some() {
+            // The migration-target closure just grew: footprints that
+            // memoized the old traffic set no longer cover every node a
+            // migration of this page could touch.
+            if let Some(vpage) = m.shared_vpage_value(self.gpage) {
+                m.obs.note_inval(CursorInval::PageDest { vpage });
+            }
+        }
 
         let (dirline, home_frame) = {
             let pd = m.nodes[home]
@@ -880,6 +888,14 @@ impl Machine {
     ///   eager [`crate::faults::JournalPolicy`] and the retry resend
     ///   target for watchdog recovery — both already covered by the
     ///   unconditional static-home insert above.
+    ///
+    /// With lazy migration enabled the footprint also closes over every
+    /// node in the page's hardware traffic counters: a transaction's
+    /// `Migrate` phase may re-master the page onto the policy's top
+    /// requester, and that target can only come from the recorded set
+    /// (the requester itself is already in the footprint). The set
+    /// grows when a *new* requester records traffic — exactly the
+    /// [`CursorInval::PageDest`] event the ledger invalidates on.
     pub(crate) fn remote_txn_footprint(
         &self,
         n: usize,
@@ -899,6 +915,13 @@ impl Machine {
         }
         if let Some(former) = self.former_homes.get(&gpage) {
             set = prism_mem::addr::NodeSet(set.0 | former.0);
+        }
+        if self.cfg.migration.is_some() {
+            if let Some(traffic) = self.nodes[home.0 as usize].controller.traffic.get(&gpage) {
+                for node in traffic.nodes() {
+                    set.insert(node);
+                }
+            }
         }
         set
     }

@@ -14,6 +14,7 @@
 //! ```
 
 use prism::kernel::migration::MigrationPolicy;
+use prism::kernel::policy::PagePolicy;
 use prism::machine::machine::Machine;
 use prism::machine::{FaultPlan, JournalPolicy};
 use prism::mem::addr::NodeId;
@@ -152,9 +153,12 @@ fn golden_lu_audit_parallel_heap() {
     }
 }
 
-/// Scheduler equivalence under faults, migration, and journaling: all
-/// of those fail the parallel eligibility gate, so `ParallelHeap` must
-/// fall back to byte-identical serial execution.
+/// Scheduler equivalence under faults, migration, and journaling with
+/// the coherence checker on: the checker observes the global pick
+/// interleaving, so it (alone, since the footprint ledger admitted
+/// migration and friends) still fails the parallel eligibility gate
+/// and `ParallelHeap` must fall back to byte-identical serial
+/// execution.
 #[test]
 fn golden_ocean_faults_parallel_heap() {
     for workers in [1, 2, 4] {
@@ -348,6 +352,152 @@ fn parallel_epochs_form_under_bounded_faults() {
                 > 0,
             "picks inside the open link window must serialize"
         );
+    }
+}
+
+/// Shared scaffolding for the newly epoch-eligible feature configs:
+/// one job spanning two nodes (it supplies the cross-node traffic the
+/// feature under test needs) plus two single-node jobs (they supply
+/// the disjoint groups epochs need). `min_epoch_span` is dropped to a
+/// few dozen cycles so thin epochs form even around the shared job's
+/// conflicts — byte-identity must hold at any knob value.
+fn feature_cfg(scheduler: SchedulerKind, workers: usize) -> MachineConfig {
+    let mut cfg = MachineConfig::builder()
+        .nodes(4)
+        .procs_per_node(2)
+        .l1_bytes(1024)
+        .l2_bytes(4096)
+        .min_epoch_span(64)
+        .build();
+    cfg.scheduler = scheduler;
+    cfg.worker_threads = workers;
+    cfg
+}
+
+fn feature_jobs() -> Vec<prism::mem::trace::Trace> {
+    vec![
+        app(AppId::Ocean, Scale::Small).generate(4),
+        app(AppId::Radix, Scale::Small).generate(2),
+        app(AppId::Fft, Scale::Small).generate(2),
+    ]
+}
+
+/// Runs one newly eligible feature config on the serial heap and on
+/// `ParallelHeap` at 1/2/4 workers, asserting byte-identical reports,
+/// that real epochs formed, that the structural gate never fired, and
+/// that the persistent window cursors actually served scans.
+fn check_feature_epochs(label: &str, tweak: impl Fn(&mut MachineConfig)) -> RunReport {
+    use prism::machine::ParallelFallbackReason;
+    let run = |scheduler, workers| {
+        let mut cfg = feature_cfg(scheduler, workers);
+        tweak(&mut cfg);
+        Machine::new(cfg).run_jobs(&feature_jobs())
+    };
+    let serial = run(SchedulerKind::Heap, 1);
+    for workers in [1, 2, 4] {
+        let par = run(SchedulerKind::ParallelHeap, workers);
+        assert_eq!(
+            par.to_json(),
+            serial.to_json(),
+            "ParallelHeap with {workers} workers diverged from the serial heap on {label}"
+        );
+        assert!(
+            par.parallel_fallback.epochs > 0,
+            "no epochs formed on {label} with {workers} workers"
+        );
+        assert_eq!(
+            par.parallel_fallback
+                .count(ParallelFallbackReason::IneligibleConfig),
+            0,
+            "{label} must not trip the structural eligibility gate"
+        );
+        assert!(
+            par.parallel_fallback.cursor_hits > 0,
+            "persistent cursors served no scans on {label} with {workers} workers"
+        );
+    }
+    serial
+}
+
+/// Migration-enabled runs now form real epochs: the footprint closes
+/// over the traffic ledger's prospective migration targets, so a page
+/// re-mastered inside an epoch stays a group-local event. The serial
+/// report proves migrations actually happened.
+#[test]
+fn parallel_epochs_match_serial_heap_with_migration() {
+    let serial = check_feature_epochs("migration", |cfg| {
+        cfg.migration = Some(MigrationPolicy {
+            check_interval: 16,
+            min_traffic: 32,
+            dominance: 0.55,
+        });
+    });
+    assert!(
+        serial.migrations > 0,
+        "the migration policy must actually re-master pages"
+    );
+}
+
+/// Page-cache-capped runs now form real epochs: the node fill closure
+/// covers eviction victims' homes, so a client page-out inside an
+/// epoch flushes within the group's own footprint. The serial report
+/// proves evictions actually happened.
+#[test]
+fn parallel_epochs_match_serial_heap_with_page_cache_cap() {
+    let serial = check_feature_epochs("page-cache cap", |cfg| {
+        cfg.page_cache_capacity = Some(1);
+    });
+    assert!(
+        serial.page_outs > 0,
+        "the page-cache cap must actually force client page-outs"
+    );
+}
+
+/// LA-NUMA runs now form real epochs: the node fill closure covers
+/// imaginary-frame write-back owners, so an L2 eviction posting a
+/// dirty line to a remote home stays inside the group's footprint. The
+/// serial report proves remote write-backs actually happened.
+#[test]
+fn parallel_epochs_match_serial_heap_with_lanuma() {
+    let serial = check_feature_epochs("LA-NUMA", |cfg| {
+        cfg.policy = PagePolicy::Lanuma;
+    });
+    assert!(
+        serial.remote_writebacks > 0,
+        "the LA-NUMA policy must actually post remote write-backs"
+    );
+}
+
+/// The debug report must name every fallback reason —
+/// `ParallelFallbackReason::ALL` is compile-time-checked for
+/// exhaustiveness, and this locks the emission side: a new variant
+/// cannot silently vanish from `to_json_debug`. Also pins the cursor
+/// and epoch-histogram fields the perf-smoke CI job parses.
+#[test]
+fn debug_report_names_every_fallback_reason() {
+    use prism::machine::ParallelFallbackReason;
+    let mut cfg = feature_cfg(SchedulerKind::ParallelHeap, 2);
+    cfg.migration = Some(MigrationPolicy {
+        check_interval: 16,
+        min_traffic: 32,
+        dominance: 0.55,
+    });
+    let json = Machine::new(cfg).run_jobs(&feature_jobs()).to_json_debug();
+    for reason in ParallelFallbackReason::ALL {
+        assert!(
+            json.contains(&format!("\"{}\":", reason.name())),
+            "to_json_debug lost fallback reason `{}`",
+            reason.name()
+        );
+    }
+    for field in [
+        "\"policy\":",
+        "\"epoch_groups\":",
+        "\"cursor_hits\":",
+        "\"cursor_misses\":",
+        "\"cursor_invalidations\":",
+    ] {
+        assert!(json.contains(field), "to_json_debug lost field {field}");
     }
 }
 
