@@ -16,7 +16,7 @@
 
 use prism_kernel::migration::MigrationPolicy;
 use prism_kernel::policy::PagePolicy;
-use prism_machine::config::{AuditMode, MachineConfig, SchedulerKind};
+use prism_machine::config::{AuditMode, DirectoryKind, MachineConfig, SchedulerKind};
 use prism_machine::faults::{FaultPlan, JournalPolicy, RetryPolicy};
 use prism_mem::addr::NodeId;
 use prism_mem::trace::Trace;
@@ -43,6 +43,22 @@ pub fn policy_name(p: PagePolicy) -> &'static str {
 
 fn policy_from_name(s: &str) -> Option<PagePolicy> {
     ALL_POLICIES.iter().copied().find(|&p| policy_name(p) == s)
+}
+
+/// The two directory backends a campaign flips between.
+pub const ALL_DIRECTORIES: [DirectoryKind; 2] =
+    [DirectoryKind::FullMap, DirectoryKind::LogReplicated];
+
+/// Stable names for directory backends in artifacts and coverage maps.
+pub fn directory_name(k: DirectoryKind) -> &'static str {
+    k.label()
+}
+
+fn directory_from_name(s: &str) -> Option<DirectoryKind> {
+    ALL_DIRECTORIES
+        .iter()
+        .copied()
+        .find(|&k| directory_name(k) == s)
 }
 
 /// Stable names for scheduler kinds in coverage maps and artifacts.
@@ -309,6 +325,10 @@ pub struct CaseSpec {
     pub journal_eager: bool,
     /// Transit-tag watchdog deadline in cycles.
     pub watchdog_deadline: u64,
+    /// Home-node directory backend. The determinism suite proves the
+    /// two backends byte-equivalent, so flipping this must never change
+    /// a report — the differential oracle holds each case to that.
+    pub directory: DirectoryKind,
     /// Space-shared jobs (1 = whole-machine, 2 = two jobs on disjoint
     /// node halves; structural faults then only target job 0's nodes so
     /// the containment oracle can hold job 1 harmless).
@@ -370,6 +390,7 @@ impl CaseSpec {
                 JournalPolicy::Off
             })
             .watchdog_deadline(self.watchdog_deadline)
+            .directory(self.directory)
             .scheduler(scheduler)
             .worker_threads(workers)
             .build()
@@ -475,6 +496,16 @@ impl CaseSpec {
             }
         }
 
+        // Drawn last on purpose: appending the backend flip to the end
+        // of the stream leaves every draw above it — and therefore every
+        // historical case field — exactly as earlier harness versions
+        // generated them.
+        let directory = if rng.gen_bool(0.5) {
+            DirectoryKind::LogReplicated
+        } else {
+            DirectoryKind::FullMap
+        };
+
         let spec = CaseSpec {
             campaign_seed,
             index,
@@ -491,6 +522,7 @@ impl CaseSpec {
             retry,
             journal_eager,
             watchdog_deadline,
+            directory,
             jobs,
             workload,
             faults,
@@ -544,6 +576,7 @@ impl CaseSpec {
         );
         field("journal_eager", self.journal_eager.to_string());
         field("watchdog_deadline", self.watchdog_deadline.to_string());
+        field("directory", quote(directory_name(self.directory)));
         field("jobs", self.jobs.to_string());
         field(
             "workload",
@@ -698,6 +731,8 @@ impl CaseSpec {
             },
             journal_eager: boolean(v, "journal_eager")?,
             watchdog_deadline: num(v, "watchdog_deadline")?,
+            directory: directory_from_name(req(v, "directory")?.as_str().ok_or("directory")?)
+                .ok_or("unknown directory kind")?,
             jobs: num(v, "jobs")? as usize,
             workload: WorkloadSpec {
                 kind: WorkloadKind::from_name(
@@ -762,6 +797,22 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), 6, "six consecutive cases span all modes");
+    }
+
+    #[test]
+    fn short_windows_flip_both_directory_backends() {
+        for seed in [3u64, 7, 0xBEEF] {
+            let mut seen: Vec<DirectoryKind> = (0..16)
+                .map(|i| CaseSpec::generate(seed, i).directory)
+                .collect();
+            seen.sort_by_key(|k| directory_name(*k));
+            seen.dedup();
+            assert_eq!(
+                seen.len(),
+                2,
+                "seed {seed:#x} never flipped the directory backend"
+            );
+        }
     }
 
     #[test]

@@ -8,9 +8,14 @@
 //! below is an invariant the test suite already pins on hand-written
 //! fixtures — the harness extends it to the searched space.
 //!
-//! [`Oracle::CanaryNoRemoteMiss`] is the exception: a deliberately
-//! *false* invariant ("no case ever misses to a remote node") kept out
-//! of [`Oracle::STANDARD`]. The canary test arms it to prove the
+//! The canaries are the exception: deliberately *false* invariants kept
+//! out of [`Oracle::STANDARD`], each shadowing a real oracle.
+//! [`Oracle::CanaryNoRemoteMiss`] claims no case ever misses remotely;
+//! [`Oracle::CanaryJournalSilent`] claims eager journaling never writes
+//! a record (it shadows [`Oracle::JournalReplay`]);
+//! [`Oracle::CanaryFrameLeak`] claims a machine finishes with zero live
+//! frames (it shadows [`Oracle::PageAccounting`] — every node's command
+//! frame refutes it). The canary tests arm them to prove the
 //! find → shrink → replay pipeline catches real violations end to end.
 
 use prism_machine::obs::ObsEvent;
@@ -46,17 +51,36 @@ pub enum Oracle {
     /// Every run completes within the harness deadline without
     /// panicking, and every dead processor is accounted to a cause.
     Liveness,
-    /// The deliberately broken canary invariant (see module docs).
+    /// Journal-replay accounting stays consistent with the recovery the
+    /// machine performed: replay cycles are exactly the recovered lines
+    /// times the eager policy's per-line replay cost, recovered lines
+    /// imply journal records were written, and a journal-less case never
+    /// shows journal activity.
+    JournalReplay,
+    /// Page-frame conservation: after every run, each real frame is
+    /// owned by exactly one of the free list, the client page cache,
+    /// and the directory-home set ([`prism_machine::machine::Machine::
+    /// page_accounting_violations`] finds nothing).
+    PageAccounting,
+    /// The deliberately broken no-remote-miss canary (see module docs).
     CanaryNoRemoteMiss,
+    /// The deliberately broken journal canary: claims eager journaling
+    /// never writes a record (see module docs).
+    CanaryJournalSilent,
+    /// The deliberately broken frame canary: claims machines finish
+    /// with zero live frames (see module docs).
+    CanaryFrameLeak,
 }
 
 impl Oracle {
     /// The oracles every campaign runs.
-    pub const STANDARD: [Oracle; 4] = [
+    pub const STANDARD: [Oracle; 6] = [
         Oracle::Differential,
         Oracle::AuditExplained,
         Oracle::Containment,
         Oracle::Liveness,
+        Oracle::JournalReplay,
+        Oracle::PageAccounting,
     ];
 
     /// The oracle's stable name (used in artifacts and reports).
@@ -66,7 +90,11 @@ impl Oracle {
             Oracle::AuditExplained => "audit-explained",
             Oracle::Containment => "containment",
             Oracle::Liveness => "liveness",
+            Oracle::JournalReplay => "journal-replay",
+            Oracle::PageAccounting => "page-accounting",
             Oracle::CanaryNoRemoteMiss => "canary-no-remote-miss",
+            Oracle::CanaryJournalSilent => "canary-journal-silent",
+            Oracle::CanaryFrameLeak => "canary-frame-leak",
         }
     }
 
@@ -77,7 +105,11 @@ impl Oracle {
             Oracle::AuditExplained,
             Oracle::Containment,
             Oracle::Liveness,
+            Oracle::JournalReplay,
+            Oracle::PageAccounting,
             Oracle::CanaryNoRemoteMiss,
+            Oracle::CanaryJournalSilent,
+            Oracle::CanaryFrameLeak,
         ]
         .into_iter()
         .find(|o| o.name() == name)
@@ -90,7 +122,11 @@ impl Oracle {
             Oracle::AuditExplained => check_audit_explained(case, outcome),
             Oracle::Containment => check_containment(case, outcome),
             Oracle::Liveness => check_liveness(case, outcome),
+            Oracle::JournalReplay => check_journal_replay(case, outcome),
+            Oracle::PageAccounting => check_page_accounting(outcome),
             Oracle::CanaryNoRemoteMiss => check_canary(outcome),
+            Oracle::CanaryJournalSilent => check_canary_journal(outcome),
+            Oracle::CanaryFrameLeak => check_canary_frames(outcome),
         }
     }
 }
@@ -329,6 +365,77 @@ fn check_liveness(case: &CaseSpec, outcome: &CaseOutcome) -> Option<Violation> {
     None
 }
 
+/// Per-line replay cost of [`prism_machine::faults::JournalPolicy::
+/// eager`], the policy every journaled chaos case runs under. Failover
+/// charges exactly this much per recovered line, in the same breath as
+/// the `lines_recovered` increment — so the products must agree.
+const EAGER_REPLAY_CYCLES_PER_LINE: u64 = 24;
+
+fn check_journal_replay(case: &CaseSpec, outcome: &CaseOutcome) -> Option<Violation> {
+    for r in &outcome.runs {
+        let Ok(out) = &r.result else { continue };
+        let f = &out.report.fault;
+        if !case.journal_eager {
+            if f.journal_records != 0 || f.journal_replay_cycles != 0 || f.lines_recovered != 0 {
+                return Some(Violation {
+                    oracle: Oracle::JournalReplay.name(),
+                    detail: format!(
+                        "{} shows journal activity with journaling off: \
+                         {} records, {} replay cycles, {} lines recovered",
+                        run_label(r),
+                        f.journal_records,
+                        f.journal_replay_cycles,
+                        f.lines_recovered
+                    ),
+                });
+            }
+            continue;
+        }
+        let expected = f.lines_recovered * EAGER_REPLAY_CYCLES_PER_LINE;
+        if f.journal_replay_cycles != expected {
+            return Some(Violation {
+                oracle: Oracle::JournalReplay.name(),
+                detail: format!(
+                    "{}: {} replay cycles but {} recovered lines x {} \
+                     cycles/line = {expected}",
+                    run_label(r),
+                    f.journal_replay_cycles,
+                    f.lines_recovered,
+                    EAGER_REPLAY_CYCLES_PER_LINE
+                ),
+            });
+        }
+        if f.lines_recovered > 0 && f.journal_records == 0 {
+            return Some(Violation {
+                oracle: Oracle::JournalReplay.name(),
+                detail: format!(
+                    "{} recovered {} lines from an empty journal",
+                    run_label(r),
+                    f.lines_recovered
+                ),
+            });
+        }
+    }
+    None
+}
+
+fn check_page_accounting(outcome: &CaseOutcome) -> Option<Violation> {
+    for r in &outcome.runs {
+        let Ok(out) = &r.result else { continue };
+        if let Some(first) = out.accounting.first() {
+            return Some(Violation {
+                oracle: Oracle::PageAccounting.name(),
+                detail: format!(
+                    "{} broke frame conservation ({} violation(s); first: {first})",
+                    run_label(r),
+                    out.accounting.len()
+                ),
+            });
+        }
+    }
+    None
+}
+
 fn check_canary(outcome: &CaseOutcome) -> Option<Violation> {
     for r in &outcome.runs {
         let Ok(out) = &r.result else { continue };
@@ -339,6 +446,42 @@ fn check_canary(outcome: &CaseOutcome) -> Option<Violation> {
                     "{} performed {} remote misses (the canary claims none ever happen)",
                     run_label(r),
                     out.report.remote_misses
+                ),
+            });
+        }
+    }
+    None
+}
+
+fn check_canary_journal(outcome: &CaseOutcome) -> Option<Violation> {
+    for r in &outcome.runs {
+        let Ok(out) = &r.result else { continue };
+        if out.report.fault.journal_records > 0 {
+            return Some(Violation {
+                oracle: Oracle::CanaryJournalSilent.name(),
+                detail: format!(
+                    "{} wrote {} journal records (the canary claims eager \
+                     journaling never records)",
+                    run_label(r),
+                    out.report.fault.journal_records
+                ),
+            });
+        }
+    }
+    None
+}
+
+fn check_canary_frames(outcome: &CaseOutcome) -> Option<Violation> {
+    for r in &outcome.runs {
+        let Ok(out) = &r.result else { continue };
+        if out.frames_active > 0 {
+            return Some(Violation {
+                oracle: Oracle::CanaryFrameLeak.name(),
+                detail: format!(
+                    "{} finished with {} live frames (the canary claims \
+                     machines end empty)",
+                    run_label(r),
+                    out.frames_active
                 ),
             });
         }
@@ -391,10 +534,73 @@ mod tests {
             Oracle::AuditExplained,
             Oracle::Containment,
             Oracle::Liveness,
+            Oracle::JournalReplay,
+            Oracle::PageAccounting,
             Oracle::CanaryNoRemoteMiss,
+            Oracle::CanaryJournalSilent,
+            Oracle::CanaryFrameLeak,
         ] {
             assert_eq!(Oracle::from_name(o.name()), Some(o));
         }
         assert_eq!(Oracle::from_name("nope"), None);
+    }
+
+    /// The frame canary's claim (machines end with zero live frames) is
+    /// refuted by every machine: the per-node command frames alone keep
+    /// `frames_active` positive.
+    #[test]
+    fn frame_canary_fires_on_any_completed_case() {
+        let case = small_quiet_case();
+        let outcome = run_case(&case, Duration::from_secs(60));
+        let v = Oracle::CanaryFrameLeak.check(&case, &outcome);
+        assert!(v.is_some(), "command frames must refute the canary");
+        assert_eq!(v.unwrap().oracle, "canary-frame-leak");
+    }
+
+    /// The journal-replay oracle is silent on honest accounting and
+    /// fires the moment the replay-cost pairing is cooked.
+    #[test]
+    fn journal_replay_oracle_catches_cooked_accounting() {
+        let mut case = small_quiet_case();
+        case.journal_eager = true;
+        let mut outcome = run_case(&case, Duration::from_secs(60));
+        assert_eq!(Oracle::JournalReplay.check(&case, &outcome), None);
+        if let Ok(out) = &mut outcome.runs[0].result {
+            out.report.fault.journal_replay_cycles += 1;
+        }
+        let v = Oracle::JournalReplay.check(&case, &outcome);
+        assert!(v.is_some(), "unpaired replay cycles must be caught");
+        assert_eq!(v.unwrap().oracle, "journal-replay");
+    }
+
+    /// Journal activity on a case that never enabled journaling is a
+    /// violation in its own right.
+    #[test]
+    fn journal_replay_oracle_rejects_activity_when_journaling_is_off() {
+        let mut case = small_quiet_case();
+        case.journal_eager = false;
+        let mut outcome = run_case(&case, Duration::from_secs(60));
+        assert_eq!(Oracle::JournalReplay.check(&case, &outcome), None);
+        if let Ok(out) = &mut outcome.runs[0].result {
+            out.report.fault.journal_records = 3;
+        }
+        assert!(Oracle::JournalReplay.check(&case, &outcome).is_some());
+    }
+
+    /// The page-accounting oracle reports whatever the post-run
+    /// conservation audit found — nothing on a healthy machine, and the
+    /// first violation verbatim when one is injected.
+    #[test]
+    fn page_accounting_oracle_relays_audit_findings() {
+        let case = small_quiet_case();
+        let mut outcome = run_case(&case, Duration::from_secs(60));
+        assert_eq!(Oracle::PageAccounting.check(&case, &outcome), None);
+        if let Ok(out) = &mut outcome.runs[1].result {
+            out.accounting
+                .push("node 0: frame F7 is both free and live".into());
+        }
+        let v = Oracle::PageAccounting.check(&case, &outcome).unwrap();
+        assert_eq!(v.oracle, "page-accounting");
+        assert!(v.detail.contains("frame F7"));
     }
 }

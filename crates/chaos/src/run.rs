@@ -41,6 +41,13 @@ pub struct RunOutput {
     pub report: RunReport,
     /// The machine's recent observability events (ring contents).
     pub events: Vec<(Cycle, ObsEvent)>,
+    /// Post-run page-frame conservation audit
+    /// ([`Machine::page_accounting_violations`]); empty = every frame
+    /// owned by exactly one of free list, page cache, directory home.
+    pub accounting: Vec<String>,
+    /// Live real frames across the machine at end of run (never zero:
+    /// each node's command frame is allocated at boot).
+    pub frames_active: u64,
 }
 
 /// How a run failed to produce a report.
@@ -138,7 +145,14 @@ fn run_one(
                 m.run_jobs(&traces)
             };
             let events = m.recent_events();
-            let _ = tx.send(RunOutput { report, events });
+            let accounting = m.page_accounting_violations();
+            let frames_active = m.frames_active();
+            let _ = tx.send(RunOutput {
+                report,
+                events,
+                accounting,
+                frames_active,
+            });
         })
         .expect("spawn chaos run thread");
     match rx.recv_timeout(deadline) {

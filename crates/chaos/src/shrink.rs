@@ -15,6 +15,7 @@
 
 use std::time::Duration;
 
+use prism_machine::config::DirectoryKind;
 use prism_machine::faults::RetryPolicy;
 
 use crate::gen::{AuditModeSpec, CaseSpec};
@@ -154,6 +155,11 @@ fn candidates(case: &CaseSpec) -> Vec<CaseSpec> {
         c.page_cache_capacity = None;
         push(c);
     }
+    if case.directory != DirectoryKind::FullMap {
+        let mut c = case.clone();
+        c.directory = DirectoryKind::FullMap;
+        push(c);
+    }
     if case.retry != RetryPolicy::default() {
         let mut c = case.clone();
         c.retry = RetryPolicy::default();
@@ -187,6 +193,8 @@ mod tests {
                 || (case.audit_interval.is_some() && c.audit_interval.is_none())
                 || (case.audit_mode != AuditModeSpec::Full && c.audit_mode == AuditModeSpec::Full)
                 || (case.page_cache_capacity.is_some() && c.page_cache_capacity.is_none())
+                || (case.directory != DirectoryKind::FullMap
+                    && c.directory == DirectoryKind::FullMap)
                 || (case.retry != RetryPolicy::default() && c.retry == RetryPolicy::default());
             assert!(smaller, "candidate did not simplify: {c:?}");
         }

@@ -591,6 +591,17 @@ impl Kernel {
         self.pool.stats()
     }
 
+    /// Read access to the frame pool (conservation audits walk its free
+    /// list and live-class map).
+    pub fn pool(&self) -> &FramePool {
+        &self.pool
+    }
+
+    /// Every page resident here as home, with its home frame.
+    pub fn resident_home_pages(&self) -> impl Iterator<Item = (GlobalPage, FrameNo)> + '_ {
+        self.resident_home.iter().map(|(&gp, &f)| (gp, f))
+    }
+
     /// Event counters.
     pub fn stats(&self) -> KernelStats {
         self.stats

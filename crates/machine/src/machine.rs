@@ -216,6 +216,96 @@ impl Machine {
         self.obs.recent()
     }
 
+    /// Page-frame conservation audit: every real frame of every node is
+    /// owned by exactly one of the free list and the live-class map, the
+    /// two sum to the node's total, and the shared-memory owners agree —
+    /// a client page-cache entry sits on a `ScomaClient` frame, a
+    /// directory entry's home frame is the `ScomaHome` frame the kernel
+    /// has the page resident on. Returns one line per violation (empty =
+    /// conserved). Cross-structure checks are skipped on failed nodes,
+    /// whose kernels are dead and legitimately out of sync with the
+    /// state their survivors adopted.
+    pub fn page_accounting_violations(&self) -> Vec<String> {
+        use prism_mem::frames::FrameClass;
+        let mut violations = Vec::new();
+        for node in &self.nodes {
+            let n = node.id.0;
+            let pool = node.kernel.pool();
+            let mut free_seen = std::collections::HashSet::new();
+            for f in pool.free_frames() {
+                if f.is_imaginary() {
+                    violations.push(format!("node {n}: imaginary frame {f} on the free list"));
+                }
+                if !free_seen.insert(f) {
+                    violations.push(format!("node {n}: frame {f} on the free list twice"));
+                }
+                if let Some(class) = pool.class_of(f) {
+                    violations.push(format!(
+                        "node {n}: frame {f} is both free and live as {class:?}"
+                    ));
+                }
+            }
+            if free_seen.len() + pool.active_real() != pool.total_real() {
+                violations.push(format!(
+                    "node {n}: {} free + {} live real frames != {} total",
+                    free_seen.len(),
+                    pool.active_real(),
+                    pool.total_real()
+                ));
+            }
+            if node.failed {
+                continue;
+            }
+            for gp in node.kernel.page_cache_pages() {
+                let cp = node
+                    .kernel
+                    .client_page(gp)
+                    .expect("cached page has a record");
+                match pool.class_of(cp.frame) {
+                    Some(FrameClass::ScomaClient) => {}
+                    other => violations.push(format!(
+                        "node {n}: page-cache entry {gp} on frame {} of class {other:?}",
+                        cp.frame
+                    )),
+                }
+            }
+            for (gp, pd) in node.controller.dir.iter() {
+                match pool.class_of(pd.home_frame) {
+                    Some(FrameClass::ScomaHome) => {}
+                    other => violations.push(format!(
+                        "node {n}: directory home frame {} of {gp} has class {other:?}",
+                        pd.home_frame
+                    )),
+                }
+                if node.kernel.home_frame_of(*gp) != Some(pd.home_frame) {
+                    violations.push(format!(
+                        "node {n}: directory homes {gp} on frame {} but the kernel has {:?}",
+                        pd.home_frame,
+                        node.kernel.home_frame_of(*gp)
+                    ));
+                }
+            }
+            for (gp, frame) in node.kernel.resident_home_pages() {
+                if node.controller.dir.page(gp).is_none() {
+                    violations.push(format!(
+                        "node {n}: {gp} resident as home on frame {frame} with no directory entry"
+                    ));
+                }
+            }
+        }
+        violations
+    }
+
+    /// Live real (memory-consuming) frames across every node — at least
+    /// one per node, since the kernel↔controller command frame is
+    /// allocated at boot and never freed.
+    pub fn frames_active(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|node| node.kernel.pool().active_real() as u64)
+            .sum()
+    }
+
     /// The latency multiplier a slow-node episode imposes on `node` at
     /// time `t` (1 when no episode is active).
     pub(crate) fn slow_factor(&self, node: usize, t: Cycle) -> u64 {

@@ -2,6 +2,7 @@
 
 use prism_kernel::kernel::{EvictOrder, FaultClass};
 use prism_mem::addr::{FrameNo, GlobalPage, LineIdx, NodeId, VirtAddr};
+use prism_mem::directory::DirOp;
 use prism_mem::mode::FrameMode;
 use prism_mem::pit::PitEntry;
 use prism_mem::tags::LineTag;
@@ -110,13 +111,18 @@ impl Machine {
                         self.init_home_page(home, gp, home_frame);
                     }
                     {
-                        let pd = self.nodes[home]
+                        let reader = NodeId(n as u16);
+                        let fresh = !self.nodes[home]
                             .controller
                             .dir
-                            .page_mut(gp)
-                            .expect("home page initialized");
-                        let fresh = !pd.clients.contains(NodeId(n as u16));
-                        pd.clients.insert(NodeId(n as u16));
+                            .read(reader, gp)
+                            .expect("home page initialized")
+                            .clients
+                            .contains(reader);
+                        self.nodes[home]
+                            .controller
+                            .dir
+                            .apply(gp, DirOp::AddClient(reader));
                         if fresh {
                             // The page's destination set grew: remote
                             // transactions can now fan out to this
@@ -409,20 +415,32 @@ impl Machine {
             // lid of line 0 of the page, derived from the victim vpage.
             let lid_base =
                 evict.vpage << (self.cfg.geometry.page_log2() - self.cfg.geometry.line_log2());
+            let reader = NodeId(n as u16);
             let mut home_frame = None;
-            if let Some(pd) = self.nodes[home].controller.dir.page_mut(gp) {
+            let mut ops = Vec::new();
+            if let Some(pd) = self.nodes[home].controller.dir.read(reader, gp) {
                 home_frame = Some(pd.home_frame);
+                // Each line's transition depends only on that line's
+                // current state, so snapshotting the ops before applying
+                // them is equivalent to interleaved read-modify-write.
                 for &l in &dirty_lines {
                     let cur = pd.line(l);
-                    *pd.line_mut(l) =
-                        prism_protocol::dirproto::apply_writeback(cur, NodeId(n as u16));
+                    ops.push(DirOp::SetLine(
+                        l,
+                        prism_protocol::dirproto::apply_writeback(cur, reader),
+                    ));
                 }
                 for &l in &shared_lines {
                     let cur = pd.line(l);
-                    *pd.line_mut(l) =
-                        prism_protocol::dirproto::apply_replacement_hint(cur, NodeId(n as u16));
+                    ops.push(DirOp::SetLine(
+                        l,
+                        prism_protocol::dirproto::apply_replacement_hint(cur, reader),
+                    ));
                 }
-                pd.client_frames.remove(&NodeId(n as u16));
+                ops.push(DirOp::ClearClientFrame(reader));
+            }
+            for op in ops {
+                self.nodes[home].controller.dir.apply(gp, op);
             }
             if let Some(hf) = home_frame {
                 for &l in &dirty_lines {

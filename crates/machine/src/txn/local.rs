@@ -347,15 +347,24 @@ impl Machine {
         }
         let lat = self.cfg.latency;
         self.nodes[home].memory.acquire(t, Cycle(lat.mem_access));
-        if let Some(pd) = self.nodes[home].controller.dir.page_mut(gpage) {
-            let cur = pd.line(line);
+        let reader = prism_mem::addr::NodeId(n as u16);
+        let snap = self.nodes[home]
+            .controller
+            .dir
+            .read(reader, gpage)
+            .map(|pd| (pd.line(line), pd.home_frame));
+        if let Some((cur, home_frame)) = snap {
             let was_owned =
                 matches!(cur, prism_mem::directory::LineDir::Owned(o) if o.0 as usize == n);
-            *pd.line_mut(line) =
-                prism_protocol::dirproto::apply_writeback(cur, prism_mem::addr::NodeId(n as u16));
+            self.nodes[home].controller.dir.apply(
+                gpage,
+                prism_mem::directory::DirOp::SetLine(
+                    line,
+                    prism_protocol::dirproto::apply_writeback(cur, reader),
+                ),
+            );
             if was_owned {
                 // Home memory is valid again.
-                let home_frame = pd.home_frame;
                 self.nodes[home].controller.tags.set(
                     home_frame,
                     line,
@@ -401,13 +410,23 @@ impl Machine {
         self.obs.incr(Ctr::RemoteWritebacks);
         let lat = self.cfg.latency;
         self.nodes[home].memory.acquire(t, Cycle(lat.mem_occupancy));
-        if let Some(pd) = self.nodes[home].controller.dir.page_mut(gpage) {
-            let cur = pd.line(line);
+        let reader = prism_mem::addr::NodeId(n as u16);
+        let snap = self.nodes[home]
+            .controller
+            .dir
+            .read(reader, gpage)
+            .map(|pd| (pd.line(line), pd.home_frame));
+        if let Some((cur, home_frame)) = snap {
             if matches!(cur, prism_mem::directory::LineDir::Owned(o) if o.0 as usize == n) {
-                *pd.line_mut(line) = prism_mem::directory::LineDir::Shared(
-                    prism_mem::addr::NodeSet::single(prism_mem::addr::NodeId(n as u16)),
+                self.nodes[home].controller.dir.apply(
+                    gpage,
+                    prism_mem::directory::DirOp::SetLine(
+                        line,
+                        prism_mem::directory::LineDir::Shared(prism_mem::addr::NodeSet::single(
+                            reader,
+                        )),
+                    ),
                 );
-                let home_frame = pd.home_frame;
                 self.nodes[home].controller.tags.set(
                     home_frame,
                     line,
@@ -439,18 +458,25 @@ impl Machine {
             return;
         }
         self.post_send(n, home, MsgKind::Writeback, t);
-        if let Some(pd) = self.nodes[home].controller.dir.page_mut(gpage) {
-            let cur = pd.line(line);
+        let reader = prism_mem::addr::NodeId(n as u16);
+        let snap = self.nodes[home]
+            .controller
+            .dir
+            .read(reader, gpage)
+            .map(|pd| (pd.line(line), pd.home_frame));
+        if let Some((cur, home_frame)) = snap {
             let was_owned =
                 matches!(cur, prism_mem::directory::LineDir::Owned(o) if o.0 as usize == n);
-            *pd.line_mut(line) = prism_protocol::dirproto::apply_replacement_hint(
-                cur,
-                prism_mem::addr::NodeId(n as u16),
+            self.nodes[home].controller.dir.apply(
+                gpage,
+                prism_mem::directory::DirOp::SetLine(
+                    line,
+                    prism_protocol::dirproto::apply_replacement_hint(cur, reader),
+                ),
             );
             if was_owned {
                 // The node's copy was clean-exclusive, so home memory was
                 // already current; mark the home tag valid again.
-                let home_frame = pd.home_frame;
                 self.nodes[home].controller.tags.set(
                     home_frame,
                     line,

@@ -151,6 +151,21 @@ impl FramePool {
         self.active_class.values().filter(|&&c| c == class).count()
     }
 
+    /// Iterates the free list (unspecified order).
+    pub fn free_frames(&self) -> impl Iterator<Item = FrameNo> + '_ {
+        self.free.iter().copied()
+    }
+
+    /// Iterates live frames with their classes (unspecified order).
+    pub fn active_frames(&self) -> impl Iterator<Item = (FrameNo, FrameClass)> + '_ {
+        self.active_class.iter().map(|(&f, &c)| (f, c))
+    }
+
+    /// Live real (memory-consuming) frames.
+    pub fn active_real(&self) -> usize {
+        self.active_class.values().filter(|c| c.is_real()).count()
+    }
+
     /// Cumulative allocation statistics.
     pub fn stats(&self) -> PoolStats {
         self.stats
