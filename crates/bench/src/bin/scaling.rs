@@ -278,6 +278,10 @@ fn parallel_ab(workload: &dyn prism_workloads::Workload) -> ParallelAb {
             .build();
         c.scheduler = kind;
         c.worker_threads = workers;
+        // Stage timings are host-clock diagnostics surfaced only via
+        // `to_json_debug`; the byte-identity assert below runs on the
+        // plain report, which they never touch.
+        c.stage_timing = true;
         c
     };
     let jobs: Vec<_> = (0..AB_NODES).map(|_| workload.generate(4)).collect();
@@ -297,7 +301,7 @@ fn parallel_ab(workload: &dyn prism_workloads::Workload) -> ParallelAb {
         (best, json, fallback)
     };
     let (serial_ms, serial_json, _) = time(SchedulerKind::Heap, 1);
-    let workers = AB_WORKERS
+    let workers: Vec<WorkerRow> = AB_WORKERS
         .into_iter()
         .map(|w| {
             let (wall_ms, json, fallback) = time(SchedulerKind::ParallelHeap, w);
@@ -312,6 +316,38 @@ fn parallel_ab(workload: &dyn prism_workloads::Workload) -> ParallelAb {
             }
         })
         .collect();
+    // The cursor counters are part of the deterministic replay, so
+    // every worker count produces the same set — render_json dedupes
+    // them into one top-level object on the strength of this check.
+    for r in &workers[1..] {
+        let a = &workers[0].fallback;
+        let b = &r.fallback;
+        assert_eq!(
+            (
+                a.cursor_hits,
+                a.cursor_slides,
+                a.cursor_misses,
+                a.cursor_invalidations
+            ),
+            (
+                b.cursor_hits,
+                b.cursor_slides,
+                b.cursor_misses,
+                b.cursor_invalidations
+            ),
+            "cursor counters must not depend on the worker count"
+        );
+    }
+    // Sliding cursors exist to make one worker as fast as the serial
+    // loop: the single-worker arm may not regress past noise.
+    if let Some(w1) = workers.iter().find(|r| r.workers == 1) {
+        assert!(
+            w1.wall_ms <= 1.05 * serial_ms,
+            "workers=1 wall {:.3}ms exceeds 1.05x serial {:.3}ms",
+            w1.wall_ms,
+            serial_ms
+        );
+    }
     ParallelAb { serial_ms, workers }
 }
 
@@ -448,26 +484,38 @@ fn render_json(
     ));
     for (i, r) in par.workers.iter().enumerate() {
         let groups: Vec<String> = r.fallback.epoch_groups.iter().map(u64::to_string).collect();
+        let s = &r.fallback.stage;
         o.push_str(&format!(
             "    {{\"workers\": {}, \"wall_ms\": {:.3}, \"speedup\": {:.3}, \
              \"epochs\": {}, \"epoch_groups\": [{}], \
-             \"cursor_hits\": {}, \"cursor_misses\": {}, \"cursor_hit_rate\": {}, \
-             \"cursor_invalidations\": {}}}{}\n",
+             \"stage_ns\": {{\"scan_ns\": {}, \"admit_ns\": {}, \"execute_ns\": {}, \
+             \"merge_ns\": {}}}}}{}\n",
             r.workers,
             r.wall_ms,
             par.serial_ms / r.wall_ms,
             r.fallback.epochs,
             groups.join(","),
-            r.fallback.cursor_hits,
-            r.fallback.cursor_misses,
-            r.fallback
-                .cursor_hit_rate()
-                .map_or("null".to_string(), |h| format!("{h:.4}")),
-            r.fallback.cursor_invalidations,
+            s.scan_ns,
+            s.admit_ns,
+            s.execute_ns,
+            s.merge_ns,
             if i + 1 == par.workers.len() { "" } else { "," }
         ));
     }
-    o.push_str("  ]},\n");
+    o.push_str("  ],\n");
+    // Deterministic across worker counts (parallel_ab asserts it), so
+    // one copy serves every row.
+    let cur = &par.workers[0].fallback;
+    o.push_str(&format!(
+        "  \"cursor\": {{\"hits\": {}, \"misses\": {}, \"slides\": {}, \
+         \"invalidations\": {}, \"hit_rate\": {}}}}},\n",
+        cur.cursor_hits,
+        cur.cursor_misses,
+        cur.cursor_slides,
+        cur.cursor_invalidations,
+        cur.cursor_hit_rate()
+            .map_or("null".to_string(), |h| format!("{h:.4}")),
+    ));
     o.push_str(&format!(
         "  \"dir_ab\": {{\"nodes\": {}, \"procs\": {}, \"reports_identical\": true, \
          \"backends\": [\n",

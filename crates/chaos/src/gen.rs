@@ -329,6 +329,20 @@ pub struct CaseSpec {
     /// two backends byte-equivalent, so flipping this must never change
     /// a report — the differential oracle holds each case to that.
     pub directory: DirectoryKind,
+    /// Cursor rewatermark tolerance in trace operations (0 disables
+    /// sliding entirely — the pre-slide full-rescan behavior). A host
+    /// wall-clock heuristic: a slid window is bitwise what a fresh scan
+    /// returns, so reports must be identical at any value — the
+    /// differential oracle holds each case to that.
+    pub rewatermark_tolerance: u64,
+    /// Minimum simulated-cycle span an epoch must cover to be admitted
+    /// by the parallel scheduler. Wall-clock heuristic like
+    /// [`CaseSpec::rewatermark_tolerance`].
+    pub min_epoch_span: u64,
+    /// Cap on the parallel scheduler's exponential scan backoff, in
+    /// picks. Wall-clock heuristic like
+    /// [`CaseSpec::rewatermark_tolerance`]; must be at least 1.
+    pub max_epoch_backoff: u64,
     /// Space-shared jobs (1 = whole-machine, 2 = two jobs on disjoint
     /// node halves; structural faults then only target job 0's nodes so
     /// the containment oracle can hold job 1 harmless).
@@ -391,6 +405,9 @@ impl CaseSpec {
             })
             .watchdog_deadline(self.watchdog_deadline)
             .directory(self.directory)
+            .rewatermark_tolerance(self.rewatermark_tolerance)
+            .min_epoch_span(self.min_epoch_span)
+            .max_epoch_backoff(self.max_epoch_backoff)
             .scheduler(scheduler)
             .worker_threads(workers)
             .build()
@@ -505,6 +522,15 @@ impl CaseSpec {
         } else {
             DirectoryKind::FullMap
         };
+        // Also appended after everything older (same reasoning as the
+        // directory draw above): the epoch-executor pacing knobs join
+        // the end of the stream so historical case fields keep their
+        // exact values. All three are wall-clock heuristics the
+        // differential oracle must prove report-invariant — including
+        // tolerance 0, the no-sliding degenerate.
+        let rewatermark_tolerance = [0u64, 16, 256, 4096][rng.gen_index(4)];
+        let min_epoch_span = 64u64 << rng.gen_index(5);
+        let max_epoch_backoff = 1u64 << rng.gen_index(10);
 
         let spec = CaseSpec {
             campaign_seed,
@@ -523,6 +549,9 @@ impl CaseSpec {
             journal_eager,
             watchdog_deadline,
             directory,
+            rewatermark_tolerance,
+            min_epoch_span,
+            max_epoch_backoff,
             jobs,
             workload,
             faults,
@@ -633,6 +662,12 @@ impl CaseSpec {
                 events.join(",")
             ),
         );
+        field(
+            "rewatermark_tolerance",
+            self.rewatermark_tolerance.to_string(),
+        );
+        field("min_epoch_span", self.min_epoch_span.to_string());
+        field("max_epoch_backoff", self.max_epoch_backoff.to_string());
         o.pop();
         o.push('}');
         o
@@ -733,6 +768,9 @@ impl CaseSpec {
             watchdog_deadline: num(v, "watchdog_deadline")?,
             directory: directory_from_name(req(v, "directory")?.as_str().ok_or("directory")?)
                 .ok_or("unknown directory kind")?,
+            rewatermark_tolerance: num(v, "rewatermark_tolerance")?,
+            min_epoch_span: num(v, "min_epoch_span")?,
+            max_epoch_backoff: num(v, "max_epoch_backoff")?,
             jobs: num(v, "jobs")? as usize,
             workload: WorkloadSpec {
                 kind: WorkloadKind::from_name(
@@ -811,6 +849,28 @@ mod tests {
                 seen.len(),
                 2,
                 "seed {seed:#x} never flipped the directory backend"
+            );
+        }
+    }
+
+    #[test]
+    fn short_windows_span_the_pacing_knobs() {
+        for seed in [3u64, 7, 0xBEEF] {
+            let specs: Vec<CaseSpec> = (0..32).map(|i| CaseSpec::generate(seed, i)).collect();
+            let mut tols: Vec<u64> = specs.iter().map(|s| s.rewatermark_tolerance).collect();
+            tols.sort_unstable();
+            tols.dedup();
+            assert!(
+                tols.len() >= 3,
+                "seed {seed:#x} drew too few tolerance values: {tols:?}"
+            );
+            assert!(
+                specs.iter().any(|s| s.rewatermark_tolerance == 0),
+                "seed {seed:#x} never disabled sliding"
+            );
+            assert!(
+                specs.iter().all(|s| s.max_epoch_backoff >= 1),
+                "backoff caps must stay valid by construction"
             );
         }
     }

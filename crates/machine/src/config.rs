@@ -170,6 +170,20 @@ pub struct MachineConfig {
     /// [`MachineConfig::min_epoch_span`]: results are byte-identical
     /// at any value.
     pub max_epoch_backoff: u64,
+    /// How far (in trace operations) a window cursor's watermark may
+    /// lag behind the requested pick and still be *slid* forward —
+    /// retiring the executed prefix and extending the suffix — instead
+    /// of rescanned from scratch. Zero disables sliding (every drifted
+    /// watermark is a full rescan, the pre-slide behavior). A host
+    /// wall-clock heuristic like [`MachineConfig::min_epoch_span`]:
+    /// results are byte-identical at any value, because a slid window
+    /// is bitwise what the fresh scan would return.
+    pub rewatermark_tolerance: u64,
+    /// Capture a wall-clock stage breakdown (`scan`/`admit`/`execute`/
+    /// `merge` nanoseconds) for the parallel scheduler into the debug
+    /// report. Off by default: host clocks are nondeterministic, and
+    /// golden/chaos replays require a byte-stable debug report.
+    pub stage_timing: bool,
 }
 
 impl MachineConfig {
@@ -267,6 +281,8 @@ impl Default for MachineConfig {
             worker_threads: 4,
             min_epoch_span: 1024,
             max_epoch_backoff: 512,
+            rewatermark_tolerance: 4096,
+            stage_timing: false,
         }
     }
 }
@@ -346,6 +362,10 @@ impl MachineConfigBuilder {
         min_epoch_span: u64);
     setter!(/// Caps the parallel scheduler's epoch-scan backoff, in picks.
         max_epoch_backoff: u64);
+    setter!(/// Sets the cursor rewatermark tolerance, in trace operations.
+        rewatermark_tolerance: u64);
+    setter!(/// Captures wall-clock stage timings in the debug report.
+        stage_timing: bool);
 
     /// Finishes the configuration.
     ///

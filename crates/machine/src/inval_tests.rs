@@ -26,7 +26,7 @@ use prism_sim::Cycle;
 
 use crate::config::MachineConfig;
 use crate::faults::FaultPlan;
-use crate::fp_ledger::FootprintLedger;
+use crate::fp_ledger::{FootprintLedger, ScanStep};
 use crate::machine::Machine;
 use crate::obs::CursorInval;
 
@@ -145,11 +145,44 @@ fn single(n: usize) -> NodeSet {
     NodeSet::single(NodeId(n as u16))
 }
 
-/// Applies the stream's `HomeMoved` events to a ledger primed with a
-/// memo entry for the moved page and a sentinel page on every node
-/// (plus every node closure), and asserts exactly the moved page's
-/// entries die — with every closure dropped, since closures embed the
-/// homes of cached pages.
+/// Scans a one-reference lane for processor `flat` on `node` touching
+/// `vpage` at watermark `(pc 0, clock 0)`: creates (or generation-
+/// checks) the `(node, vpage)` memo entry and leaves a cursor pinned
+/// on it. Re-invoking at the same watermark is how the tests probe
+/// cursor survival — a live cursor serves as a hit (or a slide after a
+/// closure-generation bump), a killed one rescans as a miss.
+fn prime_cursor(l: &mut FootprintLedger, flat: usize, node: usize, vpage: u64) {
+    l.scan(
+        flat,
+        node,
+        0,
+        0,
+        1,
+        8,
+        8,
+        || (single(node), Vec::new()),
+        |pc| {
+            if pc == 0 {
+                ScanStep::Ref {
+                    key: (node, vpage),
+                    va: VirtAddr(vpage * PAGE),
+                    same_run: false,
+                }
+            } else {
+                ScanStep::End
+            }
+        },
+        |_| single(node),
+    );
+}
+
+/// Applies the stream's `HomeMoved` events to a ledger primed, on every
+/// node, with a memo entry for the moved page and a sentinel page, and
+/// with a cached closure whose member list contains the moved page on
+/// even nodes and only the sentinel on odd nodes. Asserts the
+/// invalidation is sharded exactly: every node's memo of the moved
+/// page dies, sentinels survive, and only member closures drop —
+/// non-member nodes keep closure, generation, and cursors.
 fn assert_home_moved_precision(events: &[CursorInval], vpage: u64) {
     let moved: Vec<CursorInval> = events
         .iter()
@@ -159,11 +192,16 @@ fn assert_home_moved_precision(events: &[CursorInval], vpage: u64) {
     assert!(!moved.is_empty(), "the scenario must emit HomeMoved");
     let sentinel = vpage + 1;
     let mut l = FootprintLedger::default();
-    l.reset(NODES, NODES);
+    l.reset(2 * NODES, NODES);
     for n in 0..NODES {
-        l.page_footprint((n, vpage), || single(n));
-        l.page_footprint((n, sentinel), || single(n));
-        l.node_closure(n, || single(n));
+        prime_cursor(&mut l, n, n, vpage);
+        prime_cursor(&mut l, NODES + n, n, sentinel);
+        let members = if n % 2 == 0 {
+            vec![vpage]
+        } else {
+            vec![sentinel]
+        };
+        l.prime_closure(n, single(n), members);
     }
     l.apply(moved);
     for n in 0..NODES {
@@ -175,11 +213,35 @@ fn assert_home_moved_precision(events: &[CursorInval], vpage: u64) {
             l.has_memo(n, sentinel),
             "node {n}'s memo for an unrelated page must survive"
         );
-        assert!(
-            !l.has_closure(n),
-            "node {n}'s closure embeds the old home and must drop"
-        );
+        if n % 2 == 0 {
+            assert!(
+                !l.has_closure(n),
+                "node {n}'s closure embeds the old home and must drop"
+            );
+        } else {
+            assert!(
+                l.has_closure(n),
+                "node {n}'s closure provably never reached the page and must survive"
+            );
+        }
     }
+    // Sentinel cursors prove the sharding end to end: on a non-member
+    // node the exact watermark still serves whole; on a member node the
+    // closure generation moved, so the same watermark serves as a
+    // closure-refreshing slide — never a full rescan.
+    let (h0, s0, m0) = (l.hits, l.slides, l.misses);
+    prime_cursor(&mut l, NODES + 1, 1, sentinel);
+    assert_eq!(
+        (l.hits, l.misses),
+        (h0 + 1, m0),
+        "a non-member node's unrelated cursor must still hit"
+    );
+    prime_cursor(&mut l, NODES, 0, sentinel);
+    assert_eq!(
+        (l.slides, l.misses),
+        (s0 + 1, m0),
+        "a member node's unrelated cursor refreshes via slide, not rescan"
+    );
 }
 
 /// Applies the stream's `NodePage` events to a ledger primed with the
@@ -197,11 +259,9 @@ fn assert_node_page_precision(events: &[CursorInval], node: usize, vpage: u64) {
     let other = (node + 1) % NODES;
     let mut l = FootprintLedger::default();
     l.reset(NODES, NODES);
-    l.page_footprint((node, vpage), || single(node));
-    l.page_footprint((node, sentinel), || single(node));
-    l.page_footprint((other, vpage), || single(other));
-    l.store(0, node, 0, 0, 1, single(node), None, vec![(node, vpage)]);
-    l.store(1, other, 0, 0, 1, single(other), None, vec![(other, vpage)]);
+    prime_cursor(&mut l, 0, node, vpage);
+    prime_cursor(&mut l, 2, node, sentinel);
+    prime_cursor(&mut l, 1, other, vpage);
     l.apply(exact);
     assert!(!l.has_memo(node, vpage), "the affected entry must die");
     assert!(
@@ -212,14 +272,15 @@ fn assert_node_page_precision(events: &[CursorInval], node: usize, vpage: u64) {
         l.has_memo(other, vpage),
         "other nodes' view of the page must survive"
     );
-    assert!(
-        l.lookup(0, node, 0, 0).is_none(),
-        "the cursor that consumed the affected entry must flip"
+    let (h0, m0) = (l.hits, l.misses);
+    prime_cursor(&mut l, 0, node, vpage);
+    assert_eq!(
+        l.misses,
+        m0 + 1,
+        "the cursor that consumed the affected entry must rescan"
     );
-    assert!(
-        l.lookup(1, other, 0, 0).is_some(),
-        "the other node's cursor must survive"
-    );
+    prime_cursor(&mut l, 1, other, vpage);
+    assert_eq!(l.hits, h0 + 1, "the other node's cursor must survive");
 }
 
 /// Migration re-mastering: every migration emits exactly one
@@ -372,10 +433,14 @@ fn page_cache_eviction_invalidates_only_the_victims_entry() {
         "no other (node, page) entry may be invalidated ({np:?})"
     );
     assert!(
-        events
-            .iter()
-            .any(|e| matches!(e, CursorInval::NodeClosure { node: 1 })),
-        "the evicting node's closure changed and must be dropped"
+        events.iter().any(|e| matches!(
+            e,
+            CursorInval::NodeClosure {
+                node: 1,
+                grew: false
+            }
+        )),
+        "the evicting node's closure shrank and must be dropped without a generation bump"
     );
     assert_node_page_precision(&events, victim.0, victim.1);
 }
@@ -426,4 +491,107 @@ fn lanuma_writeback_invalidates_only_the_writers_entry() {
         "no other (node, page) entry may be invalidated ({np:?})"
     );
     assert_node_page_precision(&events, writer.0, writer.1);
+}
+
+/// Event-vs-counter reconciliation for the sharded-invalidation and
+/// slide counters: applying a real drained event stream to a primed
+/// ledger must account every kill in `invalidations` — event-time
+/// kills (fresh memos staled, cached member closures dropped) plus the
+/// lazy cursor deaths discovered at the next scan — exactly matching
+/// an independent replay of the event semantics, with repeat events on
+/// already-stale entries counted zero times. Scan outcomes must also
+/// conserve: every request is a hit, a slide, or a miss.
+#[test]
+fn invalidation_counters_reconcile_with_event_stream() {
+    let mut cfg = config();
+    cfg.migration = Some(MigrationPolicy::default());
+    let trace = dominance_trace(Tail::None);
+    let mut m = Machine::new(cfg);
+    m.obs.set_inval_enabled(true);
+    let r = m.run(&trace);
+    assert!(r.migrations >= 1, "the scenario must emit invalidations");
+    let events = m.obs.drain_inval();
+    let page = vp(&m, 0);
+
+    // Prime: one cursor per node pinned on the page's memo entry, and
+    // a cached closure whose member list holds the page.
+    let mut l = FootprintLedger::default();
+    l.reset(NODES, NODES);
+    for n in 0..NODES {
+        prime_cursor(&mut l, n, n, page);
+        l.prime_closure(n, single(n), vec![page]);
+    }
+    assert_eq!(l.misses, NODES as u64, "priming cold-scans each cursor");
+
+    // Independent replay of the invalidation semantics over the primed
+    // state: fresh memo entries stale (and count) at most once, member
+    // closures drop (and count) at most once, non-member closures and
+    // already-stale entries never count.
+    let mut fresh: std::collections::HashSet<(usize, u64)> =
+        (0..NODES).map(|n| (n, page)).collect();
+    let mut closures: std::collections::HashSet<usize> = (0..NODES).collect();
+    let mut staled: std::collections::HashSet<(usize, u64)> = std::collections::HashSet::new();
+    let mut expected: u64 = 0;
+    for e in &events {
+        match *e {
+            CursorInval::HomeMoved { vpage } => {
+                for n in 0..NODES {
+                    if fresh.remove(&(n, vpage)) {
+                        staled.insert((n, vpage));
+                        expected += 1;
+                    }
+                }
+                if vpage == page {
+                    for n in 0..NODES {
+                        if closures.remove(&n) {
+                            expected += 1;
+                        }
+                    }
+                }
+            }
+            CursorInval::PageDest { vpage } => {
+                for n in 0..NODES {
+                    if fresh.remove(&(n, vpage)) {
+                        staled.insert((n, vpage));
+                        expected += 1;
+                    }
+                }
+            }
+            CursorInval::NodePage { node, vpage } => {
+                if fresh.remove(&(node, vpage)) {
+                    staled.insert((node, vpage));
+                    expected += 1;
+                }
+            }
+            CursorInval::NodeClosure { node, .. } => {
+                if closures.remove(&node) {
+                    expected += 1;
+                }
+            }
+        }
+    }
+    assert!(expected > 0, "the stream must kill something primed");
+    l.apply(events);
+    assert_eq!(
+        l.invalidations, expected,
+        "event-time invalidations must match the independent replay"
+    );
+
+    // Lazy tail: each cursor whose dep was staled dies exactly once,
+    // at its next scan; survivors serve (hit, or slide after a closure
+    // generation bump) without touching the counter.
+    let dead = (0..NODES).filter(|&n| staled.contains(&(n, page))).count() as u64;
+    for n in 0..NODES {
+        prime_cursor(&mut l, n, n, page);
+    }
+    assert_eq!(
+        l.invalidations,
+        expected + dead,
+        "each staled-dep cursor must be counted dead exactly once"
+    );
+    assert_eq!(
+        l.hits + l.slides + l.misses,
+        2 * NODES as u64,
+        "every scan request is exactly one of hit, slide, or miss"
+    );
 }

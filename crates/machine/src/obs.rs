@@ -212,13 +212,51 @@ pub(crate) enum CursorInval {
         vpage: u64,
     },
     /// One node's eviction/write-back closure changed (a page entered
-    /// or left its page cache or LA-NUMA mapping set): cursors that
-    /// embedded the old closure are stale. Applied lazily through the
+    /// or left its page cache or LA-NUMA mapping set): the ledger's
+    /// cached closure for the node is stale. Applied lazily through the
     /// ledger's per-node generation counter.
     NodeClosure {
         /// The node whose closure changed.
         node: usize,
+        /// True when the closure's member set may have *grown* (a page
+        /// entered the cache/mapping set). A pure shrink (eviction,
+        /// unmap) leaves old cursors holding a superset closure — sound
+        /// for admission — so the ledger drops its cached value without
+        /// bumping the node generation, and cursors survive the churn.
+        grew: bool,
     },
+}
+
+/// Wall-clock nanoseconds the epoch executor spent per pipeline stage,
+/// accumulated across the run: window scanning, disjoint-footprint
+/// admission, worker execution (dispatch to last join), and shell
+/// merging. Recording is gated on [`EventBus::stage_enabled`] — host
+/// clocks are nondeterministic, so the fields stay zero (and the debug
+/// report byte-stable) unless a bench explicitly opts in via
+/// `MachineConfig::stage_timing`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageTimes {
+    /// Nanoseconds spent scanning trace windows (ledger lookups and
+    /// full scans included).
+    pub scan_ns: u64,
+    /// Nanoseconds spent in disjoint-footprint admission and group
+    /// partitioning.
+    pub admit_ns: u64,
+    /// Nanoseconds from first dispatch to last worker join.
+    pub execute_ns: u64,
+    /// Nanoseconds spent merging shell machines back, in admission
+    /// order.
+    pub merge_ns: u64,
+}
+
+impl StageTimes {
+    /// Accumulates another breakdown into this one.
+    pub(crate) fn add(&mut self, other: StageTimes) {
+        self.scan_ns += other.scan_ns;
+        self.admit_ns += other.admit_ns;
+        self.execute_ns += other.execute_ns;
+        self.merge_ns += other.merge_ns;
+    }
 }
 
 /// The machine-wide observability bus (see module docs).
@@ -255,6 +293,13 @@ pub(crate) struct EventBus {
     /// the `ParallelHeap` run loop (parent machine and shells alike);
     /// the serial schedulers have no ledger to invalidate.
     inval_enabled: bool,
+    /// Per-stage wall-clock accounting for the epoch executor; all
+    /// zeros unless `stage_enabled`.
+    pub(crate) stage: StageTimes,
+    /// Whether the epoch executor samples host clocks into `stage`.
+    /// Off by default: host timings are nondeterministic, and the
+    /// debug report must stay byte-stable for golden and chaos replay.
+    stage_enabled: bool,
 }
 
 impl EventBus {
@@ -277,6 +322,8 @@ impl EventBus {
             touched_seen: 0,
             inval: Vec::new(),
             inval_enabled: false,
+            stage: StageTimes::default(),
+            stage_enabled: false,
         }
     }
 
@@ -314,6 +361,26 @@ impl EventBus {
     /// Takes every pending ledger invalidation, oldest first.
     pub(crate) fn drain_inval(&mut self) -> Vec<CursorInval> {
         std::mem::take(&mut self.inval)
+    }
+
+    /// Turns stage-timing capture on or off; disabling zeroes anything
+    /// already accumulated.
+    pub(crate) fn set_stage_enabled(&mut self, enabled: bool) {
+        self.stage_enabled = enabled;
+        if !enabled {
+            self.stage = StageTimes::default();
+        }
+    }
+
+    /// Whether the epoch executor should sample host clocks.
+    #[inline]
+    pub(crate) fn stage_enabled(&self) -> bool {
+        self.stage_enabled
+    }
+
+    /// Takes the accumulated stage breakdown, leaving zeros behind.
+    pub(crate) fn take_stage(&mut self) -> StageTimes {
+        std::mem::take(&mut self.stage)
     }
 
     /// Increments a counter by one.
@@ -390,6 +457,7 @@ impl EventBus {
             self.ring.push((at, ev));
         }
         self.inval.extend_from_slice(&worker.inval);
+        self.stage.add(worker.stage);
     }
 }
 

@@ -165,7 +165,10 @@ impl Machine {
                 // The node's cached-page set grew (page cache or
                 // LA-NUMA mapping): its eviction/write-back closure now
                 // includes this page's homes.
-                self.obs.note_inval(CursorInval::NodeClosure { node: n });
+                self.obs.note_inval(CursorInval::NodeClosure {
+                    node: n,
+                    grew: true,
+                });
             }
         }
         self.obs.fault_latency.record(t - t0);
@@ -472,9 +475,13 @@ impl Machine {
             .kernel
             .commit_page_out(gp, evict.convert_to_lanuma);
         // The node's cached-page set changed (the victim left; under
-        // `convert_to_lanuma` an imaginary mapping replaces it) and its
-        // view of the victim page is gone.
-        self.obs.note_inval(CursorInval::NodeClosure { node: n });
+        // `convert_to_lanuma` an imaginary mapping replaces it, so the
+        // member set never grows — the victim's homes were already in
+        // the closure) and its view of the victim page is gone.
+        self.obs.note_inval(CursorInval::NodeClosure {
+            node: n,
+            grew: false,
+        });
         self.obs.note_inval(CursorInval::NodePage {
             node: n,
             vpage: evict.vpage,

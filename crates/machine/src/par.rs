@@ -47,7 +47,7 @@
 //! into a window: migration targets come from the page's traffic
 //! ledger ([`Machine::remote_txn_footprint`]), LA-NUMA write-back
 //! owners and page-cache eviction victims from the node's fill
-//! closure ([`Machine::local_fill_footprint`]). A migration that
+//! closure ([`Machine::local_fill_closure`]). A migration that
 //! re-masters a page inside an epoch is therefore a *group-local*
 //! event: the page's old home, new home, and every client that could
 //! observe the move all belong to the same admitted group, so the
@@ -55,12 +55,17 @@
 //!
 //! Footprints are computed incrementally through the
 //! [`crate::fp_ledger::FootprintLedger`]: per-processor window cursors
-//! persist across picks and epochs, and a `(node, vpage)` memo caches
-//! page contributions. Both are invalidated precisely, by
+//! persist across picks and epochs — and *slide* forward when a
+//! watermark drifts within `rewatermark_tolerance` ops of the scanned
+//! window, paying O(drift) instead of a full rescan — and a
+//! generation-tagged `(node, vpage)` memo caches page contributions.
+//! Both are invalidated precisely, by
 //! [`CursorInval`](crate::obs::CursorInval) events the execution layer
 //! emits at every transition that can change a page's destination set
 //! (directory growth, migration, failover, PIT corruption, page-cache
-//! eviction, LA-NUMA write-back). Features that must stay serial
+//! eviction, LA-NUMA write-back); cursors re-validate their cached
+//! dependencies lazily by generation, so one event never cold-starts
+//! every processor's cursor. Features that must stay serial
 //! degrade *locally*:
 //!
 //! * Scheduled fault injections and watchdog deadline sweeps are
@@ -100,10 +105,10 @@ use prism_sim::{Cycle, Resource};
 use crate::config::AuditMode;
 use crate::controller::Controller;
 use crate::faults::Journal;
-use crate::fp_ledger::FootprintLedger;
+use crate::fp_ledger::{FootprintLedger, ScanStep};
 use crate::machine::{Machine, AUDIT_RNG_SEED};
 use crate::node::{Node, ProcState};
-use crate::obs::EventBus;
+use crate::obs::{EventBus, StageTimes};
 use crate::sched::Sched;
 
 /// Maximum operations one scanned window may hold. Caps the scan cost
@@ -256,13 +261,21 @@ pub struct ParallelFallback {
     /// `k` concurrent groups. Indices 0 and 1 stay zero (an epoch needs
     /// two groups to form); the vector grows to the largest size seen.
     pub epoch_groups: Vec<u64>,
-    /// Window scans served whole from a persistent cursor.
+    /// Window scans served whole from a cursor at an exact watermark.
     pub cursor_hits: u64,
+    /// Window scans served incrementally by *sliding* a cursor whose
+    /// watermark drifted forward inside its scanned window (retire the
+    /// executed prefix, extend the suffix, rewatermark in place).
+    pub cursor_slides: u64,
     /// Window scans that had to run (cursor cold, stale, or absent).
     pub cursor_misses: u64,
     /// Ledger entries (cursors, page memos, node closures) dropped by
     /// precise invalidation events.
     pub cursor_invalidations: u64,
+    /// Wall-clock nanoseconds per executor stage. All zeros unless
+    /// `MachineConfig::stage_timing` opted in (host clocks are
+    /// nondeterministic, so golden runs keep them off).
+    pub stage: StageTimes,
     counts: [u64; ParallelFallbackReason::COUNT],
 }
 
@@ -288,10 +301,12 @@ impl ParallelFallback {
         self.counts[reason.variant_index()]
     }
 
-    /// Cursor hit rate over all window scans, `None` before any scan.
+    /// Cursor reuse rate over all window scans — exact hits and slides
+    /// both count as reuse (a slide costs O(drift), not O(window)) —
+    /// `None` before any scan.
     pub fn cursor_hit_rate(&self) -> Option<f64> {
-        let total = self.cursor_hits + self.cursor_misses;
-        (total > 0).then(|| self.cursor_hits as f64 / total as f64)
+        let total = self.cursor_hits + self.cursor_slides + self.cursor_misses;
+        (total > 0).then(|| (self.cursor_hits + self.cursor_slides) as f64 / total as f64)
     }
 }
 
@@ -368,6 +383,7 @@ impl Machine {
         // pays for invalidation events while a parallel run is live.
         self.fp_ledger.reset(self.cfg.total_procs(), self.cfg.nodes);
         self.obs.set_inval_enabled(true);
+        self.obs.set_stage_enabled(self.cfg.stage_timing);
         // Workers live for the whole run and shells are pooled across
         // epochs: per-epoch cost is two node swaps and one channel
         // round-trip per group, not thread spawns and kernel rebuilds.
@@ -440,8 +456,11 @@ impl Machine {
         // runs on the same machine, the ledger resets per run).
         self.obs.set_inval_enabled(false);
         self.par_fallback.cursor_hits += self.fp_ledger.hits;
+        self.par_fallback.cursor_slides += self.fp_ledger.slides;
         self.par_fallback.cursor_misses += self.fp_ledger.misses;
         self.par_fallback.cursor_invalidations += self.fp_ledger.invalidations;
+        self.par_fallback.stage.add(self.obs.take_stage());
+        self.obs.set_stage_enabled(false);
         self.sched.deactivate();
     }
 
@@ -453,7 +472,7 @@ impl Machine {
     /// (opaque per-page routing the footprint helpers cannot close
     /// over). Migration, page-cache pressure, and non-S-COMA policies
     /// are eligible: [`Machine::remote_txn_footprint`] closes over
-    /// migration targets and [`Machine::local_fill_footprint`] over
+    /// migration targets and [`Machine::local_fill_closure`] over
     /// LA-NUMA write-back owners and page-cache eviction victims, so
     /// their cross-node effects stay inside one admitted group. Fault
     /// plans, journaling, the watchdog, and failed nodes are admitted
@@ -563,6 +582,7 @@ impl Machine {
         let mut groups: Vec<Group> = Vec::new();
         let mut by_node: HashMap<usize, usize> = HashMap::new();
         let mut leftovers: Vec<(Cycle, usize)> = Vec::new();
+        let t_scan = self.obs.stage_enabled().then(std::time::Instant::now);
         for &(c, f) in &popped {
             // Already at or past the running bound: the processor
             // cannot start anything inside this epoch, so skip its scan
@@ -595,9 +615,16 @@ impl Machine {
             });
             groups[gi].footprint.0 |= fp.0;
         }
+        if let Some(t) = t_scan {
+            self.obs.stage.scan_ns += t.elapsed().as_nanos() as u64;
+        }
         let flat0_grouped = groups.first().is_some_and(|g| g.members[0].flat == flat0);
+        let t_admit = self.obs.stage_enabled().then(std::time::Instant::now);
         let (keep, b, hazard_hits) = admit_epoch(&groups, b, self.hazard_nodes());
         let admitted = keep.iter().filter(|&&k| k).count();
+        if let Some(t) = t_admit {
+            self.obs.stage.admit_ns += t.elapsed().as_nanos() as u64;
+        }
         // An epoch is worth forming only when at least two groups run
         // concurrently, the popped processor is one of them (it must
         // make progress), and the bound leaves enough room to amortize
@@ -655,13 +682,19 @@ impl Machine {
     /// be ordered after them.
     ///
     /// The scan is served from the processor's persistent
-    /// [`WindowCursor`](crate::fp_ledger) whenever one is valid at the
-    /// exact `(node, pc, clock)` watermark — rejected epochs and
-    /// backoff retries re-reach the same watermark constantly, so the
-    /// common re-scan is O(1). A fresh scan stores its result (with the
-    /// `(node, vpage)` contributions it consumed as invalidation deps)
-    /// before returning. The truncation clock is absolute; exact-clock
-    /// reuse is what keeps it valid across attempts.
+    /// `WindowCursor` ([`crate::fp_ledger`]) whenever one covers the
+    /// request: whole at the exact `(node, pc, clock)` watermark
+    /// (rejected epochs and backoff retries re-reach the same watermark
+    /// constantly, so the common re-scan is O(1)), or incrementally
+    /// when the watermark drifted forward by at most
+    /// `cfg.rewatermark_tolerance` operations but stayed inside the
+    /// scanned window — the cursor *slides*: the executed prefix
+    /// retires, the suffix extends, and the request costs O(drift)
+    /// instead of O(window). A fresh scan stores its result (with the
+    /// `(node, vpage)` contributions it consumed as generation-tagged
+    /// invalidation deps) before returning. The truncation clock is
+    /// absolute and rebases on every slide, so it stays valid across
+    /// attempts.
     ///
     /// Footprint composition per window: the node's *fill closure*
     /// (itself, LA-NUMA write-back owners, page-cache eviction victims
@@ -670,7 +703,9 @@ impl Machine {
     /// each referenced page adds its memoized *contribution* (homes,
     /// sharers, stale hints, migration targets for shared pages;
     /// nothing beyond the closure for private ones). Compute-only
-    /// windows stay at the node singleton.
+    /// windows stay at the node singleton. The ledger performs the
+    /// composition; this wrapper only translates trace operations into
+    /// [`ScanStep`]s and supplies the policy-aware footprint callbacks.
     fn scan_window(
         &self,
         trace: &Trace,
@@ -684,53 +719,30 @@ impl Machine {
             return (0, NodeSet::EMPTY, None);
         }
         let pc0 = self.nodes[n].procs[pi].pc;
-        if let Some((window, fp, trunc_at)) = ledger.lookup(flat, n, pc0, clock.as_u64()) {
-            return (window, fp, trunc_at);
-        }
-        let mut pc = pc0;
-        let mut t = clock.as_u64();
-        let mut fp = NodeSet::single(NodeId(n as u16));
-        let l1 = self.cfg.latency.l1_hit;
-        let mut ops = 0;
-        let mut deps: Vec<(usize, u64)> = Vec::new();
-        let mut closed_over_node = false;
-        // Same-page run continuations (trace-ingest bitmap) reuse the
-        // previous reference's contribution without a page lookup.
-        let mut last_fp: Option<NodeSet> = None;
-        let trunc_at = loop {
-            match lane.get(pc) {
-                None => break None,
-                Some(Op::Barrier(_) | Op::Lock(_) | Op::Unlock(_)) => break Some(t),
-                _ if ops == MAX_WINDOW => break Some(t),
-                Some(&Op::Compute(c)) => t += c as u64,
-                Some(&(Op::Read(va) | Op::Write(va))) => {
-                    if !closed_over_node {
-                        closed_over_node = true;
-                        fp.0 |= ledger.node_closure(n, || self.local_fill_footprint(n)).0;
-                    }
-                    let page_fp = match last_fp {
-                        Some(f) if self.ingest.same_run(flat, pc) => f,
-                        _ => {
-                            let key = (n, self.cfg.geometry.vpage(va));
-                            if deps.last() != Some(&key) {
-                                deps.push(key);
-                            }
-                            ledger.page_footprint(key, || match self.nodes[n].kernel.resolve(va) {
-                                Some(gp) => self.remote_txn_footprint(n, gp),
-                                None => NodeSet::EMPTY,
-                            })
-                        }
-                    };
-                    last_fp = Some(page_fp);
-                    fp.0 |= page_fp.0;
-                    t += l1;
-                }
-            }
-            pc += 1;
-            ops += 1;
-        };
-        ledger.store(flat, n, pc0, clock.as_u64(), ops, fp, trunc_at, deps);
-        (ops, fp, trunc_at)
+        ledger.scan(
+            flat,
+            n,
+            pc0,
+            clock.as_u64(),
+            self.cfg.latency.l1_hit,
+            MAX_WINDOW,
+            self.cfg.rewatermark_tolerance,
+            || self.local_fill_closure(n),
+            |pc| match lane.get(pc) {
+                None => ScanStep::End,
+                Some(Op::Barrier(_) | Op::Lock(_) | Op::Unlock(_)) => ScanStep::Sync,
+                Some(&Op::Compute(c)) => ScanStep::Compute(c as u64),
+                Some(&(Op::Read(va) | Op::Write(va))) => ScanStep::Ref {
+                    key: (n, self.cfg.geometry.vpage(va)),
+                    va,
+                    same_run: self.ingest.same_run(flat, pc),
+                },
+            },
+            |va| match self.nodes[n].kernel.resolve(va) {
+                Some(gp) => self.remote_txn_footprint(n, gp),
+                None => NodeSet::EMPTY,
+            },
+        )
     }
 
     /// Runs the admitted groups — inline when no worker threads exist,
@@ -756,6 +768,7 @@ impl Machine {
         // earlier shell's migration. Cheap when empty (the common
         // migration-free case clones nothing).
         let dyn_snapshot = self.dyn_homes.clone();
+        let t_exec = self.obs.stage_enabled().then(std::time::Instant::now);
         for (i, mut g) in accepted.into_iter().enumerate() {
             let mut shell = pool.pop().unwrap_or_else(|| self.make_shell());
             // Failover and migration re-master pages in `dyn_homes`;
@@ -784,6 +797,10 @@ impl Machine {
             done.extend((0..count).map(|_| done_rx.recv().expect("epoch worker panicked")));
             done.sort_by_key(|d| d.0);
         }
+        if let Some(t) = t_exec {
+            self.obs.stage.execute_ns += t.elapsed().as_nanos() as u64;
+        }
+        let t_merge = self.obs.stage_enabled().then(std::time::Instant::now);
         for (_, g, mut shell) in done {
             for id in g.footprint.iter() {
                 std::mem::swap(
@@ -817,6 +834,9 @@ impl Machine {
                 }
             }
             pool.push(shell);
+        }
+        if let Some(t) = t_merge {
+            self.obs.stage.merge_ns += t.elapsed().as_nanos() as u64;
         }
     }
 

@@ -569,8 +569,19 @@ fn parallel_fallback_json(p: &ParallelFallback) -> String {
     let groups: Vec<String> = p.epoch_groups.iter().map(|g| g.to_string()).collect();
     field_raw(&mut o, "epoch_groups", &format!("[{}]", groups.join(",")));
     field_u64(&mut o, "cursor_hits", p.cursor_hits);
+    field_u64(&mut o, "cursor_slides", p.cursor_slides);
     field_u64(&mut o, "cursor_misses", p.cursor_misses);
     field_u64(&mut o, "cursor_invalidations", p.cursor_invalidations);
+    // All-zero (and therefore byte-stable) unless the run opted into
+    // host-clock stage capture via `MachineConfig::stage_timing`.
+    let mut stage = String::from("{");
+    field_u64(&mut stage, "scan_ns", p.stage.scan_ns);
+    field_u64(&mut stage, "admit_ns", p.stage.admit_ns);
+    field_u64(&mut stage, "execute_ns", p.stage.execute_ns);
+    field_u64(&mut stage, "merge_ns", p.stage.merge_ns);
+    stage.pop();
+    stage.push('}');
+    field_raw(&mut o, "stage_ns", &stage);
     let mut reasons = String::from("{");
     for reason in crate::par::ParallelFallbackReason::ALL {
         field_u64(&mut reasons, reason.name(), p.count(reason));

@@ -510,20 +510,40 @@ impl Machine {
     /// bumped by [`crate::obs::CursorInval::NodeClosure`] events, so
     /// the PIT/page-cache walks below run once per membership change,
     /// not once per scan.
-    pub(crate) fn local_fill_footprint(&self, n: usize) -> prism_mem::addr::NodeSet {
+    ///
+    /// Returns the closure alongside its *member list*: the shared
+    /// virtual pages whose homes the closure embeds. The footprint
+    /// ledger caches both — when a page's home moves (`HomeMoved`),
+    /// only nodes whose member list contains the page drop their
+    /// cached closure; every other node's closure provably never
+    /// routed to the moved page and survives, along with every cursor
+    /// built on it. Pages with no shared virtual page (a gap no
+    /// `HomeMoved` can ever name, since those emissions are gated on
+    /// the same mapping) are safely left off the list.
+    pub(crate) fn local_fill_closure(&self, n: usize) -> (prism_mem::addr::NodeSet, Vec<u64>) {
         let mut set = prism_mem::addr::NodeSet::single(prism_mem::addr::NodeId(n as u16));
+        let mut members: Vec<u64> = Vec::new();
+        let add = |set: &mut prism_mem::addr::NodeSet,
+                   members: &mut Vec<u64>,
+                   gpage: prism_mem::addr::GlobalPage| {
+            set.insert(self.homes.static_home(gpage));
+            set.insert(self.resolve_dyn_home(gpage));
+            if let Some(vp) = self.shared_vpage_value(gpage) {
+                if !members.contains(&vp) {
+                    members.push(vp);
+                }
+            }
+        };
         for (frame, entry) in self.nodes[n].controller.pit.iter() {
             if frame.is_imaginary() {
-                set.insert(self.homes.static_home(entry.gpage));
-                set.insert(self.resolve_dyn_home(entry.gpage));
+                add(&mut set, &mut members, entry.gpage);
             }
         }
         if self.cfg.page_cache_capacity.is_some() {
             for gpage in self.nodes[n].kernel.page_cache_pages() {
-                set.insert(self.homes.static_home(gpage));
-                set.insert(self.resolve_dyn_home(gpage));
+                add(&mut set, &mut members, gpage);
             }
         }
-        set
+        (set, members)
     }
 }

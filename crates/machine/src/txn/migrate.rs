@@ -609,8 +609,11 @@ impl Machine {
             }
         }
         // The node's LA-NUMA mapping set shrank (its write-back closure
-        // changed) and its view of this page is gone.
-        self.obs.note_inval(CursorInval::NodeClosure { node: n });
+        // changed, but gained nothing) and its view of this page is gone.
+        self.obs.note_inval(CursorInval::NodeClosure {
+            node: n,
+            grew: false,
+        });
         if let Some(vpage) = self.shared_vpage_value(gpage) {
             self.obs
                 .note_inval(CursorInval::NodePage { node: n, vpage });
